@@ -1,0 +1,59 @@
+//! Benchmarks of the real computational kernels (the NPB ports), for
+//! their own performance regression tracking.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use offchip_npb::kernels::{cg, ep, ft, grid3::Dims, is, sp, x264};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(10);
+
+    group.bench_function("ep_2e14_pairs_4threads", |b| {
+        b.iter(|| black_box(ep::run_parallel(14, 4)))
+    });
+
+    group.bench_function("is_sort_100k_4threads", |b| {
+        let keys = is::generate_keys(100_000, 1 << 11, 314_159_265.0);
+        b.iter(|| black_box(is::sort_parallel(&keys, 1 << 11, 4)))
+    });
+
+    group.bench_function("cg_matvec_n2000_4threads", |b| {
+        let a = cg::make_spd(2_000, 8, 314_159_265.0);
+        let x = vec![1.0; a.n];
+        let mut y = vec![0.0; a.n];
+        b.iter(|| {
+            a.matvec_parallel(&x, &mut y, 4);
+            black_box(y[0])
+        })
+    });
+
+    group.bench_function("fft3d_32cubed_4threads", |b| {
+        let d = Dims::new(32, 32, 32);
+        let mut rng = offchip_npb::npb_rng::NpbRng::new(271_828_183.0);
+        let data: Vec<ft::C64> = (0..d.len())
+            .map(|_| ft::C64::new(rng.next(), rng.next()))
+            .collect();
+        b.iter(|| black_box(ft::fft3d(data.clone(), d, false, 4)))
+    });
+
+    group.bench_function("sp_adi_step_24cubed_4threads", |b| {
+        let mut state = sp::SpState::init(Dims::new(24, 24, 24));
+        let bands = sp::PentaBands::default();
+        b.iter(|| {
+            state.adi_step(bands, 4);
+            black_box(state.rms())
+        })
+    });
+
+    group.bench_function("x264_encode_128x96_4threads", |b| {
+        let reference = x264::synth_frame(128, 96, 0, 0);
+        let cur = x264::synth_frame(128, 96, 2, 1);
+        b.iter(|| black_box(x264::encode_frame(&cur, &reference, 4, 4)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

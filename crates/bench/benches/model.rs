@@ -1,0 +1,54 @@
+//! Benchmarks of the analytical-model and statistics layers: fitting,
+//! prediction and the burstiness analysis. These run per experiment, not
+//! per simulated access, so they only need to stay comfortably sub-second.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use offchip_model::{ContentionModel, FitInputs, FitProtocol};
+use offchip_perf::BurstAnalysis;
+use offchip_stats::{Ccdf, LineFit};
+
+fn synthetic_sweep() -> Vec<(usize, f64)> {
+    let (mu, l, r) = (0.02, 0.0011, 1e9);
+    (1..=12).map(|n| (n, r / (mu - n as f64 * l))).collect()
+}
+
+fn bench_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model");
+    group.sample_size(30);
+
+    group.bench_function("contention_model_fit", |b| {
+        let sweep = synthetic_sweep();
+        let proto = FitProtocol::intel_numa_three_point();
+        // Extend the sweep so the protocol's 13-core point exists.
+        let mut sweep = sweep;
+        sweep.push((13, sweep[11].1 * 1.05));
+        b.iter(|| {
+            let inputs: FitInputs = proto.inputs_from_sweep(&sweep, 1e9);
+            black_box(ContentionModel::fit(&inputs).unwrap())
+        })
+    });
+
+    group.bench_function("line_fit_1k_points", |b| {
+        let xs: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 0.5 * x).collect();
+        b.iter(|| black_box(LineFit::ordinary(&xs, &ys)))
+    });
+
+    group.bench_function("ccdf_100k_samples", |b| {
+        let samples: Vec<u64> = (0..100_000u64).map(|i| (i * i) % 977).collect();
+        b.iter(|| black_box(Ccdf::from_samples(&samples)))
+    });
+
+    group.bench_function("burst_analysis_50k_windows", |b| {
+        let windows: Vec<u64> = (0..50_000u64)
+            .map(|i| if i % 7 == 0 { (i * 31) % 400 } else { 0 })
+            .collect();
+        b.iter(|| black_box(BurstAnalysis::from_windows(&windows, 50)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_model);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! End-to-end simulation benchmarks: full machine runs of representative
+//! workloads. These are the per-sweep-point costs of the experiment
+//! harness (Table II sweeps a few hundred of them).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use offchip_bench::{build_workload, ProgramSpec};
+use offchip_machine::{run, SimConfig};
+use offchip_npb::classes::ProblemClass;
+use offchip_topology::machines::{self, DEFAULT_EXPERIMENT_SCALE};
+
+fn bench_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+
+    let uma = machines::intel_uma_8().scaled(DEFAULT_EXPERIMENT_SCALE);
+    for (name, spec, n) in [
+        ("cg_s_uma_4cores", ProgramSpec::Cg(ProblemClass::S), 4usize),
+        ("cg_w_uma_8cores", ProgramSpec::Cg(ProblemClass::W), 8),
+        ("is_w_uma_8cores", ProgramSpec::Is(ProblemClass::W), 8),
+        ("ep_w_uma_8cores", ProgramSpec::Ep(ProblemClass::W), 8),
+    ] {
+        let w = build_workload(spec, uma.total_cores());
+        let cfg = SimConfig::new(uma.clone(), n);
+        group.bench_function(name, |b| b.iter(|| black_box(run(w.as_ref(), &cfg))));
+    }
+
+    let numa = machines::intel_numa_24().scaled(DEFAULT_EXPERIMENT_SCALE);
+    let w = build_workload(ProgramSpec::Cg(ProblemClass::A), numa.total_cores());
+    let cfg = SimConfig::new(numa, 24);
+    group.bench_function("cg_a_numa_24cores", |b| {
+        b.iter(|| black_box(run(w.as_ref(), &cfg)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_runs);
+criterion_main!(benches);

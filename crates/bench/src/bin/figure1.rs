@@ -1,0 +1,14 @@
+//! Regenerates paper Fig. 1 and Fig. 2: machine architectures and NUMA
+//! interconnects, as LIKWID-style topology reports (including the
+//! controller hop matrices that encode Fig. 2's "direct / one hop /
+//! two hops" distances).
+
+use offchip_topology::likwid::topology_report;
+use offchip_topology::machines;
+
+fn main() {
+    for machine in machines::paper_machines() {
+        print!("{}", topology_report(&machine));
+        println!();
+    }
+}

@@ -1,0 +1,97 @@
+//! Regenerates paper Fig. 4: burstiness of off-chip memory traffic —
+//! `P(#requested cache lines > x)` per 5 µs sampler window, for CG at all
+//! five problem classes and x264 at all four PARSEC inputs, on the Intel
+//! NUMA machine with 24 threads on 24 cores.
+//!
+//! The paper's signature: small classes (CG.S/W, x264.sim*) show the
+//! heavy-tailed diagonal of bursty traffic; large classes (CG.B/C) are
+//! non-bursty — "the memory bandwidth is saturated and therefore there are
+//! no significant time intervals without memory requests".
+
+use offchip_bench::{build_workload, sweep::run_sampled, write_json, ExperimentResult, ProgramSpec};
+use offchip_npb::classes::ProblemClass;
+use offchip_perf::BurstAnalysis;
+use offchip_topology::machines::{self, DEFAULT_EXPERIMENT_SCALE};
+
+#[derive(serde::Serialize)]
+struct Series {
+    program: String,
+    idle_fraction: f64,
+    coefficient_of_variation: f64,
+    verdict: String,
+    /// `(burst size x, P(X > x))` points of the CCDF.
+    ccdf: Vec<(u64, f64)>,
+}
+
+fn main() {
+    let machine = machines::intel_numa_24().scaled(DEFAULT_EXPERIMENT_SCALE);
+    let n = machine.total_cores();
+
+    let mut programs: Vec<ProgramSpec> = ProblemClass::ALL
+        .iter()
+        .map(|&c| ProgramSpec::Cg(c))
+        .collect();
+    for input in ["simsmall", "simmedium", "simlarge", "native"] {
+        programs.push(ProgramSpec::X264(input));
+    }
+
+    println!("Fig. 4 — burstiness of off-chip traffic ({}, {n} threads / {n} cores)", machine.name);
+    let mut series = Vec::new();
+    for spec in programs {
+        let w = build_workload(spec, n);
+        let report = run_sampled(&machine, w.as_ref(), n);
+        let windows = report.miss_windows.expect("sampler enabled");
+        let analysis = BurstAnalysis::from_windows(&windows, 50);
+        println!(
+            "{:<16} windows={:<7} idle={:.2} CV={:>5.2} H={} verdict={:?}",
+            spec.name(),
+            windows.len(),
+            analysis.idle_fraction,
+            analysis.cv.unwrap_or(0.0),
+            analysis
+                .hurst
+                .map(|h| format!("{:.2}", h.h))
+                .unwrap_or_else(|| "n/a".into()),
+            analysis.verdict
+        );
+        // Print a log-spaced selection of the CCDF (the paper's axes).
+        let plot = analysis.plot_series();
+        for &x in &[1u64, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000] {
+            let p = analysis.ccdf.exceedance(x);
+            if p > 0.0 {
+                println!("    P(burst > {x:>4}) = {p:.2e}");
+            }
+        }
+        series.push(Series {
+            program: spec.name(),
+            idle_fraction: analysis.idle_fraction,
+            coefficient_of_variation: analysis.cv.unwrap_or(0.0),
+            verdict: format!("{:?}", analysis.verdict),
+            ccdf: plot,
+        });
+    }
+
+    // The Fig. 4 log-log plot: one marker per program.
+    let markers = ['s', 'w', 'a', 'b', 'c', '1', '2', '3', '4'];
+    let plot_series: Vec<offchip_bench::plot::Series> = series
+        .iter()
+        .zip(markers)
+        .map(|(s, marker)| offchip_bench::plot::Series {
+            label: s.program.clone(),
+            marker,
+            points: s.ccdf.iter().map(|&(x, p)| (x as f64, p)).collect(),
+        })
+        .collect();
+    println!(
+        "\nP(burst size > x) vs x, log-log (cf. paper Fig. 4):\n{}",
+        offchip_bench::plot::loglog_plot(&plot_series, 70, 20)
+    );
+
+    let path = write_json(&ExperimentResult {
+        id: "figure4".into(),
+        paper_artifact: "Fig. 4: burstiness of off-chip memory traffic".into(),
+        data: series,
+    })
+    .expect("write figure4.json");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,15 @@
+//! Regenerates paper Fig. 5: measured vs modelled degree of memory
+//! contention ω(n) for the high-contention program CG.C on all three
+//! machines (see `offchip_bench::model_figure`).
+
+use offchip_bench::model_figure::run_figure;
+use offchip_bench::ProgramSpec;
+use offchip_npb::classes::ProblemClass;
+
+fn main() {
+    run_figure(
+        ProgramSpec::Cg(ProblemClass::C),
+        "figure5",
+        "Fig. 5: high contention - measured vs modelled omega(n) for CG.C",
+    );
+}

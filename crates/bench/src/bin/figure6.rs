@@ -1,0 +1,22 @@
+//! Regenerates paper Fig. 6: measured vs modelled ω(n) for the
+//! low-contention program EP.C on all three machines.
+//!
+//! The paper's observations to check against the output: UMA contention is
+//! negligible; the NUMA machines can show slightly negative ω at low core
+//! counts (activating cores adds cache) and modest growth beyond one
+//! processor that the model does not fully capture — "our model assumes
+//! the number of work cycles and last level misses constant. This
+//! assumption holds for programs with large memory contention, but may not
+//! be for programs with low contention, such as EP."
+
+use offchip_bench::model_figure::run_figure;
+use offchip_bench::ProgramSpec;
+use offchip_npb::classes::ProblemClass;
+
+fn main() {
+    run_figure(
+        ProgramSpec::Ep(ProblemClass::C),
+        "figure6",
+        "Fig. 6: low contention - measured vs modelled omega(n) for EP.C",
+    );
+}

@@ -1,0 +1,5 @@
+//! Regenerates paper Table I: the profiled programs.
+
+fn main() {
+    print!("{}", offchip_npb::catalog::render_table1());
+}

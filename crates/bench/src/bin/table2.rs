@@ -1,0 +1,88 @@
+//! Regenerates paper Table II: normalised increase in the number of
+//! cycles for the five NPB programs at small (W) and large (C) problem
+//! sizes, on all three machines, at half and all cores.
+//!
+//! Paper values for reference (class C, all cores): EP 0.00/0.54/0.55,
+//! IS 0.56/0.85/0.70, FT(B on UMA) 1.80/3.94/0.46, CG 2.41/3.31/1.91,
+//! SP 7.05/11.59/9.84. As in the paper, FT uses class B on the UMA
+//! machine ("FT.C working set size exceeds 4 GB and leads to swapping").
+
+use offchip_bench::{build_workload, run_point, seeds, write_json, ExperimentResult, ProgramSpec};
+use offchip_model::omega::normalized_increase;
+use offchip_npb::classes::ProblemClass;
+use offchip_topology::machines::{self, DEFAULT_EXPERIMENT_SCALE};
+
+#[derive(serde::Serialize)]
+struct Row {
+    program: String,
+    size: char,
+    machine: String,
+    half_cores: f64,
+    all_cores: f64,
+}
+
+fn main() {
+    let seeds = seeds();
+    let machines = [
+        machines::intel_uma_8().scaled(DEFAULT_EXPERIMENT_SCALE),
+        machines::intel_numa_24().scaled(DEFAULT_EXPERIMENT_SCALE),
+        machines::amd_numa_48().scaled(DEFAULT_EXPERIMENT_SCALE),
+    ];
+
+    println!("TABLE II — Normalised increase in number of cycles, small (W) and large (C) sizes");
+    println!(
+        "{:<8} {:<5} {:>9} {:>9}   {:>9} {:>9}   {:>9} {:>9}",
+        "Program", "Size", "UMA n=4", "UMA n=8", "NUMA n=12", "NUMA n=24", "AMD n=24", "AMD n=48"
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for class in [ProblemClass::W, ProblemClass::C] {
+        for base_spec in ProgramSpec::npb_suite(class) {
+            let mut cells = Vec::new();
+            for machine in &machines {
+                // FT.C → FT.B on the UMA machine, per the paper.
+                let spec = match (base_spec, machine.total_mcs()) {
+                    (ProgramSpec::Ft(ProblemClass::C), 1) => ProgramSpec::Ft(ProblemClass::B),
+                    (s, _) => s,
+                };
+                let total = machine.total_cores();
+                let w = build_workload(spec, total);
+                let c1 = run_point(machine, w.as_ref(), 1, &seeds).total_cycles;
+                let half = run_point(machine, w.as_ref(), total / 2, &seeds).total_cycles;
+                let full = run_point(machine, w.as_ref(), total, &seeds).total_cycles;
+                let half_inc =
+                    normalized_increase(half.round() as u64, c1.round() as u64);
+                let full_inc =
+                    normalized_increase(full.round() as u64, c1.round() as u64);
+                cells.push((half_inc, full_inc));
+                rows.push(Row {
+                    program: spec.name(),
+                    size: class.letter(),
+                    machine: machine.name.clone(),
+                    half_cores: half_inc,
+                    all_cores: full_inc,
+                });
+            }
+            println!(
+                "{:<8} {:<5} {:>9.2} {:>9.2}   {:>9.2} {:>9.2}   {:>9.2} {:>9.2}",
+                base_spec.name(),
+                class.letter(),
+                cells[0].0,
+                cells[0].1,
+                cells[1].0,
+                cells[1].1,
+                cells[2].0,
+                cells[2].1
+            );
+        }
+        println!();
+    }
+
+    let path = write_json(&ExperimentResult {
+        id: "table2".into(),
+        paper_artifact: "Table II: normalised increase in number of cycles".into(),
+        data: rows,
+    })
+    .expect("write table2.json");
+    eprintln!("wrote {}", path.display());
+}

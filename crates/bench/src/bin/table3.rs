@@ -1,0 +1,5 @@
+//! Regenerates paper Table III: problem-size descriptions for CG and x264.
+
+fn main() {
+    print!("{}", offchip_npb::catalog::render_table3());
+}

@@ -1,0 +1,73 @@
+//! Regenerates paper Table IV: the colinearity goodness-of-fit R² of
+//! `1/C(n)` vs `n` within the first processor, for six programs on the
+//! three machines (`n = 1..4` on UMA, `1..12` on the NUMA machines).
+//!
+//! Paper values: R² is 0.94–1.00 for the contended programs (IS, FT, CG,
+//! SP) and lower (0.81–0.91) for EP and x264, "confirming that the M/M/1
+//! queueing model does not explain their behavior very well, because they
+//! are bursty".
+
+use offchip_bench::{build_workload, run_sweep, seeds, write_json, ExperimentResult, ProgramSpec};
+use offchip_model::validation::colinearity_r2;
+use offchip_npb::classes::ProblemClass;
+use offchip_topology::machines::{self, DEFAULT_EXPERIMENT_SCALE};
+
+#[derive(serde::Serialize)]
+struct Cell {
+    program: String,
+    machine: String,
+    r_squared: f64,
+}
+
+fn main() {
+    let seeds = seeds();
+    let machines = [
+        machines::intel_uma_8().scaled(DEFAULT_EXPERIMENT_SCALE),
+        machines::intel_numa_24().scaled(DEFAULT_EXPERIMENT_SCALE),
+        machines::amd_numa_48().scaled(DEFAULT_EXPERIMENT_SCALE),
+    ];
+    // The paper's program set: EP.C, IS.C, FT.B, CG.C, SP.C, x264.native.
+    let programs = [
+        ProgramSpec::Ep(ProblemClass::C),
+        ProgramSpec::Is(ProblemClass::C),
+        ProgramSpec::Ft(ProblemClass::B),
+        ProgramSpec::Cg(ProblemClass::C),
+        ProgramSpec::Sp(ProblemClass::C),
+        ProgramSpec::X264("native"),
+    ];
+
+    println!("TABLE IV — Colinearity goodness-of-fit R² of 1/C(n)");
+    print!("{:<14}", "System");
+    for p in &programs {
+        print!(" {:>12}", p.name());
+    }
+    println!();
+
+    let mut cells = Vec::new();
+    for machine in &machines {
+        // Within-first-processor range: 1..4 on UMA, 1..12 on NUMA.
+        let max_n = machine.domains_per_socket * machine.cores_per_domain;
+        let ns: Vec<usize> = (1..=max_n).collect();
+        print!("{:<14}", machine.name.split(':').next().unwrap_or(""));
+        for &p in &programs {
+            let w = build_workload(p, machine.total_cores());
+            let sweep = run_sweep(machine, w.as_ref(), &ns, &seeds);
+            let r2 = colinearity_r2(&sweep.cycles_sweep(), max_n).unwrap_or(0.0);
+            print!(" {r2:>12.2}");
+            cells.push(Cell {
+                program: p.name(),
+                machine: machine.name.clone(),
+                r_squared: r2,
+            });
+        }
+        println!();
+    }
+
+    let path = write_json(&ExperimentResult {
+        id: "table4".into(),
+        paper_artifact: "Table IV: colinearity goodness-of-fit".into(),
+        data: cells,
+    })
+    .expect("write table4.json");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,29 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each binary under `src/bin/` reproduces one artefact (see DESIGN.md §5
+//! for the index); this library holds the shared machinery:
+//!
+//! * [`workloads`] — constructing any of the paper's programs by name and
+//!   class at the experiment scale;
+//! * [`sweep`] — running core-count sweeps with seed averaging (the paper
+//!   runs every configuration five times and reports averages);
+//! * [`report`] — text-table rendering and JSON persistence of results
+//!   under `target/experiments/`.
+//!
+//! Environment knobs:
+//!
+//! * `OFFCHIP_QUICK=1` — single seed and coarser sweeps, for smoke runs;
+//! * `OFFCHIP_SEEDS=k` — number of seeds averaged (default 3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model_figure;
+pub mod plot;
+pub mod report;
+pub mod sweep;
+pub mod workloads;
+
+pub use report::{write_json, ExperimentResult};
+pub use sweep::{run_point, run_sweep, seeds, SweepPoint, SweepResult};
+pub use workloads::{build_workload, build_workload_scaled, experiment_scale, ProgramSpec};

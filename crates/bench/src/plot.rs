@@ -1,0 +1,171 @@
+//! Terminal plotting for the figure harness: linear series plots (the
+//! ω(n) curves of Figs. 5/6, the cycle curves of Fig. 3) and log-log
+//! CCDF plots (Fig. 4), rendered with plain ASCII so results are readable
+//! in CI logs and text files.
+
+/// One named series of `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Marker character used for this series.
+    pub marker: char,
+    /// The points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Renders series on a `width × height` character canvas with linear
+/// axes. Returns the multi-line plot, including a y-axis scale and a
+/// legend. Empty input renders an empty frame.
+pub fn linear_plot(series: &[Series], width: usize, height: usize) -> String {
+    render(series, width, height, false, false)
+}
+
+/// Renders series with both axes logarithmic (the Fig. 4 style). Points
+/// with non-positive coordinates are skipped.
+pub fn loglog_plot(series: &[Series], width: usize, height: usize) -> String {
+    render(series, width, height, true, true)
+}
+
+fn render(series: &[Series], width: usize, height: usize, logx: bool, logy: bool) -> String {
+    let width = width.max(16);
+    let height = height.max(6);
+    let tx = |x: f64| if logx { x.log10() } else { x };
+    let ty = |y: f64| if logy { y.log10() } else { y };
+
+    let pts: Vec<(usize, f64, f64)> = series
+        .iter()
+        .enumerate()
+        .flat_map(|(si, s)| {
+            s.points
+                .iter()
+                .filter(move |&&(x, y)| (!logx || x > 0.0) && (!logy || y > 0.0))
+                .map(move |&(x, y)| (si, tx(x), ty(y)))
+        })
+        .collect();
+    let mut out = String::new();
+    if pts.is_empty() {
+        out.push_str("(no plottable points)\n");
+        return out;
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(_, x, y) in &pts {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if (x_max - x_min).abs() < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+
+    let mut canvas = vec![vec![' '; width]; height];
+    for &(si, x, y) in &pts {
+        let cx = ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+        let cy = ((y - y_min) / (y_max - y_min) * (height - 1) as f64).round() as usize;
+        let row = height - 1 - cy;
+        let marker = series[si].marker;
+        // Later series win ties; that is fine for eyeballing.
+        canvas[row][cx.min(width - 1)] = marker;
+    }
+
+    let untx = |v: f64| if logx { 10f64.powf(v) } else { v };
+    let unty = |v: f64| if logy { 10f64.powf(v) } else { v };
+    for (i, row) in canvas.iter().enumerate() {
+        let frac = 1.0 - i as f64 / (height - 1) as f64;
+        let y_val = unty(y_min + frac * (y_max - y_min));
+        let label = if logy {
+            format!("{y_val:>9.1e}")
+        } else {
+            format!("{y_val:>9.2}")
+        };
+        out.push_str(&label);
+        out.push_str(" |");
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(10));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    let x_lo = untx(x_min);
+    let x_hi = untx(x_max);
+    let xlab = if logx {
+        format!("{:>11.1e}{:>w$.1e}", x_lo, x_hi, w = width - 8)
+    } else {
+        format!("{:>11.1}{:>w$.1}", x_lo, x_hi, w = width - 8)
+    };
+    out.push_str(&xlab);
+    out.push('\n');
+    for s in series {
+        out.push_str(&format!("  {} {}\n", s.marker, s.label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plots_contain_markers_and_legend() {
+        let s = vec![
+            Series {
+                label: "measured".into(),
+                marker: '*',
+                points: (1..=8).map(|n| (n as f64, n as f64 * 0.3)).collect(),
+            },
+            Series {
+                label: "model".into(),
+                marker: 'o',
+                points: (1..=8).map(|n| (n as f64, n as f64 * 0.28)).collect(),
+            },
+        ];
+        let plot = linear_plot(&s, 40, 10);
+        assert!(plot.contains('*'));
+        assert!(plot.contains('o'));
+        assert!(plot.contains("measured"));
+        assert!(plot.contains("model"));
+        assert!(plot.lines().count() > 10);
+    }
+
+    #[test]
+    fn loglog_skips_nonpositive_points() {
+        let s = vec![Series {
+            label: "ccdf".into(),
+            marker: '#',
+            points: vec![(0.0, 1.0), (1.0, 0.5), (10.0, 0.01), (100.0, 0.0)],
+        }];
+        let plot = loglog_plot(&s, 30, 8);
+        assert!(plot.contains('#'));
+        // Axis labels are scientific in log mode.
+        assert!(plot.contains('e'));
+    }
+
+    #[test]
+    fn empty_series_is_graceful() {
+        let plot = linear_plot(&[], 30, 8);
+        assert!(plot.contains("no plottable points"));
+        let empty = vec![Series {
+            label: "nothing".into(),
+            marker: 'x',
+            points: vec![],
+        }];
+        assert!(linear_plot(&empty, 30, 8).contains("no plottable points"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let s = vec![Series {
+            label: "flat".into(),
+            marker: '-',
+            points: vec![(1.0, 5.0), (2.0, 5.0), (3.0, 5.0)],
+        }];
+        let plot = linear_plot(&s, 30, 8);
+        assert!(plot.contains('-'));
+    }
+}

@@ -1,0 +1,67 @@
+//! Result rendering and persistence.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// A named experiment result: arbitrary JSON-serialisable payload plus
+/// provenance, written under `target/experiments/<id>.json`.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ExperimentResult<T: serde::Serialize> {
+    /// Experiment id (`"table2"`, `"figure5"`, ...).
+    pub id: String,
+    /// The paper artefact being reproduced.
+    pub paper_artifact: String,
+    /// The payload.
+    pub data: T,
+}
+
+/// Directory experiment JSON lands in.
+pub fn experiments_dir() -> PathBuf {
+    let dir = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into());
+    PathBuf::from(dir).join("experiments")
+}
+
+/// Writes the result as pretty JSON; returns the path. Errors are
+/// propagated so a harness binary fails loudly rather than silently
+/// dropping data.
+pub fn write_json<T: serde::Serialize>(
+    result: &ExperimentResult<T>,
+) -> std::io::Result<PathBuf> {
+    let dir = experiments_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{}.json", result.id));
+    let mut f = std::fs::File::create(&path)?;
+    let body = serde_json::to_string_pretty(result)
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    f.write_all(body.as_bytes())?;
+    Ok(path)
+}
+
+/// Formats a ratio like the paper's Table II entries (two decimals).
+pub fn fmt_omega(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip_to_disk() {
+        let r = ExperimentResult {
+            id: "selftest".into(),
+            paper_artifact: "none".into(),
+            data: vec![1.0f64, 2.0],
+        };
+        let path = write_json(&r).unwrap();
+        let body = std::fs::read_to_string(path).unwrap();
+        assert!(body.contains("selftest"));
+        assert!(body.contains("2.0"));
+    }
+
+    #[test]
+    fn omega_formatting() {
+        assert_eq!(fmt_omega(11.589), "11.59");
+        assert_eq!(fmt_omega(0.0), "0.00");
+    }
+}

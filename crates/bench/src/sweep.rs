@@ -1,0 +1,189 @@
+//! Core-count sweeps with seed averaging.
+
+use offchip_machine::{run, RunReport, SimConfig, Workload};
+use offchip_topology::MachineSpec;
+
+/// One averaged sweep point.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct SweepPoint {
+    /// Active cores.
+    pub n: usize,
+    /// Mean `C(n)` (PAPI total cycles across threads) over seeds.
+    pub total_cycles: f64,
+    /// Mean work cycles.
+    pub work_cycles: f64,
+    /// Mean stall cycles.
+    pub stall_cycles: f64,
+    /// Mean LLC misses.
+    pub llc_misses: f64,
+    /// Mean wall-clock makespan, cycles.
+    pub makespan: f64,
+}
+
+/// A full sweep of one program on one machine.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct SweepResult {
+    /// Machine name.
+    pub machine: String,
+    /// Program name.
+    pub program: String,
+    /// Points, ascending in `n`.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepResult {
+    /// `(n, C(n))` pairs for the analytical model (`u64`, as counters).
+    pub fn cycles_sweep(&self) -> Vec<(usize, u64)> {
+        self.points
+            .iter()
+            .map(|p| (p.n, p.total_cycles.round() as u64))
+            .collect()
+    }
+
+    /// `(n, C(n))` pairs as `f64` for fitting.
+    pub fn cycles_sweep_f64(&self) -> Vec<(usize, f64)> {
+        self.points.iter().map(|p| (p.n, p.total_cycles)).collect()
+    }
+
+    /// The one-core baseline `C(1)`.
+    ///
+    /// # Panics
+    /// Panics if the sweep lacks `n = 1`.
+    pub fn c1(&self) -> f64 {
+        self.points
+            .iter()
+            .find(|p| p.n == 1)
+            .expect("sweep must include n = 1")
+            .total_cycles
+    }
+
+    /// ω(n) series from the sweep.
+    pub fn omega(&self) -> Vec<(usize, f64)> {
+        let c1 = self.c1();
+        self.points
+            .iter()
+            .map(|p| (p.n, (p.total_cycles - c1) / c1))
+            .collect()
+    }
+
+    /// Mean LLC misses over all points (the model's `r(n) ≈ r`).
+    pub fn mean_misses(&self) -> f64 {
+        let total: f64 = self.points.iter().map(|p| p.llc_misses).sum();
+        total / self.points.len().max(1) as f64
+    }
+}
+
+/// The seeds runs are averaged over: the paper conducts each experiment
+/// five times; the default here is 3 (`OFFCHIP_SEEDS` overrides,
+/// `OFFCHIP_QUICK=1` forces 1).
+pub fn seeds() -> Vec<u64> {
+    if std::env::var("OFFCHIP_QUICK").is_ok_and(|v| v == "1") {
+        return vec![0x0FF_C41B];
+    }
+    let k: usize = std::env::var("OFFCHIP_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    (0..k.max(1) as u64)
+        .map(|i| 0x0FF_C41B ^ (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        .collect()
+}
+
+/// Runs one `(machine, workload, n)` point averaged over `seeds`.
+pub fn run_point(
+    machine: &MachineSpec,
+    workload: &dyn Workload,
+    n: usize,
+    seeds: &[u64],
+) -> SweepPoint {
+    assert!(!seeds.is_empty());
+    let mut acc = SweepPoint {
+        n,
+        total_cycles: 0.0,
+        work_cycles: 0.0,
+        stall_cycles: 0.0,
+        llc_misses: 0.0,
+        makespan: 0.0,
+    };
+    for &seed in seeds {
+        let mut cfg = SimConfig::new(machine.clone(), n);
+        cfg.seed = seed;
+        let r = run(workload, &cfg);
+        acc.total_cycles += r.counters.total_cycles as f64;
+        acc.work_cycles += r.counters.work_cycles as f64;
+        acc.stall_cycles += r.counters.stall_cycles as f64;
+        acc.llc_misses += r.counters.llc_misses as f64;
+        acc.makespan += r.makespan.cycles() as f64;
+    }
+    let k = seeds.len() as f64;
+    acc.total_cycles /= k;
+    acc.work_cycles /= k;
+    acc.stall_cycles /= k;
+    acc.llc_misses /= k;
+    acc.makespan /= k;
+    acc
+}
+
+/// Runs a full sweep over `ns`.
+pub fn run_sweep(
+    machine: &MachineSpec,
+    workload: &dyn Workload,
+    ns: &[usize],
+    seeds: &[u64],
+) -> SweepResult {
+    SweepResult {
+        machine: machine.name.clone(),
+        program: workload.name(),
+        points: ns
+            .iter()
+            .map(|&n| run_point(machine, workload, n, seeds))
+            .collect(),
+    }
+}
+
+/// Runs one configuration with the sampler enabled (single seed: the
+/// burstiness analysis needs one coherent time series, not an average).
+pub fn run_sampled(machine: &MachineSpec, workload: &dyn Workload, n: usize) -> RunReport {
+    let cfg = SimConfig::new(machine.clone(), n).with_sampler_5us_scaled();
+    run(workload, &cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{build_workload, ProgramSpec};
+    use offchip_npb::classes::ProblemClass;
+    use offchip_topology::machines;
+
+    #[test]
+    fn sweep_points_are_sane() {
+        let machine = machines::intel_uma_8().scaled(1.0 / 64.0);
+        let w = build_workload(ProgramSpec::Cg(ProblemClass::S), 8);
+        let s = run_sweep(&machine, w.as_ref(), &[1, 4], &[1, 2]);
+        assert_eq!(s.points.len(), 2);
+        assert!(s.c1() > 0.0);
+        let omega = s.omega();
+        assert_eq!(omega[0].1, 0.0);
+        assert!(s.mean_misses() > 0.0);
+        assert_eq!(s.cycles_sweep().len(), 2);
+    }
+
+    #[test]
+    fn seed_averaging_is_mean() {
+        let machine = machines::intel_uma_8().scaled(1.0 / 64.0);
+        let w = build_workload(ProgramSpec::Is(ProblemClass::S), 8);
+        let a = run_point(&machine, w.as_ref(), 2, &[7]);
+        let b = run_point(&machine, w.as_ref(), 2, &[8]);
+        let ab = run_point(&machine, w.as_ref(), 2, &[7, 8]);
+        assert!((ab.total_cycles - (a.total_cycles + b.total_cycles) / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sampled_run_produces_windows() {
+        let machine = machines::intel_uma_8().scaled(1.0 / 64.0);
+        let w = build_workload(ProgramSpec::Cg(ProblemClass::S), 8);
+        let r = run_sampled(&machine, w.as_ref(), 4);
+        let windows = r.miss_windows.expect("sampler on");
+        assert!(!windows.is_empty());
+    }
+}

@@ -1,0 +1,109 @@
+//! Program construction by name, at the experiment scale.
+
+use offchip_machine::Workload;
+use offchip_npb::classes::ProblemClass;
+use offchip_npb::traces;
+use offchip_topology::machines::DEFAULT_EXPERIMENT_SCALE;
+
+/// A program selector: one of the paper's six programs plus its input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgramSpec {
+    /// NPB EP at a class.
+    Ep(ProblemClass),
+    /// NPB IS at a class.
+    Is(ProblemClass),
+    /// NPB FT at a class.
+    Ft(ProblemClass),
+    /// NPB CG at a class.
+    Cg(ProblemClass),
+    /// NPB SP at a class.
+    Sp(ProblemClass),
+    /// NPB MG at a class (the sixth profiled program, §III-A).
+    Mg(ProblemClass),
+    /// PARSEC x264 with a named input.
+    X264(&'static str),
+}
+
+impl ProgramSpec {
+    /// Display name, paper style (`CG.C`, `x264.native`).
+    pub fn name(&self) -> String {
+        match self {
+            ProgramSpec::Ep(c) => format!("EP.{c}"),
+            ProgramSpec::Is(c) => format!("IS.{c}"),
+            ProgramSpec::Ft(c) => format!("FT.{c}"),
+            ProgramSpec::Cg(c) => format!("CG.{c}"),
+            ProgramSpec::Sp(c) => format!("SP.{c}"),
+            ProgramSpec::Mg(c) => format!("MG.{c}"),
+            ProgramSpec::X264(i) => format!("x264.{i}"),
+        }
+    }
+
+    /// The five NPB programs of Table II at a given class.
+    pub fn npb_suite(class: ProblemClass) -> Vec<ProgramSpec> {
+        vec![
+            ProgramSpec::Ep(class),
+            ProgramSpec::Is(class),
+            ProgramSpec::Ft(class),
+            ProgramSpec::Cg(class),
+            ProgramSpec::Sp(class),
+        ]
+    }
+}
+
+/// The geometric scale every experiment runs at.
+pub fn experiment_scale() -> f64 {
+    DEFAULT_EXPERIMENT_SCALE
+}
+
+/// Builds the workload trace for a program on a machine with `threads`
+/// threads (fixed at the machine's core count, per the paper's protocol).
+pub fn build_workload(spec: ProgramSpec, threads: usize) -> Box<dyn Workload> {
+    build_workload_scaled(spec, experiment_scale(), threads)
+}
+
+/// Builds the workload trace at an explicit geometric scale (the CLI's
+/// `--scale` knob).
+pub fn build_workload_scaled(
+    spec: ProgramSpec,
+    scale: f64,
+    threads: usize,
+) -> Box<dyn Workload> {
+    match spec {
+        ProgramSpec::Ep(c) => Box::new(traces::ep::workload(c, scale, threads)),
+        ProgramSpec::Is(c) => Box::new(traces::is::workload(c, scale, threads)),
+        ProgramSpec::Ft(c) => Box::new(traces::ft::workload(c, scale, threads)),
+        ProgramSpec::Cg(c) => Box::new(traces::cg::workload(c, scale, threads)),
+        ProgramSpec::Sp(c) => Box::new(traces::sp::workload(c, scale, threads)),
+        ProgramSpec::Mg(c) => Box::new(traces::mg::workload(c, scale, threads)),
+        ProgramSpec::X264(i) => Box::new(traces::x264::workload(i, scale, threads)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper_notation() {
+        assert_eq!(ProgramSpec::Cg(ProblemClass::C).name(), "CG.C");
+        assert_eq!(ProgramSpec::X264("native").name(), "x264.native");
+    }
+
+    #[test]
+    fn suite_has_five_programs() {
+        let suite = ProgramSpec::npb_suite(ProblemClass::W);
+        assert_eq!(suite.len(), 5);
+        assert_eq!(suite[0].name(), "EP.W");
+        assert_eq!(suite[4].name(), "SP.W");
+    }
+
+    #[test]
+    fn workloads_build_with_requested_threads() {
+        for spec in ProgramSpec::npb_suite(ProblemClass::S) {
+            let w = build_workload(spec, 4);
+            assert_eq!(w.n_threads(), 4, "{}", spec.name());
+        }
+        let w = build_workload(ProgramSpec::X264("simsmall"), 6);
+        assert_eq!(w.n_threads(), 6);
+    }
+}

@@ -1,0 +1,169 @@
+//! Miss-status holding registers (MSHRs).
+//!
+//! Real cores overlap a bounded number of outstanding cache misses
+//! (memory-level parallelism). The MSHR file is what couples a core's
+//! progress to memory latency: when it is full the core *must* stall, and
+//! when an outstanding line is loaded again the access coalesces instead of
+//! issuing a duplicate request. This bounded closed-loop behaviour is what
+//! makes contention in the simulator emerge mechanically instead of being
+//! assumed (see DESIGN.md §4).
+
+/// A fixed-capacity MSHR file tracking outstanding line addresses.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    outstanding: Vec<u64>, // line base addresses; small, linear scan is fine
+    peak: usize,
+    allocations: u64,
+    coalesced: u64,
+}
+
+impl MshrFile {
+    /// Creates a file with `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0` (a core with no MSHRs could never miss).
+    pub fn new(capacity: usize) -> MshrFile {
+        assert!(capacity > 0, "MSHR capacity must be positive");
+        MshrFile {
+            capacity,
+            outstanding: Vec::with_capacity(capacity),
+            peak: 0,
+            allocations: 0,
+            coalesced: 0,
+        }
+    }
+
+    /// Capacity in entries.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently outstanding misses.
+    #[inline]
+    pub fn in_flight(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Whether a new (non-coalescing) miss can be accepted.
+    #[inline]
+    pub fn has_room(&self) -> bool {
+        self.outstanding.len() < self.capacity
+    }
+
+    /// Whether `line_addr` is already outstanding.
+    #[inline]
+    pub fn is_outstanding(&self, line_addr: u64) -> bool {
+        self.outstanding.contains(&line_addr)
+    }
+
+    /// Tries to register a miss for `line_addr`.
+    ///
+    /// Returns `Allocated` when a new entry was taken, `Coalesced` when the
+    /// line was already in flight (no new memory request needed), or `Full`
+    /// when the file has no room (the core must stall until a fill).
+    pub fn allocate(&mut self, line_addr: u64) -> MshrOutcome {
+        if self.is_outstanding(line_addr) {
+            self.coalesced += 1;
+            return MshrOutcome::Coalesced;
+        }
+        if !self.has_room() {
+            return MshrOutcome::Full;
+        }
+        self.outstanding.push(line_addr);
+        self.allocations += 1;
+        self.peak = self.peak.max(self.outstanding.len());
+        MshrOutcome::Allocated
+    }
+
+    /// Completes the miss for `line_addr`, freeing its entry.
+    ///
+    /// # Panics
+    /// Panics if the line was not outstanding — a fill for a request never
+    /// sent is always a simulator bug.
+    pub fn complete(&mut self, line_addr: u64) {
+        let idx = self
+            .outstanding
+            .iter()
+            .position(|&a| a == line_addr)
+            .expect("completing a fill that was never requested");
+        self.outstanding.swap_remove(idx);
+    }
+
+    /// Highest simultaneous occupancy observed.
+    #[inline]
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Total entries ever allocated.
+    #[inline]
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Misses absorbed by coalescing with an in-flight line.
+    #[inline]
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced
+    }
+}
+
+/// Result of [`MshrFile::allocate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// A new entry was allocated; a memory request must be issued.
+    Allocated,
+    /// The line is already in flight; wait for the existing fill.
+    Coalesced,
+    /// No room; the core must stall until an entry frees.
+    Full,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_refuses() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.allocate(0x40), MshrOutcome::Allocated);
+        assert_eq!(m.allocate(0x80), MshrOutcome::Allocated);
+        assert_eq!(m.allocate(0xC0), MshrOutcome::Full);
+        assert_eq!(m.in_flight(), 2);
+        assert_eq!(m.peak(), 2);
+    }
+
+    #[test]
+    fn coalesces_duplicate_lines() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.allocate(0x40), MshrOutcome::Allocated);
+        assert_eq!(m.allocate(0x40), MshrOutcome::Coalesced);
+        assert_eq!(m.in_flight(), 1);
+        assert_eq!(m.coalesced(), 1);
+    }
+
+    #[test]
+    fn complete_frees_room() {
+        let mut m = MshrFile::new(1);
+        m.allocate(0x40);
+        assert_eq!(m.allocate(0x80), MshrOutcome::Full);
+        m.complete(0x40);
+        assert!(m.has_room());
+        assert_eq!(m.allocate(0x80), MshrOutcome::Allocated);
+        assert_eq!(m.allocations(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "never requested")]
+    fn spurious_fill_panics() {
+        MshrFile::new(1).complete(0x40);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        MshrFile::new(0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Replacement policies for set-associative caches.
+//!
+//! The paper's machines use (approximations of) LRU in their caches; the
+//! other policies exist for the ablation benches, which show that the
+//! contention results are insensitive to the exact policy — the off-chip
+//! request *rate* is a capacity phenomenon.
+
+/// Which line of a set to evict on a miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplacementPolicy {
+    /// Evict the least-recently-used way (exact stack algorithm).
+    Lru,
+    /// Tree pseudo-LRU: one bit per internal node of a binary tree over the
+    /// ways, as implemented by most real L1/L2 caches. Requires the number
+    /// of ways to be a power of two (real PLRU trees do); non-power-of-two
+    /// configurations fall back to LRU.
+    TreePlru,
+    /// Evict the way that was filled first.
+    Fifo,
+    /// Evict a uniformly random way (deterministic internal stream).
+    Random,
+}
+
+/// Per-set replacement state, sized for a fixed number of ways.
+#[derive(Debug, Clone)]
+pub(crate) enum SetState {
+    /// `stamp[w]` = last-touch sequence number of way `w`.
+    Lru { stamp: Vec<u64> },
+    /// PLRU tree bits; `bits[i]` for internal node `i` (heap order), false
+    /// = left subtree is colder.
+    TreePlru { bits: Vec<bool> },
+    /// `filled[w]` = fill sequence number of way `w`.
+    Fifo { filled: Vec<u64> },
+    /// No per-way state; victim drawn from the cache's RNG stream.
+    Random,
+}
+
+impl SetState {
+    pub(crate) fn new(policy: ReplacementPolicy, ways: usize) -> SetState {
+        match policy {
+            ReplacementPolicy::Lru => SetState::Lru {
+                stamp: vec![0; ways],
+            },
+            ReplacementPolicy::TreePlru if ways.is_power_of_two() && ways > 1 => {
+                SetState::TreePlru {
+                    bits: vec![false; ways - 1],
+                }
+            }
+            ReplacementPolicy::TreePlru => SetState::Lru {
+                stamp: vec![0; ways],
+            },
+            ReplacementPolicy::Fifo => SetState::Fifo {
+                filled: vec![0; ways],
+            },
+            ReplacementPolicy::Random => SetState::Random,
+        }
+    }
+
+    /// Records a touch (hit or fill) of way `w` at sequence `seq`.
+    pub(crate) fn touch(&mut self, w: usize, seq: u64, is_fill: bool) {
+        match self {
+            SetState::Lru { stamp } => stamp[w] = seq,
+            SetState::TreePlru { bits } => {
+                // Walk root→leaf, pointing every node *away* from w.
+                let ways = bits.len() + 1;
+                let mut node = 0usize;
+                let mut lo = 0usize;
+                let mut hi = ways;
+                while hi - lo > 1 {
+                    let mid = (lo + hi) / 2;
+                    let go_right = w >= mid;
+                    bits[node] = !go_right; // cold side is the one not taken
+                    node = 2 * node + if go_right { 2 } else { 1 };
+                    if go_right {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+            }
+            SetState::Fifo { filled } => {
+                if is_fill {
+                    filled[w] = seq;
+                }
+            }
+            SetState::Random => {}
+        }
+    }
+
+    /// Chooses a victim among `ways` ways; `rng_draw` supplies randomness
+    /// for the random policy.
+    pub(crate) fn victim(&self, ways: usize, rng_draw: u64) -> usize {
+        match self {
+            SetState::Lru { stamp } | SetState::Fifo { filled: stamp } => stamp
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &s)| s)
+                .map(|(w, _)| w)
+                .expect("non-empty set"),
+            SetState::TreePlru { bits } => {
+                // Follow the cold bits root→leaf.
+                let mut node = 0usize;
+                let mut lo = 0usize;
+                let mut hi = ways;
+                while hi - lo > 1 {
+                    let mid = (lo + hi) / 2;
+                    let go_right = bits[node];
+                    node = 2 * node + if go_right { 2 } else { 1 };
+                    if go_right {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                lo
+            }
+            SetState::Random => (rng_draw % ways as u64) as usize,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut s = SetState::new(ReplacementPolicy::Lru, 4);
+        for (seq, w) in [(1, 0), (2, 1), (3, 2), (4, 3), (5, 0)] {
+            s.touch(w, seq, false);
+        }
+        // Way 1 is now least recently used.
+        assert_eq!(s.victim(4, 0), 1);
+    }
+
+    #[test]
+    fn fifo_ignores_hits() {
+        let mut s = SetState::new(ReplacementPolicy::Fifo, 2);
+        s.touch(0, 1, true);
+        s.touch(1, 2, true);
+        s.touch(0, 3, false); // hit: does not refresh FIFO age
+        assert_eq!(s.victim(2, 0), 0, "way 0 was filled first");
+        s.touch(0, 4, true); // refill
+        assert_eq!(s.victim(2, 0), 1);
+    }
+
+    #[test]
+    fn plru_never_evicts_most_recent() {
+        let mut s = SetState::new(ReplacementPolicy::TreePlru, 8);
+        for w in 0..8 {
+            s.touch(w, w as u64, true);
+        }
+        for w in 0..8 {
+            s.touch(w, 100 + w as u64, false);
+            assert_ne!(s.victim(8, 0), w, "PLRU must not evict the MRU way");
+        }
+    }
+
+    #[test]
+    fn plru_falls_back_to_lru_for_odd_ways() {
+        let s = SetState::new(ReplacementPolicy::TreePlru, 3);
+        assert!(matches!(s, SetState::Lru { .. }));
+    }
+
+    #[test]
+    fn random_uses_draw() {
+        let s = SetState::new(ReplacementPolicy::Random, 4);
+        assert_eq!(s.victim(4, 7), 3);
+        assert_eq!(s.victim(4, 8), 0);
+    }
+
+    #[test]
+    fn plru_cycles_through_all_ways() {
+        // Repeatedly evicting and filling must touch every way eventually.
+        let mut s = SetState::new(ReplacementPolicy::TreePlru, 4);
+        let mut seen = [false; 4];
+        for seq in 0..16 {
+            let v = s.victim(4, 0);
+            seen[v] = true;
+            s.touch(v, seq, true);
+        }
+        assert!(seen.iter().all(|&x| x), "seen={seen:?}");
+    }
+}

@@ -1,0 +1,299 @@
+//! Hand-rolled argument parsing (the CLI's surface is small enough that a
+//! parser dependency would outweigh it).
+
+use offchip_bench::ProgramSpec;
+use offchip_machine::{McScheduler, MemoryPolicy};
+use offchip_npb::classes::ProblemClass;
+
+/// Usage text shown on parse errors.
+pub const USAGE: &str = "\
+usage: offchip <command> [options]
+
+commands:
+  topology [uma|numa|amd]      print machine topology (default: all three)
+  run   <program> [options]    run one configuration, print a papiex report
+  sweep <program> [options]    measure omega(n) over all core counts + plot
+  fit   <program> [options]    fit the analytical model and validate it
+  burst <program> [options]    run the 5 us sampler and classify burstiness
+
+<program>: paper notation - CG.C, SP.W, EP.A, IS.B, FT.C, MG.C,
+           x264.simsmall|simmedium|simlarge|native
+
+options:
+  --machine uma|numa|amd       target machine (default uma)
+  --cores N                    active cores (run/burst; default: all)
+  --threads N                  program threads (default: machine cores)
+  --scale DENOM                geometric scale 1/DENOM (default 64)
+  --prefetch D                 stream-prefetch degree (default 0)
+  --scheduler fcfs|frfcfs      memory-controller scheduler (default fcfs)
+  --placement interleave|firsttouch   page placement (default interleave)
+  --protocol paper|extended    fit input points (fit; default paper)
+  --seed N                     simulation seed";
+
+/// Which machine preset to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineChoice {
+    /// Intel UMA (Xeon E5320).
+    Uma,
+    /// Intel NUMA (Xeon X5650).
+    Numa,
+    /// AMD NUMA (Opteron 6172).
+    Amd,
+}
+
+/// Options shared by the workload commands.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// The program to run.
+    pub program: ProgramSpec,
+    /// Machine preset.
+    pub machine: MachineChoice,
+    /// Active cores (`None` = all).
+    pub cores: Option<usize>,
+    /// Thread count (`None` = machine cores).
+    pub threads: Option<usize>,
+    /// Geometric scale denominator.
+    pub scale_denom: f64,
+    /// Prefetch degree.
+    pub prefetch: usize,
+    /// Memory-controller scheduler.
+    pub scheduler: McScheduler,
+    /// Page placement.
+    pub placement: MemoryPolicy,
+    /// Use the extended fit protocol.
+    pub extended_protocol: bool,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl Default for RunOptions {
+    fn default() -> RunOptions {
+        RunOptions {
+            program: ProgramSpec::Cg(ProblemClass::C),
+            machine: MachineChoice::Uma,
+            cores: None,
+            threads: None,
+            scale_denom: 64.0,
+            prefetch: 0,
+            scheduler: McScheduler::Fcfs,
+            placement: MemoryPolicy::InterleaveActive,
+            extended_protocol: false,
+            seed: 0x0FF_C41B,
+        }
+    }
+}
+
+/// A parsed command.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// Print topology reports.
+    Topology(Option<MachineChoice>),
+    /// Run one configuration.
+    Run(RunOptions),
+    /// Sweep all core counts.
+    Sweep(RunOptions),
+    /// Fit and validate the model.
+    Fit(RunOptions),
+    /// Burstiness analysis.
+    Burst(RunOptions),
+}
+
+/// Parses a program name in paper notation.
+pub fn parse_program(name: &str) -> Result<ProgramSpec, String> {
+    if let Some(input) = name.strip_prefix("x264.") {
+        return match input {
+            "simsmall" | "simmedium" | "simlarge" | "native" => Ok(ProgramSpec::X264(
+                // leak is fine: four static strings, parsed once.
+                match input {
+                    "simsmall" => "simsmall",
+                    "simmedium" => "simmedium",
+                    "simlarge" => "simlarge",
+                    _ => "native",
+                },
+            )),
+            other => Err(format!("unknown x264 input {other:?}")),
+        };
+    }
+    let (kernel, class) = name
+        .split_once('.')
+        .ok_or_else(|| format!("program {name:?} is not in paper notation (e.g. CG.C)"))?;
+    let class = match class {
+        "S" => ProblemClass::S,
+        "W" => ProblemClass::W,
+        "A" => ProblemClass::A,
+        "B" => ProblemClass::B,
+        "C" => ProblemClass::C,
+        other => return Err(format!("unknown problem class {other:?}")),
+    };
+    match kernel.to_ascii_uppercase().as_str() {
+        "EP" => Ok(ProgramSpec::Ep(class)),
+        "IS" => Ok(ProgramSpec::Is(class)),
+        "FT" => Ok(ProgramSpec::Ft(class)),
+        "CG" => Ok(ProgramSpec::Cg(class)),
+        "SP" => Ok(ProgramSpec::Sp(class)),
+        "MG" => Ok(ProgramSpec::Mg(class)),
+        other => Err(format!("unknown kernel {other:?}")),
+    }
+}
+
+fn parse_machine(name: &str) -> Result<MachineChoice, String> {
+    match name {
+        "uma" => Ok(MachineChoice::Uma),
+        "numa" => Ok(MachineChoice::Numa),
+        "amd" => Ok(MachineChoice::Amd),
+        other => Err(format!("unknown machine {other:?} (uma|numa|amd)")),
+    }
+}
+
+fn parse_options(mut opts: RunOptions, rest: &[String]) -> Result<RunOptions, String> {
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .ok_or_else(|| format!("{flag} needs a value"))
+                .cloned()
+        };
+        match flag.as_str() {
+            "--machine" => opts.machine = parse_machine(&value()?)?,
+            "--cores" => {
+                opts.cores = Some(value()?.parse().map_err(|e| format!("--cores: {e}"))?)
+            }
+            "--threads" => {
+                opts.threads = Some(value()?.parse().map_err(|e| format!("--threads: {e}"))?)
+            }
+            "--scale" => {
+                opts.scale_denom = value()?.parse().map_err(|e| format!("--scale: {e}"))?;
+                if opts.scale_denom < 1.0 {
+                    return Err("--scale must be ≥ 1".into());
+                }
+            }
+            "--prefetch" => {
+                opts.prefetch = value()?.parse().map_err(|e| format!("--prefetch: {e}"))?
+            }
+            "--scheduler" => {
+                opts.scheduler = match value()?.as_str() {
+                    "fcfs" => McScheduler::Fcfs,
+                    "frfcfs" => McScheduler::FrFcfs,
+                    other => return Err(format!("unknown scheduler {other:?}")),
+                }
+            }
+            "--placement" => {
+                opts.placement = match value()?.as_str() {
+                    "interleave" => MemoryPolicy::InterleaveActive,
+                    "firsttouch" => MemoryPolicy::FirstTouch,
+                    other => return Err(format!("unknown placement {other:?}")),
+                }
+            }
+            "--protocol" => {
+                opts.extended_protocol = match value()?.as_str() {
+                    "paper" => false,
+                    "extended" => true,
+                    other => return Err(format!("unknown protocol {other:?}")),
+                }
+            }
+            "--seed" => opts.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Parses the whole command line.
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let Some(cmd) = argv.first() else {
+        return Err("no command given".into());
+    };
+    match cmd.as_str() {
+        "topology" => match argv.get(1) {
+            Some(m) => Ok(Command::Topology(Some(parse_machine(m)?))),
+            None => Ok(Command::Topology(None)),
+        },
+        "run" | "sweep" | "fit" | "burst" => {
+            let program = argv
+                .get(1)
+                .ok_or_else(|| format!("{cmd} needs a program (e.g. CG.C)"))?;
+            let opts = parse_options(
+                RunOptions {
+                    program: parse_program(program)?,
+                    ..RunOptions::default()
+                },
+                &argv[2..],
+            )?;
+            Ok(match cmd.as_str() {
+                "run" => Command::Run(opts),
+                "sweep" => Command::Sweep(opts),
+                "fit" => Command::Fit(opts),
+                _ => Command::Burst(opts),
+            })
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_programs() {
+        assert!(matches!(
+            parse_program("CG.C"),
+            Ok(ProgramSpec::Cg(ProblemClass::C))
+        ));
+        assert!(matches!(
+            parse_program("mg.W"),
+            Ok(ProgramSpec::Mg(ProblemClass::W))
+        ));
+        assert!(matches!(
+            parse_program("x264.native"),
+            Ok(ProgramSpec::X264("native"))
+        ));
+        assert!(parse_program("LU.C").is_err());
+        assert!(parse_program("CG.Z").is_err());
+        assert!(parse_program("CG").is_err());
+    }
+
+    #[test]
+    fn parses_full_command_line() {
+        let cmd = parse(&sv(&[
+            "sweep", "SP.C", "--machine", "numa", "--prefetch", "2", "--scale", "32",
+            "--scheduler", "frfcfs", "--placement", "firsttouch", "--seed", "7",
+        ]))
+        .unwrap();
+        let Command::Sweep(o) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(o.machine, MachineChoice::Numa);
+        assert_eq!(o.prefetch, 2);
+        assert_eq!(o.scale_denom, 32.0);
+        assert_eq!(o.scheduler, McScheduler::FrFcfs);
+        assert_eq!(o.placement, MemoryPolicy::FirstTouch);
+        assert_eq!(o.seed, 7);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&sv(&[])).is_err());
+        assert!(parse(&sv(&["frobnicate"])).is_err());
+        assert!(parse(&sv(&["run"])).is_err());
+        assert!(parse(&sv(&["run", "CG.C", "--cores"])).is_err());
+        assert!(parse(&sv(&["run", "CG.C", "--machine", "sparc"])).is_err());
+        assert!(parse(&sv(&["run", "CG.C", "--scale", "0.5"])).is_err());
+    }
+
+    #[test]
+    fn topology_variants() {
+        assert!(matches!(
+            parse(&sv(&["topology"])),
+            Ok(Command::Topology(None))
+        ));
+        assert!(matches!(
+            parse(&sv(&["topology", "amd"])),
+            Ok(Command::Topology(Some(MachineChoice::Amd)))
+        ));
+    }
+}

@@ -1,0 +1,183 @@
+//! Command implementations.
+
+use offchip_bench::plot::{linear_plot, Series};
+use offchip_bench::build_workload_scaled;
+use offchip_machine::{run, RunReport, SimConfig, Workload};
+use offchip_model::{validate, ContentionModel, FitProtocol};
+use offchip_perf::papiex::papiex_report_default;
+use offchip_perf::BurstAnalysis;
+use offchip_topology::likwid::topology_report;
+use offchip_topology::{machines, MachineSpec};
+
+use crate::args::{Command, MachineChoice, RunOptions};
+
+fn machine_of(choice: MachineChoice, scale_denom: f64) -> MachineSpec {
+    let base = match choice {
+        MachineChoice::Uma => machines::intel_uma_8(),
+        MachineChoice::Numa => machines::intel_numa_24(),
+        MachineChoice::Amd => machines::amd_numa_48(),
+    };
+    base.scaled(1.0 / scale_denom)
+}
+
+fn workload_of(opts: &RunOptions, machine: &MachineSpec) -> Box<dyn Workload> {
+    let threads = opts.threads.unwrap_or_else(|| machine.total_cores());
+    build_workload_scaled(opts.program, machine.scale, threads)
+}
+
+fn config_of(opts: &RunOptions, machine: &MachineSpec, n: usize) -> SimConfig {
+    let mut cfg = SimConfig::new(machine.clone(), n);
+    cfg.seed = opts.seed;
+    cfg.prefetch_degree = opts.prefetch;
+    cfg.scheduler = opts.scheduler;
+    cfg.memory_policy = opts.placement;
+    cfg
+}
+
+fn run_one(opts: &RunOptions, machine: &MachineSpec, n: usize, sampler: bool) -> RunReport {
+    let w = workload_of(opts, machine);
+    let mut cfg = config_of(opts, machine, n);
+    if sampler {
+        cfg = cfg.with_sampler_5us_scaled();
+    }
+    run(w.as_ref(), &cfg)
+}
+
+/// Executes a parsed command.
+pub fn execute(cmd: Command) {
+    match cmd {
+        Command::Topology(choice) => {
+            let targets = match choice {
+                Some(c) => vec![machine_of(c, 1.0)],
+                None => machines::paper_machines(),
+            };
+            for m in targets {
+                print!("{}", topology_report(&m));
+                println!();
+            }
+        }
+        Command::Run(opts) => {
+            let machine = machine_of(opts.machine, opts.scale_denom);
+            let n = opts.cores.unwrap_or_else(|| machine.total_cores());
+            let report = run_one(&opts, &machine, n, false);
+            print!("{}", papiex_report_default(&report));
+        }
+        Command::Sweep(opts) => {
+            let machine = machine_of(opts.machine, opts.scale_denom);
+            let total = machine.total_cores();
+            let mut points = Vec::new();
+            let mut c1 = 0u64;
+            println!(
+                "sweeping {} on {} (1..={total} cores)",
+                opts.program.name(),
+                machine.name
+            );
+            for n in 1..=total {
+                let r = run_one(&opts, &machine, n, false);
+                if n == 1 {
+                    c1 = r.counters.total_cycles;
+                }
+                let omega =
+                    (r.counters.total_cycles as f64 - c1 as f64) / c1 as f64;
+                println!(
+                    "  n={n:>2}  C(n)={:>14}  omega={omega:>7.3}  misses={}",
+                    r.counters.total_cycles, r.counters.llc_misses
+                );
+                points.push((n as f64, omega));
+            }
+            println!(
+                "\n{}",
+                linear_plot(
+                    &[Series {
+                        label: format!("omega(n), {}", opts.program.name()),
+                        marker: '*',
+                        points,
+                    }],
+                    60,
+                    14,
+                )
+            );
+        }
+        Command::Fit(opts) => {
+            let machine = machine_of(opts.machine, opts.scale_denom);
+            let total = machine.total_cores();
+            let mut proto = FitProtocol::for_machine(&machine.name);
+            if opts.extended_protocol && machine.name.contains("Intel NUMA") {
+                proto = FitProtocol::intel_numa_extended();
+            }
+            println!(
+                "fitting {} on {} with inputs {:?}",
+                opts.program.name(),
+                machine.name,
+                proto.input_cores
+            );
+            let w = workload_of(&opts, &machine);
+            let mut sweep = Vec::new();
+            let mut misses = 1.0;
+            for n in 1..=total {
+                let r = run(w.as_ref(), &config_of(&opts, &machine, n));
+                sweep.push((n, r.counters.total_cycles));
+                misses = r.counters.llc_misses.max(1) as f64;
+            }
+            let sweep_f: Vec<(usize, f64)> =
+                sweep.iter().map(|&(n, c)| (n, c as f64)).collect();
+            let inputs = proto.inputs_from_sweep(&sweep_f, misses);
+            match ContentionModel::fit(&inputs) {
+                Ok(model) => {
+                    println!(
+                        "  M/M/1: mu = {:.3e} req/cyc, L = {:.3e} req/cyc/core",
+                        model.mm1().mu(),
+                        model.mm1().l()
+                    );
+                    if let Some(pole) = model.mm1().saturation_cores() {
+                        println!("  saturation pole: {pole:.1} cores/processor");
+                    }
+                    let v = validate(&model, &sweep);
+                    println!("{:>4} {:>12} {:>12}", "n", "measured ω", "model ω");
+                    for (n, m, p) in &v.points {
+                        println!("{n:>4} {m:>12.2} {p:>12.2}");
+                    }
+                    if let Some(e) = v.mean_relative_error {
+                        println!("  mean relative error: {:.1}%", e * 100.0);
+                    }
+                    println!(
+                        "  mean absolute error: {:.3} omega units",
+                        v.mean_absolute_error
+                    );
+                }
+                Err(e) => println!("  fit failed: {e}"),
+            }
+        }
+        Command::Burst(opts) => {
+            let machine = machine_of(opts.machine, opts.scale_denom);
+            let n = opts.cores.unwrap_or_else(|| machine.total_cores());
+            let report = run_one(&opts, &machine, n, true);
+            let windows = report.miss_windows.expect("sampler enabled");
+            let a = BurstAnalysis::from_windows(&windows, 50);
+            println!(
+                "{} on {} ({n} cores): {} windows",
+                opts.program.name(),
+                machine.name,
+                windows.len()
+            );
+            println!(
+                "  idle fraction {:.2}, burst CV {:.2}, verdict {:?}",
+                a.idle_fraction,
+                a.cv.unwrap_or(0.0),
+                a.verdict
+            );
+            if let Some(t) = a.tail {
+                println!(
+                    "  log-log tail slope {:.2} (R² {:.2})",
+                    t.loglog_slope, t.loglog_r_squared
+                );
+            }
+            for &x in &[1u64, 2, 5, 10, 20, 50, 100, 200, 500] {
+                let p = a.ccdf.exceedance(x);
+                if p > 0.0 {
+                    println!("  P(burst > {x:>3}) = {p:.2e}");
+                }
+            }
+        }
+    }
+}

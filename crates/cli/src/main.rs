@@ -1,0 +1,36 @@
+//! `offchip` — command-line driver for the contention study.
+//!
+//! ```text
+//! offchip topology [uma|numa|amd]
+//! offchip run   <program> [options]     one configuration, papiex report
+//! offchip sweep <program> [options]     ω(n) over every core count + plot
+//! offchip fit   <program> [options]     fit & validate the paper's model
+//! offchip burst <program> [options]     5 µs sampler burstiness analysis
+//! ```
+//!
+//! `<program>` is paper notation: `CG.C`, `SP.W`, `x264.native`, …
+//! Common options: `--machine uma|numa|amd` (default `uma`),
+//! `--cores N`, `--scale DENOM` (machine scaled by 1/DENOM, default 64),
+//! `--threads N` (default: machine cores), `--prefetch D`,
+//! `--scheduler fcfs|frfcfs`, `--placement interleave|firsttouch`,
+//! `--protocol paper|extended` (fit only).
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(cmd) => {
+            commands::execute(cmd);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", args::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

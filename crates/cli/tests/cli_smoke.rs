@@ -1,0 +1,76 @@
+//! Smoke tests driving the CLI binary end to end.
+
+use std::process::Command;
+
+fn offchip() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_offchip"))
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = offchip().args(args).output().expect("spawn offchip");
+    assert!(
+        out.status.success(),
+        "offchip {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 stdout")
+}
+
+#[test]
+fn topology_prints_all_machines() {
+    let out = run_ok(&["topology"]);
+    assert!(out.contains("Xeon E5320"));
+    assert!(out.contains("Xeon X5650"));
+    assert!(out.contains("Opteron 6172"));
+    assert!(out.contains("hop matrix"));
+}
+
+#[test]
+fn run_prints_papiex_report() {
+    let out = run_ok(&["run", "IS.S", "--machine", "uma", "--cores", "2"]);
+    assert!(out.contains("PAPI_TOT_CYC"));
+    assert!(out.contains("IS.S"));
+}
+
+#[test]
+fn fit_prints_model_parameters() {
+    let out = run_ok(&["fit", "CG.W", "--machine", "uma", "--scale", "128"]);
+    assert!(out.contains("M/M/1"));
+    assert!(out.contains("measured"));
+}
+
+#[test]
+fn burst_classifies_traffic() {
+    let out = run_ok(&["burst", "CG.S", "--machine", "uma", "--cores", "4"]);
+    assert!(out.contains("verdict"));
+    assert!(out.contains("idle fraction"));
+}
+
+#[test]
+fn sweep_plots_omega() {
+    let out = run_ok(&["sweep", "EP.S", "--machine", "uma", "--scale", "128"]);
+    assert!(out.contains("omega"));
+    assert!(out.contains("n= 8") || out.contains("n=8") || out.contains("n= 2"));
+}
+
+#[test]
+fn bad_arguments_fail_with_usage() {
+    let out = offchip()
+        .args(["run", "LU.C"])
+        .output()
+        .expect("spawn offchip");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown kernel"));
+    assert!(err.contains("usage:"));
+}
+
+#[test]
+fn alternate_knobs_accepted() {
+    let out = run_ok(&[
+        "run", "SP.S", "--machine", "numa", "--cores", "4", "--prefetch", "2", "--scheduler",
+        "frfcfs", "--placement", "firsttouch", "--scale", "128", "--seed", "9",
+    ]);
+    assert!(out.contains("SP.S"));
+    assert!(out.contains("LLC_MISSES"), "Intel NUMA LLC event");
+}

@@ -1,0 +1,45 @@
+//! The ICPP 2011 analytical model of off-chip memory contention.
+//!
+//! This crate is the paper's primary contribution, implemented exactly as
+//! §IV describes:
+//!
+//! * the **degree of memory contention** `ω(n) = (C(n) − C(1)) / C(1)`
+//!   (Definition 1, eq. 4) — [`omega`];
+//! * the **single-processor M/M/1 model** `C(n) = r(n) / (μ − n·L)`
+//!   (eq. 6), fitted by linear regression on the observation that
+//!   `1/C(n)` is linear in the active-core count `n` — [`mm1`];
+//! * the **multiprocessor compositions**: UMA
+//!   `C_UMA(n) = C(c) + C(n−c) + ΔC` (eq. 8) and NUMA
+//!   `C_NUMA(n) = C(c) + r(n)·ρ·(n−c)` (eq. 11), with the latency-weighted
+//!   ρ extension for machines with heterogeneous hop counts (AMD) —
+//!   [`multiproc`];
+//! * the paper's **fitting protocols** — which measured `C(n)` points feed
+//!   the regressions on each machine (§V: `{1,4,5}` on UMA,
+//!   `{1,2,12,13}` on Intel NUMA, `{1,12,13,25,37}` on AMD) —
+//!   [`protocol`];
+//! * **validation**: average relative error against a measured sweep and
+//!   the colinearity goodness-of-fit R² of Table IV — [`validation`];
+//! * the **M/G/1 extension** the paper's §VI sketches as future work —
+//!   Pollaczek–Khinchine with a configurable service-time distribution
+//!   (M/D/1 for deterministic controllers) — [`mg1`].
+//!
+//! The model consumes only `(n, C(n))` pairs plus the LLC-miss count, so it
+//! applies equally to the bundled simulator (`offchip-machine`) and to real
+//! hardware-counter measurements.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mg1;
+pub mod mm1;
+pub mod multiproc;
+pub mod omega;
+pub mod protocol;
+pub mod validation;
+
+pub use mg1::Mg1Fit;
+pub use mm1::Mm1Fit;
+pub use multiproc::{Architecture, ContentionModel, FitError, FitInputs};
+pub use omega::{degree_of_contention, omega_series};
+pub use protocol::FitProtocol;
+pub use validation::{colinearity_r2, validate, Validation};

@@ -1,0 +1,208 @@
+//! The single-processor M/M/1 cycle model (paper eqs. 5–6).
+//!
+//! Within one processor whose cores share a memory controller, the paper
+//! models the controller as an M/M/1 queue (justified by the non-bursty
+//! traffic of large problem sizes, §III-B.2). With per-core request rate
+//! `L`, service rate `μ`, and `r(n) ≈ r` last-level misses:
+//!
+//! ```text
+//! C_req(n) = 1 / (μ − n·L)                      (eq. 5)
+//! C(n)     = r(n) · C_req(n) = r / (μ − n·L)    (eq. 6)
+//! ⇒ 1/C(n) = μ/r − (L/r)·n   — linear in n
+//! ```
+//!
+//! The fit is therefore an ordinary least-squares line through the
+//! measured `(n, 1/C(n))` points.
+
+use offchip_stats::LineFit;
+
+/// A fitted single-processor model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mm1Fit {
+    /// Intercept of the `1/C(n)` line: `a = μ/r`.
+    pub a: f64,
+    /// Negated slope of the `1/C(n)` line: `b = L/r` (≥ 0 for contended
+    /// programs; ≈ 0 for contention-free ones).
+    pub b: f64,
+    /// The LLC-miss count used to recover μ and L in physical units.
+    pub r: f64,
+    /// R² of the regression over its input points.
+    pub input_r_squared: f64,
+    /// Number of input points.
+    pub n_points: usize,
+}
+
+/// Errors from fitting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mm1Error {
+    /// Fewer than two distinct `n` values supplied.
+    TooFewPoints,
+    /// A supplied `C(n)` was zero or negative.
+    NonPositiveCycles,
+    /// The regression itself failed (degenerate inputs).
+    Degenerate,
+}
+
+impl std::fmt::Display for Mm1Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Mm1Error::TooFewPoints => write!(f, "need at least two (n, C(n)) points"),
+            Mm1Error::NonPositiveCycles => write!(f, "C(n) must be positive"),
+            Mm1Error::Degenerate => write!(f, "degenerate regression inputs"),
+        }
+    }
+}
+
+impl std::error::Error for Mm1Error {}
+
+impl Mm1Fit {
+    /// Fits the model to `(n, C(n))` points with miss count `r`.
+    pub fn fit(points: &[(usize, f64)], r: f64) -> Result<Mm1Fit, Mm1Error> {
+        if points.len() < 2 {
+            return Err(Mm1Error::TooFewPoints);
+        }
+        let mut xs = Vec::with_capacity(points.len());
+        let mut ys = Vec::with_capacity(points.len());
+        for &(n, c) in points {
+            if c <= 0.0 || !c.is_finite() {
+                return Err(Mm1Error::NonPositiveCycles);
+            }
+            xs.push(n as f64);
+            ys.push(1.0 / c);
+        }
+        let fit = LineFit::ordinary(&xs, &ys).ok_or(Mm1Error::Degenerate)?;
+        Ok(Mm1Fit {
+            a: fit.intercept,
+            b: -fit.slope,
+            r,
+            input_r_squared: fit.r_squared,
+            n_points: fit.n_points,
+        })
+    }
+
+    /// The recovered service rate μ of the memory controller, in requests
+    /// per cycle (`μ = a·r`).
+    #[inline]
+    pub fn mu(&self) -> f64 {
+        self.a * self.r
+    }
+
+    /// The recovered per-core request rate `L` (`L = b·r`).
+    #[inline]
+    pub fn l(&self) -> f64 {
+        self.b * self.r
+    }
+
+    /// The saturation pole `n* = μ/L`: the core count at which the fitted
+    /// model predicts infinite cycles. `None` when the program shows no
+    /// contention slope (`b ≤ 0`).
+    pub fn saturation_cores(&self) -> Option<f64> {
+        if self.b <= 0.0 {
+            None
+        } else {
+            Some(self.a / self.b)
+        }
+    }
+
+    /// Predicts `C(n)`, returning `None` at or beyond the saturation pole
+    /// (where the M/M/1 abstraction is meaningless).
+    pub fn predict_checked(&self, n: usize) -> Option<f64> {
+        let denom = self.a - self.b * n as f64;
+        if denom <= 0.0 {
+            None
+        } else {
+            Some(1.0 / denom)
+        }
+    }
+
+    /// Predicts `C(n)`, clamping the queueing divergence: past the pole the
+    /// prediction saturates at 1000× the zero-load value. Keeps sweeps and
+    /// plots finite; use [`Mm1Fit::predict_checked`] to detect the pole.
+    pub fn predict(&self, n: usize) -> f64 {
+        let denom = (self.a - self.b * n as f64).max(self.a * 1e-3);
+        1.0 / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synth(points: &[usize], mu: f64, l: f64, r: f64) -> Vec<(usize, f64)> {
+        points
+            .iter()
+            .map(|&n| (n, r / (mu - n as f64 * l)))
+            .collect()
+    }
+
+    #[test]
+    fn recovers_parameters_exactly() {
+        let pts = synth(&[1, 2, 4], 0.02, 0.0012, 1e9);
+        let fit = Mm1Fit::fit(&pts, 1e9).unwrap();
+        assert!((fit.mu() - 0.02).abs() < 1e-10, "mu={}", fit.mu());
+        assert!((fit.l() - 0.0012).abs() < 1e-10, "l={}", fit.l());
+        assert!((fit.input_r_squared - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predicts_unseen_core_counts() {
+        let pts = synth(&[1, 4], 0.02, 0.0012, 1e9);
+        let fit = Mm1Fit::fit(&pts, 1e9).unwrap();
+        for n in [2, 3, 8, 12] {
+            let truth = 1e9 / (0.02 - n as f64 * 0.0012);
+            let pred = fit.predict(n);
+            assert!(
+                (pred - truth).abs() / truth < 1e-9,
+                "n={n}: pred {pred} vs truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn saturation_pole() {
+        let pts = synth(&[1, 4], 0.02, 0.0012, 1e9);
+        let fit = Mm1Fit::fit(&pts, 1e9).unwrap();
+        let pole = fit.saturation_cores().unwrap();
+        assert!((pole - 0.02 / 0.0012).abs() < 1e-6);
+        assert!(fit.predict_checked(16).is_some());
+        assert!(fit.predict_checked(17).is_none(), "pole ≈ 16.7");
+        // Clamped prediction stays finite.
+        assert!(fit.predict(20).is_finite());
+        assert!(fit.predict(20) >= fit.predict(16));
+    }
+
+    #[test]
+    fn flat_program_has_no_pole() {
+        // EP-like: C(n) constant.
+        let pts = vec![(1, 1e9), (4, 1e9), (8, 1e9)];
+        let fit = Mm1Fit::fit(&pts, 1e3).unwrap();
+        assert!(fit.b.abs() < 1e-15);
+        assert!(fit.saturation_cores().is_none());
+        assert!((fit.predict(24) - 1e9).abs() / 1e9 < 1e-9);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(Mm1Fit::fit(&[(1, 1e9)], 1.0), Err(Mm1Error::TooFewPoints));
+        assert_eq!(
+            Mm1Fit::fit(&[(1, 1e9), (2, 0.0)], 1.0),
+            Err(Mm1Error::NonPositiveCycles)
+        );
+        assert_eq!(
+            Mm1Fit::fit(&[(2, 1e9), (2, 2e9)], 1.0),
+            Err(Mm1Error::Degenerate),
+            "identical n values"
+        );
+    }
+
+    #[test]
+    fn noisy_points_fit_with_high_r2() {
+        let mut pts = synth(&[1, 2, 3, 4, 6, 8], 0.02, 0.0012, 1e9);
+        for (i, p) in pts.iter_mut().enumerate() {
+            p.1 *= 1.0 + 0.01 * if i % 2 == 0 { 1.0 } else { -1.0 };
+        }
+        let fit = Mm1Fit::fit(&pts, 1e9).unwrap();
+        assert!(fit.input_r_squared > 0.99);
+        assert!((fit.mu() - 0.02).abs() / 0.02 < 0.05);
+    }
+}

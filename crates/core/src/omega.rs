@@ -1,0 +1,90 @@
+//! Degree of memory contention (paper Definition 1).
+//!
+//! `ω(n)` is the stall overhead attributable to off-chip contention,
+//! normalised to the uncontended (one-core) execution:
+//!
+//! ```text
+//! ω(n) = M(n)/C(1) = (C(n) − C(1)) / C(1)      (eqs. 3–4)
+//! ```
+//!
+//! `ω(n) = 0` means no contention; `ω(n) < 0` exposes *positive* cache
+//! effects (activating cores adds L1/L2 capacity — the paper observes this
+//! on EP with few cores, Fig. 6).
+
+/// Computes `ω(n)` from the total cycles on `n` cores and on one core.
+///
+/// # Panics
+/// Panics if `c_1 == 0` — a program cannot execute in zero cycles, so this
+/// is always an upstream measurement bug.
+#[inline]
+pub fn degree_of_contention(c_n: u64, c_1: u64) -> f64 {
+    assert!(c_1 > 0, "C(1) must be positive");
+    (c_n as f64 - c_1 as f64) / c_1 as f64
+}
+
+/// Converts a measured sweep of `(n, C(n))` into `(n, ω(n))`, using the
+/// sweep's `n = 1` point as the baseline.
+///
+/// # Panics
+/// Panics if the sweep has no `n = 1` point.
+pub fn omega_series(sweep: &[(usize, u64)]) -> Vec<(usize, f64)> {
+    let c1 = sweep
+        .iter()
+        .find(|&&(n, _)| n == 1)
+        .map(|&(_, c)| c)
+        .expect("sweep must include the one-core baseline");
+    sweep
+        .iter()
+        .map(|&(n, c)| (n, degree_of_contention(c, c1)))
+        .collect()
+}
+
+/// The normalised increase in the number of cycles of Table II — identical
+/// arithmetic to ω(n), exposed under the table's name for the harness.
+#[inline]
+pub fn normalized_increase(c_n: u64, c_1: u64) -> f64 {
+    degree_of_contention(c_n, c_1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_when_no_growth() {
+        assert_eq!(degree_of_contention(100, 100), 0.0);
+    }
+
+    #[test]
+    fn positive_contention() {
+        // SP.C on Intel NUMA reaches ω(24) ≈ 11.59 in Table II.
+        let omega = degree_of_contention(1259, 100);
+        assert!((omega - 11.59).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_exposes_cache_benefit() {
+        assert!(degree_of_contention(80, 100) < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_baseline_panics() {
+        degree_of_contention(1, 0);
+    }
+
+    #[test]
+    fn series_uses_n1_baseline() {
+        let sweep = vec![(1, 100u64), (4, 150), (8, 300)];
+        let series = omega_series(&sweep);
+        assert_eq!(series[0], (1, 0.0));
+        assert!((series[1].1 - 0.5).abs() < 1e-12);
+        assert!((series[2].1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline")]
+    fn series_without_baseline_panics() {
+        omega_series(&[(2, 10), (4, 20)]);
+    }
+}

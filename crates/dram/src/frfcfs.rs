@@ -1,0 +1,381 @@
+//! First-ready FCFS (FR-FCFS) memory controller.
+//!
+//! Real controllers reorder their queues to prefer row-buffer hits
+//! ("first-ready"), falling back to oldest-first, with a starvation cap so
+//! a stream of hits cannot indefinitely bypass an old miss (cf. the
+//! scheduling literature the paper cites: ATLAS \[13\], fair queueing \[18\],
+//! PAR-BS \[17\]). This implementation keeps a pending queue and commits
+//! requests when channel resources free, so — unlike the reservation-style
+//! [`FcfsController`](crate::fcfs::FcfsController) — it genuinely reorders.
+//! It exists for the scheduler ablation bench, which shows the contention
+//! *shape* of the study is insensitive to the scheduling discipline.
+
+use offchip_simcore::SimTime;
+
+use crate::fcfs::McConfig;
+use crate::stats::McStats;
+use crate::{EnqueueResult, McModel, Request, WakeResult};
+
+#[derive(Debug, Clone)]
+struct Pending {
+    req: Request,
+    arrival: SimTime,
+    /// How many younger requests have been served ahead of this one.
+    bypassed: u32,
+}
+
+/// The reordering controller.
+#[derive(Debug)]
+pub struct FrFcfsController {
+    cfg: McConfig,
+    bank_free: Vec<Vec<SimTime>>,
+    open_row: Vec<Vec<Option<u64>>>,
+    bus_free: Vec<SimTime>,
+    /// Pending requests per channel, in arrival order.
+    pending: Vec<Vec<Pending>>,
+    /// Maximum times a request may be bypassed by row hits before it gets
+    /// absolute priority.
+    starvation_cap: u32,
+    stats: McStats,
+}
+
+impl FrFcfsController {
+    /// Creates an idle controller with the default starvation cap (4).
+    pub fn new(cfg: McConfig) -> FrFcfsController {
+        Self::with_starvation_cap(cfg, 4)
+    }
+
+    /// Creates an idle controller with an explicit starvation cap.
+    pub fn with_starvation_cap(cfg: McConfig, starvation_cap: u32) -> FrFcfsController {
+        let ch = cfg.mapping.channels() as usize;
+        let banks = cfg.mapping.banks() as usize;
+        FrFcfsController {
+            cfg,
+            bank_free: vec![vec![SimTime::ZERO; banks]; ch],
+            open_row: vec![vec![None; banks]; ch],
+            bus_free: vec![SimTime::ZERO; ch],
+            pending: vec![Vec::new(); ch],
+            starvation_cap,
+            stats: McStats::default(),
+        }
+    }
+
+    /// Picks the index of the request to serve next on channel `c` among
+    /// those whose bank and arrival are ready at `now`; `None` if nothing
+    /// is ready.
+    fn pick(&self, c: usize, now: SimTime) -> Option<usize> {
+        let queue = &self.pending[c];
+        // Starved request (oldest first) gets absolute priority.
+        if let Some((idx, _)) = queue
+            .iter()
+            .enumerate()
+            .find(|(_, p)| p.bypassed >= self.starvation_cap)
+        {
+            let p = &queue[idx];
+            let coord = self.cfg.mapping.map(p.req.line_addr);
+            if p.arrival <= now && self.bank_free[c][coord.bank as usize] <= now {
+                return Some(idx);
+            }
+            // A starved request blocks reordering past it until servable.
+            return None;
+        }
+        let mut best: Option<(usize, bool)> = None; // (idx, is_row_hit)
+        for (idx, p) in queue.iter().enumerate() {
+            if p.arrival > now {
+                continue;
+            }
+            let coord = self.cfg.mapping.map(p.req.line_addr);
+            let b = coord.bank as usize;
+            if self.bank_free[c][b] > now {
+                continue;
+            }
+            let hit = self.open_row[c][b] == Some(coord.row);
+            match best {
+                None => best = Some((idx, hit)),
+                Some((_, false)) if hit => best = Some((idx, hit)),
+                // Queue is arrival-ordered, so the first hit found is the
+                // oldest hit; nothing later improves on it.
+                Some((_, true)) => break,
+                _ => {}
+            }
+        }
+        best.map(|(idx, _)| idx)
+    }
+
+    /// Earliest time channel `c` could serve something, given its queue.
+    fn next_opportunity(&self, c: usize) -> Option<SimTime> {
+        let queue = &self.pending[c];
+        if queue.is_empty() {
+            return None;
+        }
+        let mut earliest: Option<SimTime> = None;
+        for p in queue {
+            let coord = self.cfg.mapping.map(p.req.line_addr);
+            let ready = p
+                .arrival
+                .max(self.bank_free[c][coord.bank as usize])
+                .max(self.bus_free[c]);
+            earliest = Some(match earliest {
+                None => ready,
+                Some(e) => e.min(ready),
+            });
+        }
+        earliest
+    }
+}
+
+impl McModel for FrFcfsController {
+    fn enqueue(&mut self, now: SimTime, req: Request) -> EnqueueResult {
+        let arrival = now + req.network_latency;
+        let coord = self.cfg.mapping.map(req.line_addr);
+        self.pending[coord.channel as usize].push(Pending {
+            req,
+            arrival,
+            bypassed: 0,
+        });
+        // Ask for a wake as soon as the request could possibly be served.
+        EnqueueResult::Deferred(Some(arrival))
+    }
+
+    fn wake(&mut self, now: SimTime) -> WakeResult {
+        let mut committed = Vec::new();
+        for c in 0..self.pending.len() {
+            // Serve at most one request per channel per wake: the bus
+            // occupies until `completion`, so further picks belong to a
+            // later wake anyway.
+            if self.bus_free[c] > now {
+                continue;
+            }
+            let Some(idx) = self.pick(c, now) else {
+                continue;
+            };
+            let p = self.pending[c].remove(idx);
+            // Everything older than the served request got bypassed.
+            for older in &mut self.pending[c][..idx] {
+                older.bypassed += 1;
+            }
+            let coord = self.cfg.mapping.map(p.req.line_addr);
+            let b = coord.bank as usize;
+            if p.req.is_write {
+                // Buffered write: data-bus cost only (cf. the FCFS model).
+                let transfer_start = now.max(self.bus_free[c]);
+                let completion = transfer_start + self.cfg.transfer_cycles;
+                self.bus_free[c] = completion;
+                self.stats.requests += 1;
+                self.stats.writes += 1;
+                self.stats.total_residence_cycles += completion - p.arrival;
+                self.stats.total_queueing_cycles += now - p.arrival;
+                self.stats.bus_busy_cycles += self.cfg.transfer_cycles;
+                self.stats.last_completion = self.stats.last_completion.max(completion);
+                committed.push((p.req, completion + p.req.network_latency));
+                continue;
+            }
+            let row_time = if self.open_row[c][b] == Some(coord.row) {
+                self.stats.row_hits += 1;
+                self.cfg.row_hit_cycles
+            } else {
+                self.stats.row_misses += 1;
+                self.open_row[c][b] = Some(coord.row);
+                self.cfg.row_miss_cycles
+            };
+            let data_ready = now + row_time;
+            let transfer_start = data_ready.max(self.bus_free[c]);
+            let completion = transfer_start + self.cfg.transfer_cycles;
+            // Hits pipeline on the open row (bank held for the transfer
+            // slot only); activations occupy the bank for the full window
+            // (cf. the FCFS model).
+            self.bank_free[c][b] = if row_time == self.cfg.row_hit_cycles {
+                now + self.cfg.transfer_cycles
+            } else {
+                now + self.cfg.row_miss_cycles
+            };
+            self.bus_free[c] = completion;
+
+            self.stats.requests += 1;
+            if p.req.is_write {
+                self.stats.writes += 1;
+            }
+            self.stats.total_residence_cycles += completion - p.arrival;
+            self.stats.total_queueing_cycles += now - p.arrival;
+            self.stats.bus_busy_cycles += self.cfg.transfer_cycles;
+            self.stats.last_completion = self.stats.last_completion.max(completion);
+
+            committed.push((p.req, completion + p.req.network_latency));
+        }
+        // Next wake: the earliest opportunity over all channels.
+        let mut next_wake: Option<SimTime> = None;
+        for c in 0..self.pending.len() {
+            if let Some(t) = self.next_opportunity(c) {
+                let t = t.max(now + 1);
+                next_wake = Some(match next_wake {
+                    None => t,
+                    Some(w) => w.min(t),
+                });
+            }
+        }
+        WakeResult {
+            committed,
+            next_wake,
+        }
+    }
+
+    fn stats(&self) -> &McStats {
+        &self.stats
+    }
+
+    fn pending(&self) -> usize {
+        self.pending.iter().map(|q| q.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::AddressMapping;
+
+    fn cfg() -> McConfig {
+        McConfig {
+            mapping: AddressMapping::new(1, 4, 64, 2048),
+            row_hit_cycles: 40,
+            row_miss_cycles: 110,
+            transfer_cycles: 8,
+        }
+    }
+
+    fn req(id: u64, line: u64) -> Request {
+        Request {
+            id,
+            line_addr: line * 64,
+            is_write: false,
+            network_latency: 0,
+        }
+    }
+
+    /// Drives the controller until idle, returning (id, completion) pairs.
+    fn drain(mc: &mut FrFcfsController, start: SimTime) -> Vec<(u64, SimTime)> {
+        let mut done = Vec::new();
+        let mut wake_at = start;
+        loop {
+            let w = mc.wake(wake_at);
+            for (r, t) in w.committed {
+                done.push((r.id, t));
+            }
+            match w.next_wake {
+                Some(t) => wake_at = t,
+                None => break,
+            }
+            if done.len() > 10_000 {
+                panic!("controller did not drain");
+            }
+        }
+        done
+    }
+
+    #[test]
+    fn serves_a_single_request() {
+        let mut mc = FrFcfsController::new(cfg());
+        assert_eq!(
+            mc.enqueue(SimTime(10), req(0, 0)),
+            EnqueueResult::Deferred(Some(SimTime(10)))
+        );
+        assert_eq!(mc.pending(), 1);
+        let done = drain(&mut mc, SimTime(10));
+        assert_eq!(done, vec![(0, SimTime(10 + 110 + 8))]);
+        assert_eq!(mc.pending(), 0);
+    }
+
+    #[test]
+    fn row_hit_bypasses_older_miss() {
+        let mut mc = FrFcfsController::new(cfg());
+        // Open row 0 of bank 0 with request 0.
+        mc.enqueue(SimTime(0), req(0, 0));
+        let w = mc.wake(SimTime(0));
+        assert_eq!(w.committed.len(), 1);
+        let t0 = w.committed[0].1;
+        // Queue: older request to a *different* row (miss) then a younger
+        // one to the open row (hit).
+        mc.enqueue(SimTime(1), req(1, 32 * 4)); // bank 0, row 1 → miss
+        mc.enqueue(SimTime(2), req(2, 1)); // bank 0, row 0 → hit
+        let done = drain(&mut mc, t0);
+        let pos1 = done.iter().position(|&(id, _)| id == 1).unwrap();
+        let pos2 = done.iter().position(|&(id, _)| id == 2).unwrap();
+        assert!(pos2 < pos1, "row hit must be served first: {done:?}");
+    }
+
+    #[test]
+    fn starvation_cap_eventually_serves_old_miss() {
+        let mut mc = FrFcfsController::with_starvation_cap(cfg(), 2);
+        // Open row 0.
+        mc.enqueue(SimTime(0), req(0, 0));
+        let w = mc.wake(SimTime(0));
+        let mut t = w.committed[0].1;
+        // One old miss + a long stream of row hits arriving up front.
+        mc.enqueue(t, req(100, 32 * 4)); // miss, bank 0 row 1
+        for i in 0..10 {
+            mc.enqueue(t, req(i, 2 + i)); // hits in open row 0
+        }
+        let done = drain(&mut mc, t);
+        let miss_pos = done.iter().position(|&(id, _)| id == 100).unwrap();
+        assert!(
+            miss_pos <= 2,
+            "starved miss served after at most cap bypasses, got position {miss_pos} in {done:?}"
+        );
+        t = done.last().unwrap().1;
+        assert!(t > SimTime::ZERO);
+    }
+
+    #[test]
+    fn fcfs_order_when_no_hits_possible() {
+        let mut mc = FrFcfsController::new(cfg());
+        // All to different rows of bank 0: no reordering opportunity.
+        for i in 0..5 {
+            mc.enqueue(SimTime(i), req(i, i * 32 * 4));
+        }
+        let done = drain(&mut mc, SimTime(0));
+        let ids: Vec<u64> = done.iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn higher_row_hit_rate_than_fcfs_under_mixed_traffic() {
+        use crate::fcfs::FcfsController;
+        // Interleave two row streams on one bank: FCFS ping-pongs rows,
+        // FR-FCFS batches hits.
+        let make_reqs = || -> Vec<Request> {
+            (0..40)
+                .map(|i| {
+                    let row = i % 2; // alternate rows
+                    let line = row * 32 * 4 + (i / 2) % 32;
+                    req(i, line)
+                })
+                .collect()
+        };
+        let mut frf = FrFcfsController::new(cfg());
+        for r in make_reqs() {
+            frf.enqueue(SimTime(0), r);
+        }
+        let _ = drain(&mut frf, SimTime(0));
+
+        let mut fcfs = FcfsController::new(cfg());
+        for r in make_reqs() {
+            let _ = fcfs.enqueue(SimTime(0), r);
+        }
+        assert!(
+            frf.stats().row_hit_rate() > fcfs.stats().row_hit_rate(),
+            "FR-FCFS {} vs FCFS {}",
+            frf.stats().row_hit_rate(),
+            fcfs.stats().row_hit_rate()
+        );
+    }
+
+    #[test]
+    fn wake_before_arrival_commits_nothing() {
+        let mut mc = FrFcfsController::new(cfg());
+        let mut r = req(0, 0);
+        r.network_latency = 50;
+        mc.enqueue(SimTime(0), r);
+        let w = mc.wake(SimTime(0));
+        assert!(w.committed.is_empty(), "request has not arrived yet");
+        assert_eq!(w.next_wake, Some(SimTime(50)));
+    }
+}

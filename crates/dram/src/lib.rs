@@ -1,0 +1,95 @@
+//! Memory-controller and DRAM timing models.
+//!
+//! Off-chip contention in the ICPP'11 study is queueing for the memory
+//! controller: when the aggregate LLC-miss rate of the active cores
+//! approaches a controller's service rate, requests wait, cores stall, and
+//! total cycles balloon (the paper's eq. 6 models this as M/M/1). This
+//! crate supplies the *mechanistic* controller the simulator uses — FCFS
+//! scheduling over channels and banks with row-buffer timing — so that
+//! contention emerges from first principles rather than being assumed
+//! exponential, and the paper's M/M/1 abstraction can be genuinely
+//! validated against it (see DESIGN.md §4).
+//!
+//! Two schedulers are provided:
+//!
+//! * [`fcfs::FcfsController`] — in-order service per channel with
+//!   bank/row-buffer timing and overlapped bank access; the primary model.
+//! * [`frfcfs::FrFcfsController`] — first-ready FCFS (row hits first, with
+//!   a starvation cap), the scheduling discipline of real controllers,
+//!   used by the scheduler ablation bench.
+//!
+//! Both implement [`McModel`], the event-protocol the machine simulator
+//! drives.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fcfs;
+pub mod frfcfs;
+pub mod mapping;
+pub mod stats;
+
+pub use fcfs::FcfsController;
+pub use frfcfs::FrFcfsController;
+pub use mapping::AddressMapping;
+pub use stats::McStats;
+
+use offchip_simcore::SimTime;
+
+/// A unique request identifier assigned by the issuer (the machine
+/// simulator), used to match completions back to waiting cores.
+pub type RequestId = u64;
+
+/// One off-chip request: a cache-line fill or write-back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Issuer-assigned id.
+    pub id: RequestId,
+    /// Byte address of the line (line-aligned by the issuer).
+    pub line_addr: u64,
+    /// True for write-backs. Writes occupy the controller identically but
+    /// nobody waits on their completion.
+    pub is_write: bool,
+    /// Extra one-way latency this request pays *before* reaching the
+    /// controller (NUMA interconnect hops); charged on the response too.
+    pub network_latency: u64,
+}
+
+/// What the controller decided at enqueue time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnqueueResult {
+    /// The request's completion time is already determined (FCFS
+    /// reservation): the issuer should schedule the fill at this time.
+    Completed(SimTime),
+    /// The request was queued; completions will be announced by a later
+    /// [`McModel::wake`]. If a time is given, the issuer must arrange a
+    /// wake call then (unless an earlier one is already pending).
+    Deferred(Option<SimTime>),
+}
+
+/// Completions and the next wake-up request from [`McModel::wake`].
+#[derive(Debug, Clone, Default)]
+pub struct WakeResult {
+    /// Requests whose completion time is now committed. Completion times
+    /// are in the future (or now); the issuer schedules fills accordingly.
+    pub committed: Vec<(Request, SimTime)>,
+    /// When the controller next needs a wake call, if ever (spurious wakes
+    /// are harmless).
+    pub next_wake: Option<SimTime>,
+}
+
+/// The event protocol between the machine simulator and a controller.
+pub trait McModel {
+    /// Offers a request arriving at `now`.
+    fn enqueue(&mut self, now: SimTime, req: Request) -> EnqueueResult;
+
+    /// Gives the controller a chance to commit queued requests at `now`.
+    fn wake(&mut self, now: SimTime) -> WakeResult;
+
+    /// Accumulated statistics.
+    fn stats(&self) -> &McStats;
+
+    /// Number of requests accepted but not yet committed to a completion
+    /// time (always 0 for reservation-style schedulers).
+    fn pending(&self) -> usize;
+}

@@ -1,0 +1,102 @@
+//! First-touch page placement.
+//!
+//! Linux places a page on the NUMA node of the thread that first touches
+//! it; the paper relies on this (plus `numactl`) so that each thread's
+//! partition is local to its socket. The simulator reproduces the policy at
+//! configurable page granularity: the first access to a page binds it to
+//! the *home controller of the accessing thread*, and every later off-chip
+//! access to the page is served there, paying interconnect hops when the
+//! accessor sits elsewhere.
+
+use std::collections::HashMap;
+
+use offchip_topology::McId;
+
+/// The page → home-controller table.
+#[derive(Debug, Clone)]
+pub struct FirstTouch {
+    page_shift: u32,
+    homes: HashMap<u64, McId>,
+}
+
+impl FirstTouch {
+    /// Creates an empty table with the given page size.
+    ///
+    /// # Panics
+    /// Panics unless `page_bytes` is a power of two.
+    pub fn new(page_bytes: u64) -> FirstTouch {
+        assert!(
+            page_bytes.is_power_of_two() && page_bytes > 0,
+            "page size must be a positive power of two"
+        );
+        FirstTouch {
+            page_shift: page_bytes.trailing_zeros(),
+            homes: HashMap::new(),
+        }
+    }
+
+    /// Resolves the home controller of `addr`, binding the page to
+    /// `toucher_home` if this is the first touch.
+    pub fn resolve(&mut self, addr: u64, toucher_home: McId) -> McId {
+        let page = addr >> self.page_shift;
+        *self.homes.entry(page).or_insert(toucher_home)
+    }
+
+    /// Looks up a page's home without binding.
+    pub fn home_of(&self, addr: u64) -> Option<McId> {
+        self.homes.get(&(addr >> self.page_shift)).copied()
+    }
+
+    /// Number of placed pages.
+    pub fn placed_pages(&self) -> usize {
+        self.homes.len()
+    }
+
+    /// Distribution of pages per controller, for NUMA balance reports.
+    pub fn pages_per_mc(&self, n_mcs: usize) -> Vec<usize> {
+        let mut v = vec![0usize; n_mcs];
+        for &mc in self.homes.values() {
+            v[mc.index()] += 1;
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_binds_then_sticks() {
+        let mut ft = FirstTouch::new(4096);
+        assert_eq!(ft.resolve(0x1000, McId(2)), McId(2));
+        // A later toucher from another node does not rebind.
+        assert_eq!(ft.resolve(0x1100, McId(5)), McId(2), "same page");
+        assert_eq!(ft.resolve(0x2000, McId(5)), McId(5), "new page");
+        assert_eq!(ft.placed_pages(), 2);
+    }
+
+    #[test]
+    fn home_of_reads_without_binding() {
+        let mut ft = FirstTouch::new(4096);
+        assert_eq!(ft.home_of(0x1000), None);
+        ft.resolve(0x1000, McId(1));
+        assert_eq!(ft.home_of(0x1fff), Some(McId(1)));
+        assert_eq!(ft.placed_pages(), 1);
+    }
+
+    #[test]
+    fn balance_report() {
+        let mut ft = FirstTouch::new(4096);
+        for p in 0..6u64 {
+            ft.resolve(p * 4096, McId((p % 2) as usize));
+        }
+        assert_eq!(ft.pages_per_mc(2), vec![3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_page_rejected() {
+        FirstTouch::new(3000);
+    }
+}

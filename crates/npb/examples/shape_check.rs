@@ -1,0 +1,47 @@
+//! Calibration harness: prints ω(n) sweeps for the headline programs so
+//! the contention *shapes* can be eyeballed against the paper's
+//! Fig. 3/5/6 whenever machine timings or trace intensities change.
+//! (The full reproduction lives in `offchip-bench`; this is the quick
+//! inner loop.)
+
+use offchip_machine::{run, SimConfig, Workload};
+use offchip_npb::classes::ProblemClass;
+use offchip_npb::traces;
+use offchip_topology::machines;
+
+fn sweep(w: &dyn Workload, machine: &offchip_topology::MachineSpec, points: &[usize]) {
+    let mut c1 = 0u64;
+    for &n in points {
+        let r = run(w, &SimConfig::new(machine.clone(), n));
+        if n == 1 {
+            c1 = r.counters.total_cycles;
+        }
+        let omega = (r.counters.total_cycles as f64 - c1 as f64) / c1 as f64;
+        println!(
+            "  n={n:>2}  C(n)={:>14}  omega={omega:>7.3}  misses={:>9}  work={:>12}",
+            r.counters.total_cycles, r.counters.llc_misses, r.counters.work_cycles
+        );
+    }
+}
+
+fn main() {
+    let scale = 1.0 / 64.0;
+    let uma = machines::intel_uma_8().scaled(scale);
+    let numa = machines::intel_numa_24().scaled(scale);
+
+    println!("== CG.C on Intel UMA (paper Fig. 5a: omega to ~2.4) ==");
+    let cg = traces::cg::workload(ProblemClass::C, scale, 8);
+    sweep(&cg, &uma, &[1, 2, 3, 4, 5, 6, 7, 8]);
+
+    println!("== CG.C on Intel NUMA (paper Fig. 5b: rise, dip at 13, rise to ~3.3) ==");
+    let cg24 = traces::cg::workload(ProblemClass::C, scale, 24);
+    sweep(&cg24, &numa, &[1, 4, 8, 12, 13, 16, 20, 24]);
+
+    println!("== SP.C on Intel UMA (paper: the worst, omega(8) ~ 7) ==");
+    let sp = traces::sp::workload(ProblemClass::C, scale, 8);
+    sweep(&sp, &uma, &[1, 2, 4, 6, 8]);
+
+    println!("== EP.C on Intel UMA (paper Fig. 6a: ~0) ==");
+    let ep = traces::ep::workload(ProblemClass::C, scale, 8);
+    sweep(&ep, &uma, &[1, 4, 8]);
+}

@@ -1,0 +1,260 @@
+//! NPB problem classes and per-class simulation parameters.
+//!
+//! Classes follow the NPB specification (S < W < A < B < C). For each
+//! program the module records the *paper-scale* problem description (what
+//! Tables I/III print) and derives *simulation-scale* parameters: working
+//! sets shrink by the same geometric factor as the machine's caches, so
+//! every fits/doesn't-fit relationship of the paper survives (DESIGN.md
+//! §2). Iteration counts are reduced relative to NPB — the paper's metrics
+//! (ω, R², burstiness) are rates and ratios, insensitive to run length.
+
+use std::fmt;
+
+/// An NPB problem class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ProblemClass {
+    /// Sample size — fits low cache levels.
+    S,
+    /// Workstation size — the paper's "small" problem size.
+    W,
+    /// Class A.
+    A,
+    /// Class B.
+    B,
+    /// Class C — the paper's "large" problem size.
+    C,
+}
+
+impl ProblemClass {
+    /// All classes, ascending.
+    pub const ALL: [ProblemClass; 5] = [
+        ProblemClass::S,
+        ProblemClass::W,
+        ProblemClass::A,
+        ProblemClass::B,
+        ProblemClass::C,
+    ];
+
+    /// Class letter.
+    pub fn letter(self) -> char {
+        match self {
+            ProblemClass::S => 'S',
+            ProblemClass::W => 'W',
+            ProblemClass::A => 'A',
+            ProblemClass::B => 'B',
+            ProblemClass::C => 'C',
+        }
+    }
+}
+
+impl fmt::Display for ProblemClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+/// CG: matrix order per class (paper Table III: "matrix of size 1,400²"
+/// … "150,000²").
+pub fn cg_order(class: ProblemClass) -> u64 {
+    match class {
+        ProblemClass::S => 1_400,
+        ProblemClass::W => 7_000,
+        ProblemClass::A => 14_000,
+        ProblemClass::B => 75_000,
+        ProblemClass::C => 150_000,
+    }
+}
+
+/// CG: average nonzeros per row after NPB's symmetrisation, ≈
+/// `(nonzer+1)²` with the spec's `nonzer` of 7/8/11/13/15.
+pub fn cg_row_density(class: ProblemClass) -> u64 {
+    match class {
+        ProblemClass::S => 64,
+        ProblemClass::W => 81,
+        ProblemClass::A => 144,
+        ProblemClass::B => 196,
+        ProblemClass::C => 256,
+    }
+}
+
+/// CG iterations simulated per class (NPB runs 15–75; reduced for
+/// simulation time, see module docs).
+pub fn cg_iterations(class: ProblemClass) -> u64 {
+    match class {
+        ProblemClass::S | ProblemClass::W => 15,
+        ProblemClass::A => 12,
+        ProblemClass::B => 8,
+        ProblemClass::C => 6,
+    }
+}
+
+/// IS: number of keys per class (NPB: 2^16 … 2^27).
+pub fn is_keys(class: ProblemClass) -> u64 {
+    1u64 << match class {
+        ProblemClass::S => 16,
+        ProblemClass::W => 20,
+        ProblemClass::A => 23,
+        ProblemClass::B => 25,
+        ProblemClass::C => 27,
+    }
+}
+
+/// IS ranking iterations simulated (NPB runs 10).
+pub fn is_iterations(_class: ProblemClass) -> u64 {
+    4
+}
+
+/// EP: total working-set bytes per class. NPB EP is compute-dominated;
+/// the paper measures a 920 MB class-C resident set (per-thread batch
+/// buffers), which is what makes EP the "large working set, low miss rate"
+/// case of §V.
+pub fn ep_working_set(class: ProblemClass) -> u64 {
+    match class {
+        ProblemClass::S => 4 << 20,
+        ProblemClass::W => 16 << 20,
+        ProblemClass::A => 128 << 20,
+        ProblemClass::B => 384 << 20,
+        ProblemClass::C => 920 << 20,
+    }
+}
+
+/// EP: Gaussian-pair batches simulated per thread.
+pub fn ep_batches(_class: ProblemClass) -> u64 {
+    64
+}
+
+/// FT: grid element count per class (paper-scale, complex elements). NPB
+/// grids are 64³ (S) through 512³ (C); FT.C exceeds the UMA machine's
+/// 4 GB of RAM, which is why the paper falls back to FT.B there.
+pub fn ft_elements(class: ProblemClass) -> u64 {
+    match class {
+        ProblemClass::S => 64 * 64 * 64,
+        ProblemClass::W => 128 * 128 * 32,
+        ProblemClass::A => 256 * 256 * 128,
+        ProblemClass::B => 512 * 256 * 256,
+        ProblemClass::C => 512 * 512 * 512,
+    }
+}
+
+/// FT inverse-FFT iterations simulated (NPB runs 6–20).
+pub fn ft_iterations(_class: ProblemClass) -> u64 {
+    3
+}
+
+/// SP: cube edge of the structured grid per class (NPB: 12 … 162).
+pub fn sp_grid(class: ProblemClass) -> u64 {
+    match class {
+        ProblemClass::S => 12,
+        ProblemClass::W => 36,
+        ProblemClass::A => 64,
+        ProblemClass::B => 102,
+        ProblemClass::C => 162,
+    }
+}
+
+/// SP ADI time steps simulated (NPB runs 100–400).
+pub fn sp_iterations(_class: ProblemClass) -> u64 {
+    4
+}
+
+/// x264 input scales (PARSEC): frames and resolution (paper Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct X264Input {
+    /// PARSEC input name.
+    pub name: &'static str,
+    /// Frame count.
+    pub frames: u64,
+    /// Width in pixels.
+    pub width: u64,
+    /// Height in pixels.
+    pub height: u64,
+}
+
+/// The four PARSEC x264 inputs the paper profiles.
+pub const X264_INPUTS: [X264Input; 4] = [
+    X264Input {
+        name: "simsmall",
+        frames: 8,
+        width: 640,
+        height: 360,
+    },
+    X264Input {
+        name: "simmedium",
+        frames: 32,
+        width: 640,
+        height: 360,
+    },
+    X264Input {
+        name: "simlarge",
+        frames: 128,
+        width: 640,
+        height: 360,
+    },
+    X264Input {
+        name: "native",
+        frames: 512,
+        width: 1920,
+        height: 1080,
+    },
+];
+
+/// Looks up an x264 input by PARSEC name.
+pub fn x264_input(name: &str) -> Option<X264Input> {
+    X264_INPUTS.iter().copied().find(|i| i.name == name)
+}
+
+/// Scales a paper-scale linear dimension (element counts, byte sizes) by
+/// the machine's geometric factor, flooring at `min`.
+pub fn scaled(paper_value: u64, scale: f64, min: u64) -> u64 {
+    ((paper_value as f64 * scale).round() as u64).max(min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_are_ordered() {
+        assert!(ProblemClass::S < ProblemClass::C);
+        for pair in ProblemClass::ALL.windows(2) {
+            assert!(pair[0] < pair[1]);
+            assert!(cg_order(pair[0]) < cg_order(pair[1]));
+            assert!(is_keys(pair[0]) < is_keys(pair[1]));
+            assert!(ft_elements(pair[0]) <= ft_elements(pair[1]));
+            assert!(sp_grid(pair[0]) < sp_grid(pair[1]));
+            assert!(ep_working_set(pair[0]) < ep_working_set(pair[1]));
+        }
+    }
+
+    #[test]
+    fn paper_table_iii_cg_sizes() {
+        assert_eq!(cg_order(ProblemClass::S), 1_400);
+        assert_eq!(cg_order(ProblemClass::W), 7_000);
+        assert_eq!(cg_order(ProblemClass::A), 14_000);
+        assert_eq!(cg_order(ProblemClass::B), 75_000);
+        assert_eq!(cg_order(ProblemClass::C), 150_000);
+    }
+
+    #[test]
+    fn paper_table_iii_x264_inputs() {
+        let native = x264_input("native").unwrap();
+        assert_eq!(native.frames, 512);
+        assert_eq!((native.width, native.height), (1920, 1080));
+        let small = x264_input("simsmall").unwrap();
+        assert_eq!(small.frames, 8);
+        assert!(x264_input("bogus").is_none());
+    }
+
+    #[test]
+    fn scaling_floors() {
+        assert_eq!(scaled(1_000, 1.0 / 64.0, 1), 16);
+        assert_eq!(scaled(10, 1.0 / 64.0, 4), 4);
+        assert_eq!(scaled(1_000, 1.0, 1), 1_000);
+    }
+
+    #[test]
+    fn display_letters() {
+        assert_eq!(ProblemClass::C.to_string(), "C");
+        assert_eq!(format!("CG.{}", ProblemClass::W), "CG.W");
+    }
+}

@@ -1,0 +1,300 @@
+//! SP: scalar pentadiagonal ADI solver on a 3-D structured grid.
+//!
+//! NPB SP integrates the Navier–Stokes equations with the Beam–Warming
+//! approximate factorisation: each time step factors the implicit
+//! operator into three one-dimensional *scalar pentadiagonal* solves, one
+//! along every grid line of every dimension. This port keeps that exact
+//! structure on a model diffusion problem: build the pentadiagonal
+//! operator `(I + τ·L)` per line, eliminate forward over two sub-
+//! diagonals, substitute back — for all lines of x, then y, then z (using
+//! the rotation trick of [`crate::kernels::grid3`]), in parallel over line
+//! batches. Correctness is checked against dense Gaussian elimination and
+//! by the decay of the solution toward the diffusion steady state.
+
+use crate::kernels::grid3::{for_each_line_mut, rotate, Dims};
+use crate::npb_rng::NpbRng;
+
+/// The five constant stencil bands of the implicit operator
+/// `[c₂ˡ, c₁ˡ, c₀, c₁ᵘ, c₂ᵘ]` used for every line.
+///
+/// The default models `I + τ·L` for a fourth-order damped diffusion
+/// operator, diagonally dominant so elimination needs no pivoting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PentaBands {
+    /// Second sub-diagonal.
+    pub c2l: f64,
+    /// First sub-diagonal.
+    pub c1l: f64,
+    /// Diagonal.
+    pub c0: f64,
+    /// First super-diagonal.
+    pub c1u: f64,
+    /// Second super-diagonal.
+    pub c2u: f64,
+}
+
+impl Default for PentaBands {
+    fn default() -> PentaBands {
+        PentaBands {
+            c2l: 0.05,
+            c1l: -0.6,
+            c0: 2.2,
+            c1u: -0.6,
+            c2u: 0.05,
+        }
+    }
+}
+
+impl PentaBands {
+    /// Whether the bands are strictly diagonally dominant (no pivoting
+    /// needed).
+    pub fn is_dominant(&self) -> bool {
+        self.c0.abs() > self.c2l.abs() + self.c1l.abs() + self.c1u.abs() + self.c2u.abs()
+    }
+}
+
+/// Solves the constant-band pentadiagonal system `M·x = rhs` in place
+/// (rhs becomes the solution) by banded Gaussian elimination without
+/// pivoting.
+///
+/// # Panics
+/// Panics if the line is shorter than 3 or the bands are not dominant.
+pub fn solve_penta_line(bands: PentaBands, rhs: &mut [f64]) {
+    let n = rhs.len();
+    assert!(n >= 3, "pentadiagonal line needs at least 3 points");
+    assert!(bands.is_dominant(), "bands must be diagonally dominant");
+    // Per-row working bands. The sub-diagonals pick up fill-in during
+    // elimination, so all three inner bands are materialised; the second
+    // super-diagonal never changes.
+    let mut c = vec![bands.c1l; n]; // first sub-diagonal, entry (i, i−1)
+    let mut d = vec![bands.c0; n]; // diagonal
+    let mut a = vec![bands.c1u; n]; // first super-diagonal, entry (i, i+1)
+    let b = bands.c2u; // second super-diagonal (constant)
+    let e = bands.c2l; // second sub-diagonal (constant)
+
+    // Forward elimination: at step i, zero the (i+1, i) entry, then the
+    // (i+2, i) entry (whose elimination fills in on (i+2, i+1), captured
+    // by updating c[i+2]).
+    for i in 0..n - 1 {
+        let m1 = c[i + 1] / d[i];
+        d[i + 1] -= m1 * a[i];
+        if i + 2 < n {
+            a[i + 1] -= m1 * b;
+        }
+        rhs[i + 1] -= m1 * rhs[i];
+        if i + 2 < n {
+            let m2 = e / d[i];
+            c[i + 2] -= m2 * a[i];
+            d[i + 2] -= m2 * b;
+            rhs[i + 2] -= m2 * rhs[i];
+        }
+    }
+    // Back substitution.
+    rhs[n - 1] /= d[n - 1];
+    rhs[n - 2] = (rhs[n - 2] - a[n - 2] * rhs[n - 1]) / d[n - 2];
+    for i in (0..n - 2).rev() {
+        rhs[i] = (rhs[i] - a[i] * rhs[i + 1] - b * rhs[i + 2]) / d[i];
+    }
+}
+
+/// Dense Gaussian elimination with partial pivoting, the test oracle.
+pub fn solve_dense(matrix: &[Vec<f64>], rhs: &[f64]) -> Vec<f64> {
+    let n = rhs.len();
+    let mut a: Vec<Vec<f64>> = matrix.to_vec();
+    let mut b = rhs.to_vec();
+    for col in 0..n {
+        // Pivot.
+        let piv = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())
+            .unwrap();
+        a.swap(col, piv);
+        b.swap(col, piv);
+        assert!(a[col][col].abs() > 1e-12, "singular matrix");
+        for row in col + 1..n {
+            let m = a[row][col] / a[col][col];
+            let (pivot_rows, rest) = a.split_at_mut(row);
+            let pivot = &pivot_rows[col];
+            for (rk, pk) in rest[0][col..].iter_mut().zip(&pivot[col..]) {
+                *rk -= m * pk;
+            }
+            b[row] -= m * b[col];
+        }
+    }
+    for col in (0..n).rev() {
+        b[col] /= a[col][col];
+        let pivot_val = b[col];
+        for row in 0..col {
+            b[row] -= a[row][col] * pivot_val;
+        }
+    }
+    b
+}
+
+/// Builds the dense form of the constant-band pentadiagonal matrix, for
+/// verification.
+pub fn penta_dense(bands: PentaBands, n: usize) -> Vec<Vec<f64>> {
+    let mut m = vec![vec![0.0; n]; n];
+    for (i, row) in m.iter_mut().enumerate() {
+        row[i] = bands.c0;
+        if i >= 1 {
+            row[i - 1] = bands.c1l;
+        }
+        if i >= 2 {
+            row[i - 2] = bands.c2l;
+        }
+        if i + 1 < n {
+            row[i + 1] = bands.c1u;
+        }
+        if i + 2 < n {
+            row[i + 2] = bands.c2u;
+        }
+    }
+    m
+}
+
+/// State of the SP benchmark: the solution field and its grid.
+#[derive(Debug, Clone)]
+pub struct SpState {
+    /// Solution field, x-contiguous.
+    pub u: Vec<f64>,
+    /// Grid dimensions.
+    pub dims: Dims,
+}
+
+impl SpState {
+    /// Initialises a field with a smooth bump plus pseudo-random noise.
+    pub fn init(dims: Dims) -> SpState {
+        let mut rng = NpbRng::new(314_159_265.0);
+        let mut u = Vec::with_capacity(dims.len());
+        for z in 0..dims.nz {
+            for y in 0..dims.ny {
+                for x in 0..dims.nx {
+                    let fx = x as f64 / dims.nx as f64;
+                    let fy = y as f64 / dims.ny as f64;
+                    let fz = z as f64 / dims.nz as f64;
+                    let smooth = (std::f64::consts::TAU * fx).sin()
+                        * (std::f64::consts::TAU * fy).sin()
+                        * (std::f64::consts::TAU * fz).sin();
+                    u.push(smooth + 0.1 * (rng.next() - 0.5));
+                }
+            }
+        }
+        SpState { u, dims }
+    }
+
+    /// Root-mean-square of the field.
+    pub fn rms(&self) -> f64 {
+        (self.u.iter().map(|v| v * v).sum::<f64>() / self.u.len() as f64).sqrt()
+    }
+
+    /// One ADI time step: pentadiagonal solves along x, then y, then z,
+    /// each in parallel over lines, with the damped-diffusion operator.
+    /// The implicit operator contracts the field toward zero (its steady
+    /// state), which is what the benchmark verifies.
+    pub fn adi_step(&mut self, bands: PentaBands, threads: usize) {
+        let mut data = std::mem::take(&mut self.u);
+        let mut d = self.dims;
+        for _dim in 0..3 {
+            for_each_line_mut(&mut data, d, threads, |_, line| {
+                if line.len() >= 3 {
+                    solve_penta_line(bands, line);
+                }
+            });
+            data = rotate(&data, d, threads);
+            d = d.rotated();
+        }
+        self.u = data;
+    }
+}
+
+/// Runs the SP benchmark: `steps` ADI steps on an `edge³` grid; returns
+/// the RMS after each step.
+pub fn sp_benchmark(edge: usize, steps: usize, threads: usize) -> Vec<f64> {
+    let dims = Dims::new(edge, edge, edge);
+    let mut state = SpState::init(dims);
+    let bands = PentaBands::default();
+    let mut out = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        state.adi_step(bands, threads);
+        out.push(state.rms());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn penta_solver_matches_dense_oracle() {
+        let bands = PentaBands::default();
+        for n in [3usize, 4, 5, 8, 17, 40] {
+            let mut rng = NpbRng::new(271_828_183.0);
+            let rhs: Vec<f64> = (0..n).map(|_| rng.next() - 0.5).collect();
+            let dense = penta_dense(bands, n);
+            let want = solve_dense(&dense, &rhs);
+            let mut got = rhs.clone();
+            solve_penta_line(bands, &mut got);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-9, "n={n}: {got:?} vs {want:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn solution_satisfies_the_system() {
+        let bands = PentaBands::default();
+        let n = 25;
+        let rhs: Vec<f64> = (0..n).map(|i| ((i * i) % 13) as f64 - 6.0).collect();
+        let mut x = rhs.clone();
+        solve_penta_line(bands, &mut x);
+        // Multiply back: M·x must reproduce rhs.
+        let dense = penta_dense(bands, n);
+        for i in 0..n {
+            let acc: f64 = dense[i].iter().zip(&x).map(|(m, v)| m * v).sum();
+            assert!((acc - rhs[i]).abs() < 1e-9, "row {i}: {acc} vs {}", rhs[i]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dominant")]
+    fn non_dominant_bands_rejected() {
+        let bands = PentaBands {
+            c0: 0.1,
+            ..PentaBands::default()
+        };
+        solve_penta_line(bands, &mut [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn adi_contracts_toward_steady_state() {
+        let rms = sp_benchmark(16, 5, 3);
+        for w in rms.windows(2) {
+            assert!(w[1] < w[0], "RMS must decay monotonically: {rms:?}");
+        }
+        assert!(rms[4] < 0.5 * rms[0], "five steps should damp noticeably");
+    }
+
+    #[test]
+    fn adi_thread_count_does_not_change_result() {
+        let a = sp_benchmark(12, 3, 1);
+        let b = sp_benchmark(12, 3, 8);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn dense_oracle_self_check() {
+        // Solve a known 3×3 system.
+        let m = vec![
+            vec![2.0, 1.0, 0.0],
+            vec![1.0, 3.0, 1.0],
+            vec![0.0, 1.0, 2.0],
+        ];
+        let x = solve_dense(&m, &[3.0, 5.0, 3.0]);
+        for (got, want) in x.iter().zip(&[1.0, 1.0, 1.0]) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+}

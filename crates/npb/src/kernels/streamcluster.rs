@@ -1,0 +1,202 @@
+//! streamcluster: online k-median clustering (PARSEC).
+//!
+//! The paper profiles four PARSEC applications (§III-A); streamcluster is
+//! the data-mining member. Its hot loop assigns streamed points to their
+//! nearest cluster centre — a bandwidth-friendly sequential sweep over the
+//! point block with a small, cache-resident centre table — followed by a
+//! centre-update step. This port implements the assign/update iteration
+//! (Lloyd-style k-median on the L1 distance, matching streamcluster's
+//! metric) with verification that the clustering cost is monotonically
+//! non-increasing.
+
+use crate::npb_rng::NpbRng;
+
+/// A clustering problem instance: `n` points of dimension `dim`,
+/// row-major.
+#[derive(Debug, Clone)]
+pub struct PointSet {
+    /// Number of points.
+    pub n: usize,
+    /// Dimensionality.
+    pub dim: usize,
+    /// Coordinates, `n × dim`.
+    pub data: Vec<f64>,
+}
+
+impl PointSet {
+    /// Generates `n` points in `k` Gaussian-ish blobs (sums of uniforms),
+    /// so the clustering has structure to find.
+    pub fn synthetic(n: usize, dim: usize, k: usize, seed: f64) -> PointSet {
+        assert!(n > 0 && dim > 0 && k > 0);
+        let mut rng = NpbRng::new(seed);
+        let centres: Vec<f64> = (0..k * dim).map(|_| rng.next() * 10.0).collect();
+        let mut data = Vec::with_capacity(n * dim);
+        for i in 0..n {
+            let c = i % k;
+            for d in 0..dim {
+                let noise = rng.next() + rng.next() + rng.next() - 1.5; // ≈ N(0, 0.5)
+                data.push(centres[c * dim + d] + noise);
+            }
+        }
+        PointSet { n, dim, data }
+    }
+
+    #[inline]
+    fn point(&self, i: usize) -> &[f64] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+}
+
+/// Manhattan (L1) distance, streamcluster's metric.
+#[inline]
+fn l1(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// One clustering state: centres plus assignment.
+#[derive(Debug, Clone)]
+pub struct Clustering {
+    /// Centre coordinates, `k × dim`.
+    pub centres: Vec<f64>,
+    /// Per-point centre index.
+    pub assignment: Vec<u32>,
+    /// Total L1 cost of the assignment.
+    pub cost: f64,
+}
+
+/// Assigns every point to its nearest centre, in parallel over point
+/// blocks; returns the assignment and total cost.
+pub fn assign(points: &PointSet, centres: &[f64], k: usize, threads: usize) -> (Vec<u32>, f64) {
+    assert_eq!(centres.len(), k * points.dim);
+    assert!(threads > 0);
+    let block = points.n.div_ceil(threads);
+    let results: Vec<(Vec<u32>, f64)> = std::thread::scope(|s| {
+        (0..threads)
+            .map(|t| {
+                s.spawn(move || {
+                    let lo = t * block;
+                    let hi = ((t + 1) * block).min(points.n);
+                    let mut out = Vec::with_capacity(hi.saturating_sub(lo));
+                    let mut cost = 0.0;
+                    for i in lo..hi {
+                        let p = points.point(i);
+                        let mut best = (0u32, f64::INFINITY);
+                        for c in 0..k {
+                            let d = l1(p, &centres[c * points.dim..(c + 1) * points.dim]);
+                            if d < best.1 {
+                                best = (c as u32, d);
+                            }
+                        }
+                        out.push(best.0);
+                        cost += best.1;
+                    }
+                    (out, cost)
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("assign worker panicked"))
+            .collect()
+    });
+    let mut assignment = Vec::with_capacity(points.n);
+    let mut cost = 0.0;
+    for (a, c) in results {
+        assignment.extend(a);
+        cost += c;
+    }
+    (assignment, cost)
+}
+
+/// Updates each centre to the coordinate-wise *median* of its assigned
+/// points — the exact minimiser of the L1 assignment cost, which is what
+/// makes the Lloyd iteration monotone under streamcluster's metric.
+/// Empty clusters keep their centre.
+pub fn update_centres(points: &PointSet, assignment: &[u32], k: usize, centres: &mut [f64]) {
+    let dim = points.dim;
+    // Gather per-cluster, per-dimension values.
+    let mut values: Vec<Vec<f64>> = vec![Vec::new(); k * dim];
+    for (i, &a) in assignment.iter().enumerate() {
+        let p = points.point(i);
+        for d in 0..dim {
+            values[a as usize * dim + d].push(p[d]);
+        }
+    }
+    for (slot, vals) in values.iter_mut().enumerate() {
+        if vals.is_empty() {
+            continue;
+        }
+        vals.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
+        centres[slot] = vals[vals.len() / 2];
+    }
+}
+
+/// Runs `iterations` assign/update rounds from NPB-seeded random centres;
+/// returns the cost after each round.
+pub fn streamcluster_benchmark(
+    points: &PointSet,
+    k: usize,
+    iterations: usize,
+    threads: usize,
+) -> Vec<f64> {
+    let mut rng = NpbRng::new(271_828_183.0);
+    let mut centres: Vec<f64> = (0..k * points.dim).map(|_| rng.next() * 10.0).collect();
+    let mut costs = Vec::with_capacity(iterations);
+    for _ in 0..iterations {
+        let (assignment, cost) = assign(points, &centres, k, threads);
+        update_centres(points, &assignment, k, &mut centres);
+        costs.push(cost);
+    }
+    costs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_is_monotone_nonincreasing() {
+        let points = PointSet::synthetic(2_000, 8, 5, 314_159_265.0);
+        let costs = streamcluster_benchmark(&points, 5, 6, 3);
+        for w in costs.windows(2) {
+            assert!(
+                w[1] <= w[0] * (1.0 + 1e-9),
+                "cost increased: {costs:?}"
+            );
+        }
+        assert!(costs.last().unwrap() < &(costs[0] * 0.9), "no progress");
+    }
+
+    #[test]
+    fn assignment_picks_nearest_centre() {
+        let points = PointSet {
+            n: 2,
+            dim: 2,
+            data: vec![0.0, 0.0, 10.0, 10.0],
+        };
+        let centres = vec![0.5, 0.5, 9.0, 9.0];
+        let (a, cost) = assign(&points, &centres, 2, 2);
+        assert_eq!(a, vec![0, 1]);
+        assert!((cost - (1.0 + 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_result() {
+        let points = PointSet::synthetic(999, 4, 3, 123_456_789.0);
+        let a = streamcluster_benchmark(&points, 3, 3, 1);
+        let b = streamcluster_benchmark(&points, 3, 3, 7);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn recovers_planted_blobs() {
+        // With k matching the planted blob count, the per-point cost must
+        // end near the noise floor (E|N(0,0.5)| per dim ≈ 0.35 ⇒ ~2.9 for
+        // dim 8).
+        let points = PointSet::synthetic(3_000, 8, 4, 314_159_265.0);
+        let costs = streamcluster_benchmark(&points, 4, 10, 4);
+        let per_point = costs.last().unwrap() / points.n as f64;
+        assert!(per_point < 5.0, "per-point cost {per_point}");
+    }
+}

@@ -1,0 +1,188 @@
+//! The NPB pseudo-random number generator (`randlc`).
+//!
+//! NPB benchmarks share one generator: the 46-bit linear congruential
+//! scheme `x_{k+1} = a·x_k mod 2^46` with `a = 5^13`, returning
+//! `x_k · 2^-46 ∈ (0, 1)`. EP is *defined* by this sequence (its verified
+//! counts depend on it), and IS/CG use it to build inputs, so the port
+//! implements it exactly — including the split-multiply arithmetic that
+//! keeps every intermediate below 2^46, and the `O(log k)` jump-ahead that
+//! lets threads generate disjoint subsequences independently (this is how
+//! the OpenMP NPB parallelises EP).
+
+/// Multiplier `a = 5^13 = 1220703125`.
+pub const A: f64 = 1_220_703_125.0;
+
+/// The default seed NPB uses for EP.
+pub const EP_SEED: f64 = 271_828_183.0;
+
+const R23: f64 = 1.0 / 8_388_608.0; // 2^-23
+const T23: f64 = 8_388_608.0; // 2^23
+const R46: f64 = R23 * R23;
+const T46: f64 = T23 * T23;
+
+/// One `randlc` step: advances `x` and returns the uniform value in (0,1).
+///
+/// `x` and `a` must be integers representable in 46 bits, stored in `f64`
+/// (the NPB convention; exactly representable since 46 < 53).
+pub fn randlc(x: &mut f64, a: f64) -> f64 {
+    // Split a and x into upper and lower 23-bit halves.
+    let t1 = R23 * a;
+    let a1 = t1.trunc();
+    let a2 = a - T23 * a1;
+
+    let t1 = R23 * *x;
+    let x1 = t1.trunc();
+    let x2 = *x - T23 * x1;
+
+    // z = a·x mod 2^46 without overflowing 2^46 in any partial product.
+    let t1 = a1 * x2 + a2 * x1;
+    let t2 = (R23 * t1).trunc();
+    let z = t1 - T23 * t2;
+    let t3 = T23 * z + a2 * x2;
+    let t4 = (R46 * t3).trunc();
+    *x = t3 - T46 * t4;
+    R46 * *x
+}
+
+/// Computes `a^exp mod 2^46` by binary exponentiation — the NPB
+/// `ipow46`, used to jump a generator ahead by `exp` steps.
+pub fn ipow46(a: f64, mut exp: u64) -> f64 {
+    let mut result = 1.0;
+    if exp == 0 {
+        return result;
+    }
+    let mut q = a;
+    // Square-and-multiply; randlc(&mut x, a) sets x ← a·x mod 2^46, which
+    // doubles as our modular multiply.
+    while exp > 1 {
+        if exp % 2 == 1 {
+            randlc(&mut result, q);
+        }
+        let q_copy = q;
+        randlc(&mut q, q_copy);
+        exp /= 2;
+    }
+    randlc(&mut result, q);
+    result
+}
+
+/// A stateful NPB generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NpbRng {
+    x: f64,
+}
+
+impl NpbRng {
+    /// Creates a generator with seed `seed` (a 46-bit integer in `f64`).
+    pub fn new(seed: f64) -> NpbRng {
+        assert!(
+            seed > 0.0 && seed < T46 && seed.fract() == 0.0,
+            "seed must be a positive 46-bit integer"
+        );
+        NpbRng { x: seed }
+    }
+
+    /// Creates a generator positioned `offset` steps after `seed` — the
+    /// jump-ahead threads use to own disjoint subsequences.
+    pub fn with_offset(seed: f64, offset: u64) -> NpbRng {
+        let mut rng = NpbRng::new(seed);
+        if offset > 0 {
+            let jump = ipow46(A, offset);
+            randlc(&mut rng.x, jump);
+            // randlc both multiplies the state and *advances* once, so the
+            // state is now seed·a^(offset+1)·... — no: randlc sets
+            // x ← jump·x mod 2^46 = seed·a^offset, exactly offset steps in.
+        }
+        rng
+    }
+
+    /// Next uniform value in (0, 1).
+    #[inline]
+    #[allow(clippy::should_implement_trait)] // NPB calls this step "randlc next"
+    pub fn next(&mut self) -> f64 {
+        randlc(&mut self.x, A)
+    }
+
+    /// The raw 46-bit state.
+    #[inline]
+    pub fn state(&self) -> f64 {
+        self.x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_in_unit_interval_and_deterministic() {
+        let mut a = NpbRng::new(EP_SEED);
+        let mut b = NpbRng::new(EP_SEED);
+        for _ in 0..10_000 {
+            let va = a.next();
+            assert!(va > 0.0 && va < 1.0);
+            assert_eq!(va, b.next());
+        }
+    }
+
+    #[test]
+    fn state_stays_integral_46_bit() {
+        let mut rng = NpbRng::new(EP_SEED);
+        for _ in 0..1000 {
+            rng.next();
+            let x = rng.state();
+            assert_eq!(x.fract(), 0.0, "state must stay integral");
+            assert!(x > 0.0 && x < T46);
+        }
+    }
+
+    #[test]
+    fn jump_ahead_matches_stepping() {
+        for offset in [1u64, 2, 7, 100, 12345] {
+            let mut stepped = NpbRng::new(EP_SEED);
+            for _ in 0..offset {
+                stepped.next();
+            }
+            let jumped = NpbRng::with_offset(EP_SEED, offset);
+            assert_eq!(
+                jumped.state(),
+                stepped.state(),
+                "offset {offset} must match sequential stepping"
+            );
+        }
+    }
+
+    #[test]
+    fn ipow46_matches_repeated_multiplication() {
+        // a^5 mod 2^46 via 5 explicit modular multiplies.
+        let mut x = 1.0;
+        for _ in 0..5 {
+            randlc(&mut x, A);
+        }
+        assert_eq!(ipow46(A, 5), x);
+        assert_eq!(ipow46(A, 0), 1.0);
+        assert_eq!(ipow46(A, 1), A);
+    }
+
+    #[test]
+    fn mean_is_about_half() {
+        let mut rng = NpbRng::new(EP_SEED);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.next()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn disjoint_thread_streams() {
+        // Two threads with offsets 0 and 1000 generating 1000 values each
+        // reproduce the first 2000 values of the master sequence.
+        let mut master = NpbRng::new(EP_SEED);
+        let reference: Vec<f64> = (0..2000).map(|_| master.next()).collect();
+        let mut t0 = NpbRng::with_offset(EP_SEED, 0);
+        let mut t1 = NpbRng::with_offset(EP_SEED, 1000);
+        let first: Vec<f64> = (0..1000).map(|_| t0.next()).collect();
+        let second: Vec<f64> = (0..1000).map(|_| t1.next()).collect();
+        assert_eq!(first, reference[..1000]);
+        assert_eq!(second, reference[1000..]);
+    }
+}

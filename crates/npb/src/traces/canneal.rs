@@ -1,0 +1,122 @@
+//! canneal access-trace generator.
+//!
+//! Annealing swaps evaluate wirelength deltas by chasing the neighbour
+//! lists of two random elements: a *dependent* random gather over the
+//! whole netlist (the location array plus the adjacency lists), with a
+//! handful of arithmetic per hop. With essentially no memory-level
+//! parallelism, canneal is latency-bound rather than bandwidth-bound: it
+//! pays full DRAM latency per hop but exerts a low request *rate*, so —
+//! like every PARSEC program in the paper — its contention stays low even
+//! though the traffic is far from streaming.
+
+use crate::classes::{self, ProblemClass};
+use crate::traces::{Layout, Phase, PhaseWorkload};
+
+/// Derived simulation-scale parameters for a canneal run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CannealParams {
+    /// Netlist elements after scaling.
+    pub elements: u64,
+    /// Annealing steps per thread.
+    pub steps: u64,
+    /// Bytes of netlist state (locations + adjacency).
+    pub netlist_bytes: u64,
+}
+
+/// Computes the scaled parameters for `class` (PARSEC netlists of 10⁵–10⁶
+/// elements mapped onto the class ladder).
+pub fn params(class: ProblemClass, scale: f64) -> CannealParams {
+    let paper_elements: u64 = match class {
+        ProblemClass::S => 10_000,
+        ProblemClass::W => 100_000,
+        ProblemClass::A => 400_000,
+        ProblemClass::B => 1_000_000,
+        ProblemClass::C => 2_500_000, // the native input's 2.5M elements
+    };
+    let elements = classes::scaled(paper_elements, scale, 1_024);
+    CannealParams {
+        elements,
+        steps: 12_000,
+        netlist_bytes: elements * (4 + 5 * 4), // loc + ~5 neighbour ids
+    }
+}
+
+/// Builds the canneal trace workload.
+pub fn workload(class: ProblemClass, scale: f64, threads: usize) -> PhaseWorkload {
+    assert!(threads >= 1);
+    let p = params(class, scale);
+    let mut layout = Layout::default();
+    let netlist = layout.alloc(p.netlist_bytes);
+
+    let mut all = Vec::with_capacity(threads);
+    for _t in 0..threads {
+        let mut phases = Vec::new();
+        // Load the netlist (streaming first touch, split evenly: canneal
+        // shares one netlist; threads race through it — model as each
+        // thread touching 1/threads of it).
+        let line = 64u64;
+        let share_lines = (p.netlist_bytes / threads as u64).div_ceil(line).max(1);
+        phases.push(Phase::Sweep {
+            base: netlist + _t as u64 * share_lines * line,
+            count: share_lines,
+            stride: line,
+            write: true,
+            dependent: false,
+            compute_per_access: 10,
+        });
+        phases.push(Phase::Barrier);
+        // Annealing: per step, two elements × (location read + neighbour
+        // list walk) — dependent random gathers with light arithmetic.
+        phases.push(Phase::RandomAccess {
+            base: netlist,
+            len: p.netlist_bytes,
+            count: p.steps * 4,
+            write: false,
+            dependent: true,
+            compute_per_access: 20,
+        });
+        // Accepted swaps write both locations back (~1/3 acceptance).
+        phases.push(Phase::RandomAccess {
+            base: netlist,
+            len: p.netlist_bytes,
+            count: p.steps / 3,
+            write: true,
+            dependent: true,
+            compute_per_access: 6,
+        });
+        phases.push(Phase::Barrier);
+        all.push(phases);
+    }
+    PhaseWorkload::new(format!("canneal.{class}"), all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use offchip_machine::{run, SimConfig};
+    use offchip_topology::machines;
+
+    #[test]
+    fn latency_bound_not_bandwidth_bound() {
+        let machine = machines::intel_uma_8().scaled(1.0 / 64.0);
+        let w = workload(ProblemClass::C, 1.0 / 64.0, 8);
+        let r1 = run(&w, &SimConfig::new(machine.clone(), 1));
+        let r8 = run(&w, &SimConfig::new(machine, 8));
+        let omega = (r8.counters.total_cycles as f64 - r1.counters.total_cycles as f64)
+            / r1.counters.total_cycles as f64;
+        // Pointer chasing mostly stalls on latency, not on the shared
+        // controller: adding cores adds little queueing.
+        assert!(omega < 1.2, "canneal omega(8) = {omega:.2} should be low");
+        // And it is memory-stalled, not compute-bound.
+        let stall_frac =
+            r1.counters.stall_cycles as f64 / r1.counters.total_cycles as f64;
+        assert!(stall_frac > 0.5, "stall fraction {stall_frac:.2}");
+    }
+
+    #[test]
+    fn params_scale() {
+        let w = params(ProblemClass::W, 1.0 / 64.0);
+        let c = params(ProblemClass::C, 1.0 / 64.0);
+        assert!(c.elements > 10 * w.elements);
+    }
+}

@@ -1,0 +1,193 @@
+//! CG access-trace generator: sparse conjugate-gradient iterations.
+//!
+//! NPB CG approximates the largest eigenvalue of a sparse symmetric matrix
+//! by conjugate-gradient solves. Off-chip behaviour per iteration, per
+//! thread (a contiguous block of rows):
+//!
+//! * **matvec** `q = A·p` — the dominant phase: streaming reads of the
+//!   row's values and column indices (unit stride, prefetch-friendly,
+//!   independent) plus gathers of `p[col]` at random columns. The vector
+//!   `p` is `n·8` bytes — it fits in cache for every class (even class C's
+//!   150,000-row vector is 1.2 MB against a 12 MB L3), so the gathers
+//!   mostly hit; traffic is dominated by the `nnz·12`-byte sweep of the
+//!   matrix, which is why CG shows *moderate* contention in the paper
+//!   (ω up to ≈3.3) rather than SP's extremes.
+//! * **vector updates** — a handful of unit-stride AXPY/dot sweeps.
+//!
+//! The working set is `nnz·12` bytes: from 17 KB (class S, scaled) —
+//! cache-resident, bursty cold traffic only — to ≈7 MB (class C, scaled)
+//! — 35× the scaled L3, saturating the controllers. These are the same
+//! fits/doesn't-fit relationships as the paper's Table III sizes against
+//! 8–12 MB LLCs.
+
+use crate::classes::{self, ProblemClass};
+use crate::traces::{chunk, Layout, Phase, PhaseWorkload};
+
+/// Derived simulation-scale parameters for a CG run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CgParams {
+    /// Matrix order (rows) after scaling.
+    pub n: u64,
+    /// Nonzeros per row.
+    pub row_density: u64,
+    /// Total nonzeros.
+    pub nnz: u64,
+    /// CG iterations.
+    pub iterations: u64,
+    /// Matrix bytes (values + column indices).
+    pub matrix_bytes: u64,
+}
+
+/// Computes the scaled parameters for `class`.
+pub fn params(class: ProblemClass, scale: f64) -> CgParams {
+    let n = classes::scaled(classes::cg_order(class), scale, 64);
+    let row_density = classes::cg_row_density(class);
+    let nnz = n * row_density;
+    CgParams {
+        n,
+        row_density,
+        nnz,
+        iterations: classes::cg_iterations(class),
+        matrix_bytes: nnz * 12, // 8-byte value + 4-byte column index
+    }
+}
+
+/// Builds the CG trace workload for `threads` threads.
+pub fn workload(class: ProblemClass, scale: f64, threads: usize) -> PhaseWorkload {
+    assert!(threads >= 1);
+    let p = params(class, scale);
+    let mut layout = Layout::default();
+    let matrix = layout.alloc(p.matrix_bytes);
+    let vec_bytes = p.n * 8;
+    let x = layout.alloc(vec_bytes);
+    let pvec = layout.alloc(vec_bytes);
+    let q = layout.alloc(vec_bytes);
+    let r = layout.alloc(vec_bytes);
+
+    let line = 64u64;
+    let mut all = Vec::with_capacity(threads);
+    for t in 0..threads {
+        let (row0, rows) = chunk(p.n, threads as u64, t as u64);
+        let nnz0 = row0 * p.row_density;
+        let chunk_nnz = rows * p.row_density;
+        let chunk_matrix_base = matrix + nnz0 * 12;
+        let chunk_matrix_lines = (chunk_nnz * 12).div_ceil(line);
+        let chunk_vec_base = |v: u64| v + row0 * 8;
+        let chunk_vec_lines = (rows * 8).div_ceil(line).max(1);
+
+        let mut phases = Vec::new();
+
+        // Initialisation: every thread first-touches its partition of the
+        // matrix and vectors (this is also NPB's makea + aliasing pass, and
+        // what binds pages under first-touch NUMA placement).
+        phases.push(Phase::Sweep {
+            base: chunk_matrix_base,
+            count: chunk_matrix_lines,
+            stride: line,
+            write: true,
+            dependent: false,
+            compute_per_access: 20,
+        });
+        for v in [x, pvec, q, r] {
+            phases.push(Phase::Sweep {
+                base: chunk_vec_base(v),
+                count: chunk_vec_lines,
+                stride: line,
+                write: true,
+                dependent: false,
+                compute_per_access: 4,
+            });
+        }
+        phases.push(Phase::Barrier);
+
+        for _ in 0..p.iterations {
+            // matvec: stream the matrix chunk; ~5.3 nonzeros per 64-byte
+            // line of values ⇒ the per-line compute folds the FMAs and
+            // index loads. One explicit gather of p[col] per matrix line
+            // keeps gather traffic in the trace without tripling its size
+            // (the remaining gathers hit L1 and fold into compute).
+            phases.push(Phase::Sweep {
+                base: chunk_matrix_base,
+                count: chunk_matrix_lines,
+                stride: line,
+                write: false,
+                dependent: false,
+                compute_per_access: 36,
+            });
+            phases.push(Phase::RandomAccess {
+                base: pvec,
+                len: vec_bytes,
+                count: chunk_matrix_lines,
+                write: false,
+                dependent: false,
+                compute_per_access: 8,
+            });
+            // q chunk written.
+            phases.push(Phase::Sweep {
+                base: chunk_vec_base(q),
+                count: chunk_vec_lines,
+                stride: line,
+                write: true,
+                dependent: false,
+                compute_per_access: 2,
+            });
+            phases.push(Phase::Barrier);
+            // Vector updates: dot(p,q) reduction, x/r AXPYs, new p.
+            for (v, write) in [(pvec, false), (r, true), (x, true), (pvec, true)] {
+                phases.push(Phase::Sweep {
+                    base: chunk_vec_base(v),
+                    count: chunk_vec_lines,
+                    stride: line,
+                    write,
+                    dependent: false,
+                    compute_per_access: 8,
+                });
+            }
+            phases.push(Phase::Barrier);
+        }
+        all.push(phases);
+    }
+    PhaseWorkload::new(format!("CG.{class}"), all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use offchip_machine::{run, SimConfig, Workload as _};
+    use offchip_topology::machines;
+
+    #[test]
+    fn params_scale_with_class() {
+        let s = params(ProblemClass::S, 1.0 / 64.0);
+        let c = params(ProblemClass::C, 1.0 / 64.0);
+        assert!(c.n > 30 * s.n, "c.n={} s.n={}", c.n, s.n);
+        assert!(c.matrix_bytes > 100 * s.matrix_bytes);
+        // Scaled class C working set ≈ 7 MB, far above a 192 KB scaled L3.
+        assert!(c.matrix_bytes > 4 << 20, "bytes={}", c.matrix_bytes);
+        // Scaled class S fits comfortably in cache.
+        assert!(s.matrix_bytes < 64 << 10, "bytes={}", s.matrix_bytes);
+    }
+
+    #[test]
+    fn workload_has_threads_and_accesses() {
+        let w = workload(ProblemClass::S, 1.0 / 64.0, 8);
+        assert_eq!(w.n_threads(), 8);
+        assert!(w.total_accesses() > 1000);
+        assert_eq!(w.name(), "CG.S");
+    }
+
+    #[test]
+    fn small_class_low_miss_large_class_high_miss() {
+        let machine = machines::intel_uma_8().scaled(1.0 / 64.0);
+        let small = workload(ProblemClass::S, 1.0 / 64.0, 8);
+        let large = workload(ProblemClass::A, 1.0 / 64.0, 8);
+        let rs = run(&small, &SimConfig::new(machine.clone(), 8));
+        let rl = run(&large, &SimConfig::new(machine, 8));
+        let ratio_small = rs.counters.llc_misses as f64 / rs.counters.llc_accesses.max(1) as f64;
+        let ratio_large = rl.counters.llc_misses as f64 / rl.counters.llc_accesses.max(1) as f64;
+        assert!(
+            ratio_large > 2.0 * ratio_small,
+            "LLC miss ratio small={ratio_small:.3} vs large={ratio_large:.3}"
+        );
+    }
+}

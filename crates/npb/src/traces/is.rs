@@ -1,0 +1,160 @@
+//! IS access-trace generator: parallel bucket (counting) sort.
+//!
+//! NPB IS ranks integer keys: each iteration builds per-thread histograms
+//! over a small bucket array (cache-resident), prefix-sums them, and
+//! scatters keys to their ranked positions. Traffic per iteration is two
+//! passes over the key array — a streaming read and a bucket-clustered
+//! write — with almost no arithmetic in between, giving the moderate
+//! contention the paper reports (Table II: ω up to 0.85 on class C).
+
+use crate::classes::{self, ProblemClass};
+use crate::traces::{chunk, Layout, Phase, PhaseWorkload};
+
+/// Derived simulation-scale parameters for an IS run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IsParams {
+    /// Number of keys after scaling.
+    pub keys: u64,
+    /// Ranking iterations.
+    pub iterations: u64,
+    /// Key array bytes (4-byte keys).
+    pub key_bytes: u64,
+    /// Bucket array bytes.
+    pub bucket_bytes: u64,
+}
+
+/// Computes the scaled parameters for `class`.
+pub fn params(class: ProblemClass, scale: f64) -> IsParams {
+    let keys = classes::scaled(classes::is_keys(class), scale, 4096);
+    IsParams {
+        keys,
+        iterations: classes::is_iterations(class),
+        key_bytes: keys * 4,
+        bucket_bytes: 1 << 13, // 2^11 buckets × 4 bytes
+    }
+}
+
+/// Builds the IS trace workload.
+pub fn workload(class: ProblemClass, scale: f64, threads: usize) -> PhaseWorkload {
+    assert!(threads >= 1);
+    let p = params(class, scale);
+    let line = 64u64;
+    let mut layout = Layout::default();
+    let keys = layout.alloc(p.key_bytes);
+    let out = layout.alloc(p.key_bytes);
+    let buckets = layout.alloc(p.bucket_bytes * threads as u64); // per-thread histograms
+
+    let mut all = Vec::with_capacity(threads);
+    for t in 0..threads {
+        let (k0, klen) = chunk(p.keys, threads as u64, t as u64);
+        let chunk_base = keys + k0 * 4;
+        let chunk_lines = (klen * 4).div_ceil(line).max(1);
+        let my_buckets = buckets + t as u64 * p.bucket_bytes;
+
+        let mut phases = Vec::new();
+        // Key generation: each thread writes its chunk (first touch).
+        phases.push(Phase::Sweep {
+            base: chunk_base,
+            count: chunk_lines,
+            stride: line,
+            write: true,
+            dependent: false,
+            compute_per_access: 150, // 16 keys per line, randlc ~9 cyc each
+        });
+        phases.push(Phase::Barrier);
+
+        for _ in 0..p.iterations {
+            // Histogram: stream keys, bump buckets (cache-resident).
+            phases.push(Phase::Sweep {
+                base: chunk_base,
+                count: chunk_lines,
+                stride: line,
+                write: false,
+                dependent: false,
+                compute_per_access: 120,
+            });
+            phases.push(Phase::RandomAccess {
+                base: my_buckets,
+                len: p.bucket_bytes,
+                count: chunk_lines,
+                write: true,
+                dependent: false,
+                compute_per_access: 30,
+            });
+            phases.push(Phase::Barrier);
+            // Prefix sum over all histograms: small, shared.
+            phases.push(Phase::RandomAccess {
+                base: buckets,
+                len: p.bucket_bytes * threads as u64,
+                count: 128,
+                write: false,
+                dependent: true,
+                compute_per_access: 2,
+            });
+            phases.push(Phase::Barrier);
+            // Scatter: re-read keys, write each to its ranked slot. Writes
+            // cluster per bucket run, so line granularity over the output
+            // in quasi-random order models the traffic.
+            phases.push(Phase::Sweep {
+                base: chunk_base,
+                count: chunk_lines,
+                stride: line,
+                write: false,
+                dependent: false,
+                compute_per_access: 80,
+            });
+            // Each bucket's output pointer advances sequentially, so at
+            // line granularity the scatter is a set of advancing streams;
+            // the per-thread slice covers its share of the output once.
+            phases.push(Phase::Sweep {
+                base: out + k0 * 4,
+                count: chunk_lines,
+                stride: line,
+                write: true,
+                dependent: false,
+                compute_per_access: 80,
+            });
+            phases.push(Phase::Barrier);
+        }
+        all.push(phases);
+    }
+    PhaseWorkload::new(format!("IS.{class}"), all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use offchip_machine::{run, SimConfig};
+    use offchip_topology::machines;
+
+    #[test]
+    fn key_counts_follow_spec() {
+        let s = params(ProblemClass::S, 1.0);
+        assert_eq!(s.keys, 1 << 16);
+        let c = params(ProblemClass::C, 1.0);
+        assert_eq!(c.keys, 1 << 27);
+        let scaled_c = params(ProblemClass::C, 1.0 / 64.0);
+        assert_eq!(scaled_c.keys, 1 << 21);
+    }
+
+    #[test]
+    fn is_class_c_has_more_contention_than_w() {
+        let machine = machines::intel_uma_8().scaled(1.0 / 64.0);
+        let omega = |class| {
+            let w = workload(class, 1.0 / 64.0, 8);
+            let c1 = run(&w, &SimConfig::new(machine.clone(), 1))
+                .counters
+                .total_cycles as f64;
+            let c8 = run(&w, &SimConfig::new(machine.clone(), 8))
+                .counters
+                .total_cycles as f64;
+            (c8 - c1) / c1
+        };
+        let w_omega = omega(ProblemClass::W);
+        let c_omega = omega(ProblemClass::B); // class B keeps the test quick
+        assert!(
+            c_omega > w_omega,
+            "larger class must contend more: W {w_omega:.2} vs B {c_omega:.2}"
+        );
+    }
+}

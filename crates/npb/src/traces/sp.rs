@@ -1,0 +1,182 @@
+//! SP access-trace generator: scalar pentadiagonal ADI solver.
+//!
+//! NPB SP advances a 3-D structured grid through alternating-direction-
+//! implicit time steps: compute the right-hand sides, then solve scalar
+//! pentadiagonal systems along *every line of every dimension*, for five
+//! solution variables with a dozen working arrays. As the paper puts it,
+//! SP "access memories along all dimensions of a 3D space. Such complex
+//! data access patterns leads to large number of cache misses" — the
+//! highest contention of all profiled programs (Table II: ω(24) = 11.59 on
+//! Intel NUMA, ω(8) = 7.05 on UMA for class C).
+//!
+//! The trace stacks many arrays, sweeps them once per time step for the
+//! RHS, and walks two of the three solve dimensions with cache-defeating
+//! strides, at very low arithmetic per access — which is exactly what
+//! makes the per-core request rate `L` (and hence the M/M/1 pressure
+//! `n·L/μ`) the largest of the suite.
+
+use crate::classes::{self, ProblemClass};
+use crate::traces::{chunk, Layout, Phase, PhaseWorkload};
+
+/// Derived simulation-scale parameters for an SP run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpParams {
+    /// Grid cells (cube of the scaled edge).
+    pub cells: u64,
+    /// Number of grid-sized working arrays (u, rhs, lhs, aux).
+    pub arrays: u64,
+    /// ADI time steps.
+    pub iterations: u64,
+    /// Bytes per array.
+    pub array_bytes: u64,
+}
+
+/// Cap on scaled per-array bytes (trace-volume bound, cf. `ft::params`).
+const ARRAY_BYTES_CAP: u64 = 512 << 10;
+
+/// Computes the scaled parameters for `class`.
+pub fn params(class: ProblemClass, scale: f64) -> SpParams {
+    // Edge scales with the cube root of the volume scale so the cell count
+    // scales linearly with `scale`, like every other working set.
+    let edge_paper = classes::sp_grid(class);
+    let cells_paper = edge_paper * edge_paper * edge_paper;
+    let cells = classes::scaled(cells_paper, scale, 512).min(ARRAY_BYTES_CAP / 8);
+    SpParams {
+        cells,
+        arrays: 8,
+        iterations: classes::sp_iterations(class),
+        array_bytes: cells * 8,
+    }
+}
+
+/// Builds the SP trace workload.
+pub fn workload(class: ProblemClass, scale: f64, threads: usize) -> PhaseWorkload {
+    assert!(threads >= 1);
+    let p = params(class, scale);
+    let line = 64u64;
+    let mut layout = Layout::default();
+    let arrays: Vec<u64> = (0..p.arrays).map(|_| layout.alloc(p.array_bytes)).collect();
+
+    let mut all = Vec::with_capacity(threads);
+    for t in 0..threads {
+        let (c0, clen) = chunk(p.cells, threads as u64, t as u64);
+        let slab = |arr: u64| arr + c0 * 8;
+        let slab_lines = (clen * 8).div_ceil(line).max(1);
+
+        let mut phases = Vec::new();
+        // initialize: exact_rhs + first touch of every array slab.
+        for &arr in &arrays {
+            phases.push(Phase::Sweep {
+                base: slab(arr),
+                count: slab_lines,
+                stride: line,
+                write: true,
+                dependent: false,
+                compute_per_access: 10,
+            });
+        }
+        phases.push(Phase::Barrier);
+
+        for _ in 0..p.iterations {
+            // compute_rhs: stream u and the four stencil/aux arrays.
+            for &arr in &arrays[..5] {
+                phases.push(Phase::Sweep {
+                    base: slab(arr),
+                    count: slab_lines,
+                    stride: line,
+                    write: arr == arrays[4], // rhs written, others read
+                    dependent: false,
+                    compute_per_access: 2,
+                });
+            }
+            phases.push(Phase::Barrier);
+            // x_solve: unit-stride Thomas sweeps over lhs + rhs.
+            for &arr in &arrays[4..7] {
+                phases.push(Phase::Sweep {
+                    base: slab(arr),
+                    count: slab_lines,
+                    stride: line,
+                    write: true,
+                    dependent: false,
+                    compute_per_access: 2,
+                });
+            }
+            phases.push(Phase::Barrier);
+            // y_solve and z_solve: plane-strided line solves — the
+            // cache-defeating passes that dominate SP's miss rate.
+            for _dim in 0..2 {
+                for &arr in &arrays[4..8] {
+                    phases.push(Phase::RandomAccess {
+                        base: arr,
+                        len: p.array_bytes,
+                        count: slab_lines,
+                        write: false,
+                        dependent: false,
+                        compute_per_access: 1,
+                    });
+                    phases.push(Phase::RandomAccess {
+                        base: arr,
+                        len: p.array_bytes,
+                        count: slab_lines,
+                        write: true,
+                        dependent: false,
+                        compute_per_access: 1,
+                    });
+                }
+                phases.push(Phase::Barrier);
+            }
+            // add: u += rhs, streaming.
+            phases.push(Phase::Sweep {
+                base: slab(arrays[0]),
+                count: slab_lines,
+                stride: line,
+                write: true,
+                dependent: false,
+                compute_per_access: 4,
+            });
+            phases.push(Phase::Barrier);
+        }
+        all.push(phases);
+    }
+    PhaseWorkload::new(format!("SP.{class}"), all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use offchip_machine::{run, SimConfig};
+    use offchip_topology::machines;
+
+    #[test]
+    fn params_grow_with_class_and_cap() {
+        let s = params(ProblemClass::S, 1.0 / 64.0);
+        let c = params(ProblemClass::C, 1.0 / 64.0);
+        assert!(s.cells < c.cells);
+        assert!(c.array_bytes <= ARRAY_BYTES_CAP);
+        // Total working set for class C: 8 arrays ≈ 4 MB ≫ scaled LLCs.
+        assert!(c.array_bytes * c.arrays > 2 << 20);
+    }
+
+    #[test]
+    fn sp_contention_exceeds_cg_on_uma() {
+        // The paper's headline ordering: SP.C is the worst contender.
+        let machine = machines::intel_uma_8().scaled(1.0 / 64.0);
+        let omega = |w: &PhaseWorkload| {
+            let c1 = run(w, &SimConfig::new(machine.clone(), 1))
+                .counters
+                .total_cycles as f64;
+            let c8 = run(w, &SimConfig::new(machine.clone(), 8))
+                .counters
+                .total_cycles as f64;
+            (c8 - c1) / c1
+        };
+        let sp = workload(ProblemClass::A, 1.0 / 64.0, 8);
+        let cg = crate::traces::cg::workload(ProblemClass::A, 1.0 / 64.0, 8);
+        let sp_omega = omega(&sp);
+        let cg_omega = omega(&cg);
+        assert!(
+            sp_omega > cg_omega,
+            "SP ω {sp_omega:.2} must exceed CG ω {cg_omega:.2}"
+        );
+    }
+}

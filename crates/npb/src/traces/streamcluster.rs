@@ -1,0 +1,139 @@
+//! streamcluster access-trace generator.
+//!
+//! The assign loop streams the point block (sequential, prefetch-friendly)
+//! with `k·dim` arithmetic per point against a cache-resident centre
+//! table; the update step re-streams the block. Like x264, a large
+//! working set with a compute-dominated inner loop ⇒ low contention —
+//! which is exactly why the paper lumps "all PARSEC programs" into the
+//! low-contention class (§III-B.1).
+
+use crate::classes::{self, ProblemClass};
+use crate::traces::{chunk, Layout, Phase, PhaseWorkload};
+
+/// Derived simulation-scale parameters for a streamcluster run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamclusterParams {
+    /// Points after scaling.
+    pub points: u64,
+    /// Bytes per point (dim 32 × 4-byte floats, the PARSEC shape).
+    pub point_bytes: u64,
+    /// Assign/update iterations.
+    pub iterations: u64,
+}
+
+/// Computes the scaled parameters for `class` (PARSEC inputs mapped onto
+/// NPB-style classes: simsmall ≈ W … native ≈ C).
+pub fn params(class: ProblemClass, scale: f64) -> StreamclusterParams {
+    let paper_points: u64 = match class {
+        ProblemClass::S => 4_096,
+        ProblemClass::W => 16_384,
+        ProblemClass::A => 65_536,
+        ProblemClass::B => 262_144,
+        ProblemClass::C => 1_048_576, // the native input's point count
+    };
+    StreamclusterParams {
+        points: classes::scaled(paper_points, scale, 512),
+        point_bytes: 128,
+        iterations: 6,
+    }
+}
+
+/// Builds the streamcluster trace workload.
+pub fn workload(class: ProblemClass, scale: f64, threads: usize) -> PhaseWorkload {
+    assert!(threads >= 1);
+    let p = params(class, scale);
+    let line = 64u64;
+    let mut layout = Layout::default();
+    let block = layout.alloc(p.points * p.point_bytes);
+    let centres = layout.alloc(8 * 1024); // k × dim floats: cache-resident
+    let assignment = layout.alloc(p.points * 4);
+
+    let mut all = Vec::with_capacity(threads);
+    for t in 0..threads {
+        let (p0, plen) = chunk(p.points, threads as u64, t as u64);
+        let slab = block + p0 * p.point_bytes;
+        let slab_lines = (plen * p.point_bytes).div_ceil(line).max(1);
+        let assign_lines = (plen * 4).div_ceil(line).max(1);
+
+        let mut phases = Vec::new();
+        // Read the input stream in (first touch).
+        phases.push(Phase::Sweep {
+            base: slab,
+            count: slab_lines,
+            stride: line,
+            write: true,
+            dependent: false,
+            compute_per_access: 12,
+        });
+        phases.push(Phase::Barrier);
+
+        for _ in 0..p.iterations {
+            // Assign: stream points; per 64-byte line (16 floats of a
+            // 128-byte point) the distance loop does k·16 ≈ hundreds of
+            // cycles of arithmetic against the resident centre table.
+            phases.push(Phase::Sweep {
+                base: slab,
+                count: slab_lines,
+                stride: line,
+                write: false,
+                dependent: false,
+                compute_per_access: 320,
+            });
+            phases.push(Phase::RandomAccess {
+                base: centres,
+                len: 8 * 1024,
+                count: slab_lines / 4,
+                write: false,
+                dependent: false,
+                compute_per_access: 8,
+            });
+            phases.push(Phase::Sweep {
+                base: assignment + p0 * 4,
+                count: assign_lines,
+                stride: line,
+                write: true,
+                dependent: false,
+                compute_per_access: 4,
+            });
+            phases.push(Phase::Barrier);
+            // Update: re-stream assigned points into the centre sums.
+            phases.push(Phase::Sweep {
+                base: slab,
+                count: slab_lines,
+                stride: line,
+                write: false,
+                dependent: false,
+                compute_per_access: 60,
+            });
+            phases.push(Phase::Barrier);
+        }
+        all.push(phases);
+    }
+    PhaseWorkload::new(format!("streamcluster.{class}"), all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use offchip_machine::{run, SimConfig};
+    use offchip_topology::machines;
+
+    #[test]
+    fn low_contention_like_all_parsec() {
+        let machine = machines::intel_uma_8().scaled(1.0 / 64.0);
+        let w = workload(ProblemClass::C, 1.0 / 64.0, 8);
+        let c1 = run(&w, &SimConfig::new(machine.clone(), 1))
+            .counters
+            .total_cycles as f64;
+        let c8 = run(&w, &SimConfig::new(machine, 8)).counters.total_cycles as f64;
+        let omega = (c8 - c1) / c1;
+        assert!(omega < 1.0, "streamcluster must stay low, got {omega:.2}");
+    }
+
+    #[test]
+    fn params_scale() {
+        let w = params(ProblemClass::W, 1.0 / 64.0);
+        let c = params(ProblemClass::C, 1.0 / 64.0);
+        assert!(c.points > 10 * w.points);
+    }
+}

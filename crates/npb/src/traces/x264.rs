@@ -1,0 +1,147 @@
+//! x264 access-trace generator: the PARSEC H.264 encoding proxy.
+//!
+//! x264 is the paper's real-world counterexample: a large working set
+//! (≈400 MB for the native input) that nonetheless shows almost no
+//! contention, because motion estimation is compute-dominated and its
+//! reference-window reads have strong locality. Traffic is *bursty*: each
+//! new frame streams in cold (a burst of compulsory misses), then a long
+//! compute-heavy encode phase follows with most reads hitting the cached
+//! reference frame.
+//!
+//! The proxy encodes `frames` synthetic frames: threads split the frame
+//! into macroblock rows; per frame they stream their slice of the raw
+//! input (cold), run motion search against the previous reconstructed
+//! frame (warm reads + heavy compute) and write their slice of the
+//! reconstruction, which becomes the next frame's reference.
+
+use crate::classes::{self, X264Input};
+use crate::traces::{chunk, Layout, Phase, PhaseWorkload};
+
+/// Derived simulation-scale parameters for an x264 run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct X264Params {
+    /// Frames encoded.
+    pub frames: u64,
+    /// Bytes per frame after scaling (YUV 4:2:0 = 1.5 B/pixel).
+    pub frame_bytes: u64,
+    /// Compute cycles per macroblock.
+    pub compute_per_mb: u64,
+}
+
+/// Computes the scaled parameters for a PARSEC input.
+pub fn params(input: X264Input, scale: f64) -> X264Params {
+    let raw = (input.width * input.height * 3) / 2;
+    X264Params {
+        frames: input.frames,
+        frame_bytes: classes::scaled(raw, scale, 4096),
+        compute_per_mb: 800,
+    }
+}
+
+/// Builds the x264 trace workload for a named PARSEC input
+/// (`"simsmall"`, `"simmedium"`, `"simlarge"`, `"native"`).
+///
+/// # Panics
+/// Panics on an unknown input name.
+pub fn workload(input_name: &str, scale: f64, threads: usize) -> PhaseWorkload {
+    assert!(threads >= 1);
+    let input = classes::x264_input(input_name)
+        .unwrap_or_else(|| panic!("unknown x264 input {input_name:?}"));
+    let p = params(input, scale);
+    let line = 64u64;
+    let mut layout = Layout::default();
+    // Rotating raw-input ring (the video streams through fresh pages) and
+    // two reconstruction buffers (current + reference).
+    let raw_ring_frames = p.frames.min(16);
+    let raw_ring = layout.alloc(p.frame_bytes * raw_ring_frames);
+    let recon = [layout.alloc(p.frame_bytes), layout.alloc(p.frame_bytes)];
+
+    // A macroblock covers 16×16 luma pixels ⇒ 384 bytes of YUV420.
+    let mbs_per_frame = (p.frame_bytes / 384).max(1);
+
+    let mut all = Vec::with_capacity(threads);
+    for t in 0..threads {
+        let (mb0, mblen) = chunk(mbs_per_frame, threads as u64, t as u64);
+        let mut phases = Vec::new();
+        for f in 0..p.frames {
+            let raw_frame = raw_ring + (f % raw_ring_frames) * p.frame_bytes;
+            let cur = recon[(f % 2) as usize];
+            let reff = recon[((f + 1) % 2) as usize];
+            let slice_base = |frame: u64| frame + mb0 * 384;
+            let slice_lines = (mblen * 384).div_ceil(line).max(1);
+
+            // Stream the raw slice in (cold burst at the frame boundary).
+            phases.push(Phase::Sweep {
+                base: slice_base(raw_frame),
+                count: slice_lines,
+                stride: line,
+                write: false,
+                dependent: false,
+                compute_per_access: 4,
+            });
+            // Motion search: heavy compute per macroblock with locality-
+            // rich reads of the reference window around the slice.
+            phases.push(Phase::Compute {
+                cycles: p.compute_per_mb * mblen,
+                instructions: p.compute_per_mb * mblen,
+            });
+            phases.push(Phase::RandomAccess {
+                base: slice_base(reff),
+                len: (mblen * 384).max(line),
+                count: mblen * 4,
+                write: false,
+                dependent: false,
+                compute_per_access: 40,
+            });
+            // Reconstruct: write the slice of the current frame.
+            phases.push(Phase::Sweep {
+                base: slice_base(cur),
+                count: slice_lines,
+                stride: line,
+                write: true,
+                dependent: false,
+                compute_per_access: 8,
+            });
+            phases.push(Phase::Barrier);
+        }
+        all.push(phases);
+    }
+    PhaseWorkload::new(format!("x264.{input_name}"), all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use offchip_machine::{run, SimConfig};
+    use offchip_topology::machines;
+
+    #[test]
+    fn native_is_larger_than_simsmall() {
+        let native = params(classes::x264_input("native").unwrap(), 1.0 / 64.0);
+        let small = params(classes::x264_input("simsmall").unwrap(), 1.0 / 64.0);
+        assert!(native.frame_bytes > 5 * small.frame_bytes);
+        assert_eq!(native.frames, 512);
+        assert_eq!(small.frames, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown x264 input")]
+    fn unknown_input_panics() {
+        workload("bogus", 1.0, 2);
+    }
+
+    #[test]
+    fn x264_low_contention_despite_traffic() {
+        let machine = machines::intel_uma_8().scaled(1.0 / 64.0);
+        let w = workload("simlarge", 1.0 / 64.0, 8);
+        let c1 = run(&w, &SimConfig::new(machine.clone(), 1))
+            .counters
+            .total_cycles as f64;
+        let c8 = run(&w, &SimConfig::new(machine, 8)).counters.total_cycles as f64;
+        let omega = (c8 - c1) / c1;
+        assert!(
+            omega < 0.8,
+            "x264 must stay low-contention, ω(8) = {omega:.2}"
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! PAPI-like performance-counter access over the machine simulator.
+//!
+//! The paper reads `PAPI_TOT_CYC`, `PAPI_TOT_INS`, `PAPI_RES_STL`,
+//! `PAPI_L2_TCM` (UMA) and `LLC_MISSES` / `L3_CACHE_MISSES` (NUMA) through
+//! PAPI 3.7/4.1, wraps runs with `papiex`, and samples LLC misses every
+//! 5 µs with a custom fine-grained profiler (§III-A, §III-B.2). This crate
+//! mirrors those three tools against `offchip-machine` run reports:
+//!
+//! * [`papi`] — named events and event sets resolving to counter values;
+//! * [`papiex`] — a per-run textual report with derived metrics (IPC,
+//!   stall fraction, misses per kilo-instruction);
+//! * [`burst`] — the 5 µs window sampler analysis: burst-size CCDF, tail
+//!   diagnostics and the bursty/non-bursty verdict used in Fig. 4.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod burst;
+pub mod papi;
+pub mod papiex;
+
+pub use burst::{BurstAnalysis, BurstVerdict};
+pub use papi::{EventSet, PapiEvent};
+pub use papiex::papiex_report;

@@ -1,0 +1,29 @@
+//! Deterministic discrete-event simulation kernel.
+//!
+//! Every stochastic experiment in the off-chip contention study must be
+//! bit-for-bit reproducible from a seed, so this crate supplies its own
+//! primitives instead of pulling in external randomness:
+//!
+//! * [`rng`] — SplitMix64 seeding and xoshiro256\*\* generation, plus
+//!   samplers for the distributions the workload generators need
+//!   (uniform, exponential, Pareto, Zipf, normal).
+//! * [`time`] — the simulation clock type ([`SimTime`], in core cycles) and
+//!   frequency-aware conversions to wall-clock units (the 5 µs sampler
+//!   window is defined in wall time).
+//! * [`events`] — a time-ordered event queue with stable FIFO tie-breaking,
+//!   the backbone of the machine simulator.
+//! * [`traffic`] — arrival-process generators: Poisson and Pareto-ON/OFF
+//!   sources used by synthetic workloads and by the burstiness ablation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod rng;
+pub mod time;
+pub mod traffic;
+
+pub use events::EventQueue;
+pub use rng::Rng;
+pub use time::{Frequency, SimTime};
+pub use traffic::{OnOffPareto, Poisson};

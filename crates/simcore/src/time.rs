@@ -1,0 +1,163 @@
+//! Simulation time: core cycles with frequency-aware wall-clock conversion.
+//!
+//! The machine simulator advances in units of *core cycles* of the modelled
+//! processor (the paper's counters — `PAPI_TOT_CYC`, `PAPI_RES_STL` — are in
+//! cycles). The 5 µs sampler window of §III-B.2, however, is defined in wall
+//! time, so a [`Frequency`] converts between the two.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in core cycles from simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Raw cycle count.
+    #[inline]
+    pub fn cycles(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference in cycles (`self − earlier`, clamped at 0).
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: u64) -> SimTime {
+        SimTime(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = u64;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.0
+            .checked_sub(rhs.0)
+            .expect("SimTime subtraction underflow")
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cyc", self.0)
+    }
+}
+
+/// A core clock frequency, used to convert between cycles and wall time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Frequency {
+    hz: f64,
+}
+
+impl Frequency {
+    /// Creates a frequency from gigahertz.
+    ///
+    /// # Panics
+    /// Panics if `ghz` is not strictly positive and finite.
+    pub fn ghz(ghz: f64) -> Frequency {
+        assert!(
+            ghz.is_finite() && ghz > 0.0,
+            "frequency must be positive, got {ghz} GHz"
+        );
+        Frequency { hz: ghz * 1e9 }
+    }
+
+    /// Frequency in hertz.
+    #[inline]
+    pub fn hertz(self) -> f64 {
+        self.hz
+    }
+
+    /// Number of cycles in `micros` microseconds, rounded to nearest and
+    /// clamped to at least 1 (a zero-length sampler window would never
+    /// advance).
+    pub fn cycles_in_micros(self, micros: f64) -> u64 {
+        assert!(micros > 0.0, "duration must be positive");
+        ((self.hz * micros * 1e-6).round() as u64).max(1)
+    }
+
+    /// Converts a cycle count to seconds.
+    #[inline]
+    pub fn cycles_to_secs(self, cycles: u64) -> f64 {
+        cycles as f64 / self.hz
+    }
+
+    /// Converts seconds to cycles (rounded to nearest).
+    #[inline]
+    pub fn secs_to_cycles(self, secs: f64) -> u64 {
+        (secs * self.hz).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime(100);
+        assert_eq!((t + 50).cycles(), 150);
+        let mut u = t;
+        u += 7;
+        assert_eq!(u.cycles(), 107);
+        assert_eq!(u - t, 7);
+        assert_eq!(t.since(u), 0);
+        assert_eq!(u.since(t), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn strict_subtraction_underflow_panics() {
+        let _ = SimTime(1) - SimTime(2);
+    }
+
+    #[test]
+    fn five_microsecond_window() {
+        // The paper's machines run at ~1.9–2.7 GHz; at 2 GHz a 5 µs window
+        // is exactly 10,000 cycles.
+        let f = Frequency::ghz(2.0);
+        assert_eq!(f.cycles_in_micros(5.0), 10_000);
+    }
+
+    #[test]
+    fn roundtrip_conversion() {
+        let f = Frequency::ghz(2.66);
+        let cycles = 1_000_000u64;
+        let secs = f.cycles_to_secs(cycles);
+        assert_eq!(f.secs_to_cycles(secs), cycles);
+    }
+
+    #[test]
+    fn tiny_window_clamps_to_one_cycle() {
+        let f = Frequency::ghz(1.0);
+        assert_eq!(f.cycles_in_micros(1e-9), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_frequency_rejected() {
+        Frequency::ghz(0.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime(42).to_string(), "42 cyc");
+    }
+}

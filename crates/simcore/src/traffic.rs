@@ -1,0 +1,229 @@
+//! Arrival-process generators for synthetic memory traffic.
+//!
+//! Two processes bracket the behaviours the paper observes:
+//!
+//! * [`Poisson`] — memoryless arrivals: the *non-bursty* regime of large
+//!   problem sizes whose traffic saturates the memory controller (§III-B.2).
+//! * [`OnOffPareto`] — an ON/OFF source with Pareto-distributed ON-burst
+//!   lengths and OFF gaps: the classic heavy-tailed model of *bursty*
+//!   traffic (cf. self-similar network traffic, the paper's refs \[14\],
+//!   \[20\]), matching the small-problem-size regime.
+//!
+//! Both generate inter-arrival gaps in cycles; the machine simulator and the
+//! burstiness ablation drive them with a shared [`Rng`].
+
+use crate::rng::Rng;
+
+/// A Poisson arrival process: exponential inter-arrival gaps with a given
+/// mean rate (arrivals per cycle).
+#[derive(Debug, Clone)]
+pub struct Poisson {
+    rate: f64,
+}
+
+impl Poisson {
+    /// Creates a process with `rate` arrivals per cycle.
+    ///
+    /// # Panics
+    /// Panics unless `0 < rate` and `rate` is finite.
+    pub fn new(rate: f64) -> Poisson {
+        assert!(rate.is_finite() && rate > 0.0, "invalid rate {rate}");
+        Poisson { rate }
+    }
+
+    /// Mean arrival rate in arrivals per cycle.
+    #[inline]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Draws the gap, in whole cycles (≥ 1), until the next arrival.
+    pub fn next_gap(&self, rng: &mut Rng) -> u64 {
+        (rng.exponential(self.rate).round() as u64).max(1)
+    }
+}
+
+/// An ON/OFF source with Pareto-distributed ON and OFF period lengths.
+///
+/// During an ON period the source emits arrivals back-to-back at a fixed
+/// intra-burst gap; during OFF periods it is silent. Heavy-tailed period
+/// lengths (shape α < 2) produce the long-range-dependent, bursty traffic
+/// signature the paper measures for small problem classes.
+#[derive(Debug, Clone)]
+pub struct OnOffPareto {
+    on_shape: f64,
+    on_min: f64,
+    off_shape: f64,
+    off_min: f64,
+    intra_gap: u64,
+    /// Remaining arrivals in the current ON burst; 0 means an OFF gap must
+    /// be drawn before the next arrival.
+    remaining_in_burst: u64,
+}
+
+impl OnOffPareto {
+    /// Creates an ON/OFF source.
+    ///
+    /// * `on_min`, `on_shape` — Pareto parameters for burst length
+    ///   (number of arrivals per ON period; minimum ≥ 1);
+    /// * `off_min`, `off_shape` — Pareto parameters for OFF gap (cycles);
+    /// * `intra_gap` — cycles between consecutive arrivals inside a burst
+    ///   (≥ 1).
+    ///
+    /// # Panics
+    /// Panics on non-positive parameters.
+    pub fn new(
+        on_min: f64,
+        on_shape: f64,
+        off_min: f64,
+        off_shape: f64,
+        intra_gap: u64,
+    ) -> OnOffPareto {
+        assert!(on_min >= 1.0 && on_shape > 0.0, "invalid ON parameters");
+        assert!(off_min >= 1.0 && off_shape > 0.0, "invalid OFF parameters");
+        assert!(intra_gap >= 1, "intra-burst gap must be at least 1 cycle");
+        OnOffPareto {
+            on_shape,
+            on_min,
+            off_shape,
+            off_min,
+            intra_gap,
+            remaining_in_burst: 0,
+        }
+    }
+
+    /// Draws the gap, in cycles, until the next arrival.
+    pub fn next_gap(&mut self, rng: &mut Rng) -> u64 {
+        if self.remaining_in_burst == 0 {
+            // Draw a new burst and pay the OFF gap first.
+            let burst = rng.pareto(self.on_min, self.on_shape).round() as u64;
+            self.remaining_in_burst = burst.max(1);
+            let off = rng.pareto(self.off_min, self.off_shape).round() as u64;
+            self.remaining_in_burst -= 1;
+            off.max(1)
+        } else {
+            self.remaining_in_burst -= 1;
+            self.intra_gap
+        }
+    }
+
+    /// Long-run mean arrival rate (arrivals per cycle), from the Pareto
+    /// means. `None` when either shape ≤ 1 (infinite mean: rate undefined).
+    pub fn mean_rate(&self) -> Option<f64> {
+        if self.on_shape <= 1.0 || self.off_shape <= 1.0 {
+            return None;
+        }
+        let mean_burst = self.on_shape * self.on_min / (self.on_shape - 1.0);
+        let mean_off = self.off_shape * self.off_min / (self.off_shape - 1.0);
+        // Each cycle of the renewal: one OFF gap + (burst) arrivals spaced
+        // intra_gap apart.
+        let cycle_len = mean_off + mean_burst * self.intra_gap as f64;
+        Some(mean_burst / cycle_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_rate_recovered_from_gaps() {
+        let p = Poisson::new(0.01); // mean gap 100 cycles
+        let mut rng = Rng::new(1);
+        let n = 100_000;
+        let total: u64 = (0..n).map(|_| p.next_gap(&mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 100.0).abs() < 2.0, "mean gap {mean}");
+    }
+
+    #[test]
+    fn poisson_gaps_at_least_one() {
+        let p = Poisson::new(10.0); // mean gap 0.1 cycle -> clamped
+        let mut rng = Rng::new(2);
+        for _ in 0..1000 {
+            assert!(p.next_gap(&mut rng) >= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rate")]
+    fn poisson_rejects_zero_rate() {
+        Poisson::new(0.0);
+    }
+
+    #[test]
+    fn onoff_emits_bursts() {
+        let mut src = OnOffPareto::new(8.0, 1.5, 500.0, 1.5, 2);
+        let mut rng = Rng::new(3);
+        let gaps: Vec<u64> = (0..10_000).map(|_| src.next_gap(&mut rng)).collect();
+        // Intra-burst gaps (== 2) must dominate; OFF gaps are rare and large.
+        let small = gaps.iter().filter(|&&g| g == 2).count();
+        let large = gaps.iter().filter(|&&g| g >= 500).count();
+        assert!(small > gaps.len() / 2, "small={small}");
+        assert!(large > 0 && large < gaps.len() / 4, "large={large}");
+    }
+
+    #[test]
+    fn onoff_burstier_than_poisson_in_window_counts() {
+        // Count arrivals per fixed window for both processes with matched
+        // mean rates; the ON/OFF source must have a higher coefficient of
+        // variation.
+        fn window_counts(gaps: &[u64], window: u64) -> Vec<u64> {
+            let mut t = 0u64;
+            let mut counts = Vec::new();
+            let mut current = 0u64;
+            let mut window_end = window;
+            for &g in gaps {
+                t += g;
+                while t >= window_end {
+                    counts.push(current);
+                    current = 0;
+                    window_end += window;
+                }
+                current += 1;
+            }
+            counts
+        }
+        fn cv(counts: &[u64]) -> f64 {
+            let n = counts.len() as f64;
+            let mean = counts.iter().sum::<u64>() as f64 / n;
+            let var = counts
+                .iter()
+                .map(|&c| (c as f64 - mean) * (c as f64 - mean))
+                .sum::<f64>()
+                / n;
+            var.sqrt() / mean
+        }
+
+        let mut rng = Rng::new(4);
+        let mut onoff = OnOffPareto::new(16.0, 1.4, 2000.0, 1.4, 1);
+        let onoff_rate = onoff.mean_rate().unwrap();
+        let poisson = Poisson::new(onoff_rate);
+
+        let og: Vec<u64> = (0..200_000).map(|_| onoff.next_gap(&mut rng)).collect();
+        let pg: Vec<u64> = (0..200_000).map(|_| poisson.next_gap(&mut rng)).collect();
+        let ocv = cv(&window_counts(&og, 1000));
+        let pcv = cv(&window_counts(&pg, 1000));
+        assert!(
+            ocv > 1.5 * pcv,
+            "ON/OFF CV {ocv} should exceed Poisson CV {pcv}"
+        );
+    }
+
+    #[test]
+    fn mean_rate_undefined_for_infinite_mean_tails() {
+        let src = OnOffPareto::new(4.0, 0.9, 100.0, 1.5, 1);
+        assert!(src.mean_rate().is_none());
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let mut a = OnOffPareto::new(8.0, 1.5, 500.0, 1.5, 2);
+        let mut b = a.clone();
+        let mut ra = Rng::new(7);
+        let mut rb = Rng::new(7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_gap(&mut ra), b.next_gap(&mut rb));
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Linear and logarithmic histograms for sampler output.
+//!
+//! The 5 µs LLC-miss sampler produces hundreds of thousands of window
+//! counts per run; histograms summarise them compactly for reports and for
+//! the log-binned Fig. 4 plot axes.
+
+/// A fixed-width linear histogram over `u64` samples.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bin_width: u64,
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` bins of width `bin_width`; samples at
+    /// or beyond `bins * bin_width` land in an overflow bucket.
+    ///
+    /// # Panics
+    /// Panics if `bin_width == 0` or `bins == 0`.
+    pub fn new(bin_width: u64, bins: usize) -> Histogram {
+        assert!(bin_width > 0, "bin width must be positive");
+        assert!(bins > 0, "bin count must be positive");
+        Histogram {
+            bin_width,
+            counts: vec![0; bins],
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = (value / self.bin_width) as usize;
+        if idx < self.counts.len() {
+            self.counts[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.total += 1;
+    }
+
+    /// Total number of recorded samples, including overflow.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of samples that exceeded the histogram range.
+    #[inline]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Iterator over `(bin_lower_bound, count)` pairs.
+    pub fn bins(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (i as u64 * self.bin_width, c))
+    }
+
+    /// The count in the bin containing `value`, or the overflow count if the
+    /// value lies beyond the histogram range.
+    pub fn count_at(&self, value: u64) -> u64 {
+        let idx = (value / self.bin_width) as usize;
+        if idx < self.counts.len() {
+            self.counts[idx]
+        } else {
+            self.overflow
+        }
+    }
+}
+
+/// A base-2 logarithmic histogram: bin `k` covers `[2^k, 2^(k+1))`, with a
+/// dedicated zero bin. Matches the roughly geometric x-axis ticks of Fig. 4
+/// (1, 2, 5, 10, 20, 50, ...).
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    zero: u64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl LogHistogram {
+    /// Creates an empty log histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram {
+            zero: 0,
+            counts: Vec::new(),
+            total: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.total += 1;
+        if value == 0 {
+            self.zero += 1;
+            return;
+        }
+        let k = 63 - value.leading_zeros() as usize; // floor(log2(value))
+        if self.counts.len() <= k {
+            self.counts.resize(k + 1, 0);
+        }
+        self.counts[k] += 1;
+    }
+
+    /// Count of zero samples.
+    #[inline]
+    pub fn zero_count(&self) -> u64 {
+        self.zero
+    }
+
+    /// Total samples recorded.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Iterator over `(bin_lower_bound = 2^k, count)` for non-zero bins.
+    pub fn bins(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| (1u64 << k, c))
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_binning() {
+        let mut h = Histogram::new(10, 5);
+        for v in [0, 5, 9, 10, 49, 50, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.count_at(0), 3); // 0, 5, 9
+        assert_eq!(h.count_at(10), 1);
+        assert_eq!(h.count_at(49), 1);
+        assert_eq!(h.overflow(), 2); // 50 and 1000 beyond 5*10
+        let collected: Vec<_> = h.bins().collect();
+        assert_eq!(collected[0], (0, 3));
+        assert_eq!(collected[1], (10, 1));
+        assert_eq!(collected.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width")]
+    fn zero_bin_width_panics() {
+        Histogram::new(0, 4);
+    }
+
+    #[test]
+    fn log_binning_boundaries() {
+        let mut h = LogHistogram::new();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.zero_count(), 1);
+        assert_eq!(h.total(), 8);
+        let bins: Vec<_> = h.bins().collect();
+        // bin 2^0 = {1}, 2^1 = {2,3}, 2^2 = {4,7}, 2^3 = {8}, 2^10 = {1024}
+        assert_eq!(bins[0], (1, 1));
+        assert_eq!(bins[1], (2, 2));
+        assert_eq!(bins[2], (4, 2));
+        assert_eq!(bins[3], (8, 1));
+        assert_eq!(bins[10], (1024, 1));
+    }
+
+    #[test]
+    fn totals_are_preserved() {
+        let mut lin = Histogram::new(3, 7);
+        let mut log = LogHistogram::new();
+        for i in 0..10_000u64 {
+            let v = (i * 37) % 211;
+            lin.record(v);
+            log.record(v);
+        }
+        assert_eq!(lin.total(), 10_000);
+        assert_eq!(log.total(), 10_000);
+        let lin_sum: u64 = lin.bins().map(|(_, c)| c).sum::<u64>() + lin.overflow();
+        assert_eq!(lin_sum, 10_000);
+        let log_sum: u64 = log.bins().map(|(_, c)| c).sum::<u64>() + log.zero_count();
+        assert_eq!(log_sum, 10_000);
+    }
+}

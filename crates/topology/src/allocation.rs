@@ -1,0 +1,228 @@
+//! Core-allocation and thread-placement policies.
+//!
+//! The paper's experimental protocol (§III-A): "The program was partitioned
+//! into a fixed number of threads. The number of cores was varied from one
+//! to the maximum number of cores of the machine using a fill-processor-
+//! first policy." Threads are pinned (`sched_setaffinity`), so with fewer
+//! cores than threads each active core time-slices several threads
+//! (oversubscription, §V).
+//!
+//! [`Placement`] captures the result: which cores are active, which core
+//! each thread is pinned to, and which memory controller holds each
+//! thread's pages (local first-touch via `numactl`, spread round-robin over
+//! the socket's controllers on the AMD machine — the paper's "controllers
+//! belonging to the same processor were activated simultaneously").
+
+use crate::ids::{CoreId, McId};
+use crate::machine::MachineSpec;
+
+/// How active cores are chosen from the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AllocationPolicy {
+    /// The paper's policy: fill socket 0 (domain by domain), then socket 1,
+    /// and so on.
+    #[default]
+    FillProcessorFirst,
+    /// Spread active cores round-robin across sockets — an ablation policy
+    /// showing how contention changes when every controller is activated
+    /// from the start.
+    RoundRobinSockets,
+}
+
+/// A concrete assignment of threads to cores and memory homes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// Active cores, in activation order.
+    pub active_cores: Vec<CoreId>,
+    /// `thread_core[t]` = core thread `t` is pinned to.
+    pub thread_core: Vec<CoreId>,
+    /// `thread_home_mc[t]` = controller holding thread `t`'s pages.
+    pub thread_home_mc: Vec<McId>,
+}
+
+impl Placement {
+    /// Number of active cores.
+    #[inline]
+    pub fn n_cores(&self) -> usize {
+        self.active_cores.len()
+    }
+
+    /// Number of threads.
+    #[inline]
+    pub fn n_threads(&self) -> usize {
+        self.thread_core.len()
+    }
+
+    /// Oversubscription factor: threads per active core (§V cites \[9\] on
+    /// its effects).
+    pub fn oversubscription(&self) -> f64 {
+        self.n_threads() as f64 / self.n_cores() as f64
+    }
+
+    /// Threads pinned to `core`, in thread order.
+    pub fn threads_on(&self, core: CoreId) -> Vec<usize> {
+        self.thread_core
+            .iter()
+            .enumerate()
+            .filter_map(|(t, &c)| (c == core).then_some(t))
+            .collect()
+    }
+}
+
+/// Chooses the first `n_cores` active cores of `machine` under `policy`.
+///
+/// # Panics
+/// Panics if `n_cores` is zero or exceeds the machine size.
+pub fn active_cores(
+    machine: &MachineSpec,
+    policy: AllocationPolicy,
+    n_cores: usize,
+) -> Vec<CoreId> {
+    let total = machine.total_cores();
+    assert!(
+        n_cores >= 1 && n_cores <= total,
+        "n_cores {n_cores} outside 1..={total}"
+    );
+    match policy {
+        AllocationPolicy::FillProcessorFirst => (0..n_cores).map(CoreId).collect(),
+        AllocationPolicy::RoundRobinSockets => {
+            // Interleave sockets: core k of socket 0, core k of socket 1, ...
+            let per_socket = machine.domains_per_socket * machine.cores_per_domain;
+            let mut order = Vec::with_capacity(total);
+            for k in 0..per_socket {
+                for s in 0..machine.sockets {
+                    order.push(CoreId(s * per_socket + k));
+                }
+            }
+            order.truncate(n_cores);
+            order
+        }
+    }
+}
+
+/// Places `n_threads` threads on the first `n_cores` active cores of
+/// `machine` under `policy`.
+///
+/// Threads are distributed round-robin over active cores (thread `t` on
+/// active core `t mod n_cores`), mirroring an even pinning of a fixed
+/// OpenMP thread pool. Each thread's memory home is a controller local to
+/// its socket; sockets with several controllers (AMD) spread their threads
+/// over the local controllers round-robin.
+pub fn place(
+    machine: &MachineSpec,
+    policy: AllocationPolicy,
+    n_threads: usize,
+    n_cores: usize,
+) -> Placement {
+    assert!(n_threads >= 1, "need at least one thread");
+    let active = active_cores(machine, policy, n_cores);
+    let mut thread_core = Vec::with_capacity(n_threads);
+    let mut thread_home_mc = Vec::with_capacity(n_threads);
+    // Per-socket rotation over its local controllers.
+    let mut socket_rr = vec![0usize; machine.sockets];
+    for t in 0..n_threads {
+        let core = active[t % active.len()];
+        thread_core.push(core);
+        let socket = machine.socket_of(core);
+        let domains = machine.domains_per_socket;
+        let first_domain = socket.index() * domains;
+        let pick = first_domain + socket_rr[socket.index()] % domains;
+        socket_rr[socket.index()] += 1;
+        thread_home_mc.push(machine.mc_of_domain(pick));
+    }
+    Placement {
+        active_cores: active,
+        thread_core,
+        thread_home_mc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines;
+
+    #[test]
+    fn fill_first_is_sequential() {
+        let m = machines::intel_numa_24();
+        let cores = active_cores(&m, AllocationPolicy::FillProcessorFirst, 13);
+        assert_eq!(cores.len(), 13);
+        assert_eq!(cores[0], CoreId(0));
+        assert_eq!(cores[12], CoreId(12));
+        // First 12 on socket 0, 13th on socket 1.
+        assert!(cores[..12].iter().all(|&c| m.socket_of(c).index() == 0));
+        assert_eq!(m.socket_of(cores[12]).index(), 1);
+    }
+
+    #[test]
+    fn round_robin_alternates_sockets() {
+        let m = machines::intel_numa_24();
+        let cores = active_cores(&m, AllocationPolicy::RoundRobinSockets, 4);
+        let sockets: Vec<usize> = cores.iter().map(|&c| m.socket_of(c).index()).collect();
+        assert_eq!(sockets, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn oversubscription_round_robin() {
+        let m = machines::intel_uma_8();
+        let p = place(&m, AllocationPolicy::FillProcessorFirst, 8, 3);
+        assert_eq!(p.n_cores(), 3);
+        assert_eq!(p.n_threads(), 8);
+        assert!((p.oversubscription() - 8.0 / 3.0).abs() < 1e-12);
+        // Threads 0,3,6 on core0; 1,4,7 on core1; 2,5 on core2.
+        assert_eq!(p.threads_on(CoreId(0)), vec![0, 3, 6]);
+        assert_eq!(p.threads_on(CoreId(1)), vec![1, 4, 7]);
+        assert_eq!(p.threads_on(CoreId(2)), vec![2, 5]);
+    }
+
+    #[test]
+    fn uma_homes_all_on_mc0() {
+        let m = machines::intel_uma_8();
+        let p = place(&m, AllocationPolicy::FillProcessorFirst, 8, 8);
+        assert!(p.thread_home_mc.iter().all(|&mc| mc == McId(0)));
+    }
+
+    #[test]
+    fn amd_spreads_homes_over_socket_controllers() {
+        let m = machines::amd_numa_48();
+        // 48 threads on 12 cores: only socket 0 active (cores 0..11).
+        let p = place(&m, AllocationPolicy::FillProcessorFirst, 48, 12);
+        let mc0 = p.thread_home_mc.iter().filter(|&&mc| mc == McId(0)).count();
+        let mc1 = p.thread_home_mc.iter().filter(|&&mc| mc == McId(1)).count();
+        assert_eq!(mc0 + mc1, 48, "all homes on socket 0's two controllers");
+        assert_eq!(mc0, 24);
+        assert_eq!(mc1, 24);
+    }
+
+    #[test]
+    fn intel_numa_homes_follow_socket() {
+        let m = machines::intel_numa_24();
+        let p = place(&m, AllocationPolicy::FillProcessorFirst, 24, 24);
+        for t in 0..24 {
+            let expected = if t < 12 { McId(0) } else { McId(1) };
+            assert_eq!(p.thread_home_mc[t], expected, "thread {t}");
+        }
+    }
+
+    #[test]
+    fn single_core_runs_everything() {
+        let m = machines::amd_numa_48();
+        let p = place(&m, AllocationPolicy::FillProcessorFirst, 48, 1);
+        assert_eq!(p.n_cores(), 1);
+        assert_eq!(p.threads_on(CoreId(0)).len(), 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn zero_cores_rejected() {
+        let m = machines::intel_uma_8();
+        active_cores(&m, AllocationPolicy::FillProcessorFirst, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn too_many_cores_rejected() {
+        let m = machines::intel_uma_8();
+        active_cores(&m, AllocationPolicy::FillProcessorFirst, 9);
+    }
+}

@@ -1,0 +1,76 @@
+//! Strongly-typed identifiers for topology entities.
+//!
+//! Logical core ids, socket ids and memory-controller ids are all small
+//! integers; newtypes prevent the classic bug of indexing the wrong table.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub usize);
+
+        impl $name {
+            /// Raw index value.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(v: usize) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A *logical* core id. On SMT machines each hardware thread is a
+    /// logical core, following the paper's treatment of the Xeon X5650
+    /// ("we consider Intel NUMA as having 24 cores", §III-A).
+    CoreId,
+    "core"
+);
+
+id_type!(
+    /// A socket (physical processor package) id.
+    SocketId,
+    "socket"
+);
+
+id_type!(
+    /// A memory-controller id. UMA machines have exactly one; the AMD NUMA
+    /// machine has two per socket.
+    McId,
+    "mc"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(CoreId(3).to_string(), "core3");
+        assert_eq!(SocketId(1).to_string(), "socket1");
+        assert_eq!(McId(7).to_string(), "mc7");
+    }
+
+    #[test]
+    fn ordering_and_conversion() {
+        assert!(CoreId(1) < CoreId(2));
+        assert_eq!(CoreId::from(5).index(), 5);
+        let mut v = vec![McId(2), McId(0), McId(1)];
+        v.sort();
+        assert_eq!(v, vec![McId(0), McId(1), McId(2)]);
+    }
+}

@@ -1,0 +1,222 @@
+//! Memory-controller interconnect graphs (paper Fig. 1 and Fig. 2).
+//!
+//! In UMA every socket reaches the single controller over its own
+//! front-side bus (no controller-to-controller network). In NUMA the
+//! controllers form a network; the number of hops a remote request crosses
+//! determines its extra latency. The Intel NUMA machine has two directly
+//! linked controllers (0 or 1 hop); the AMD machine has eight controllers
+//! in a partial mesh with distances 0, 1 or 2 (§III-A: "three latencies of
+//! accessing the memory — direct, one hop and two hops").
+
+use crate::ids::McId;
+
+/// The flavour of memory architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterconnectKind {
+    /// All sockets share one memory controller (Fig. 1a).
+    Uma,
+    /// Each socket owns local controller(s); remote access crosses the
+    /// controller network (Fig. 1b).
+    Numa,
+}
+
+/// The memory interconnect: architecture kind plus the hop-distance matrix
+/// between memory controllers.
+#[derive(Debug, Clone)]
+pub struct Interconnect {
+    kind: InterconnectKind,
+    /// `hops[a][b]` = number of network hops between controllers a and b.
+    hops: Vec<Vec<u32>>,
+    /// Extra latency (cycles) per hop crossed by a remote request.
+    hop_latency: u64,
+    /// Fixed extra latency (cycles) for any remote (off-socket) request,
+    /// independent of hop count (protocol/serialisation overhead).
+    remote_base_latency: u64,
+    /// Cycles a remote request occupies its inter-socket link per cache
+    /// line (the QPI/HyperTransport *bandwidth* bound; 0 = unmodelled).
+    link_transfer: u64,
+}
+
+impl Interconnect {
+    /// A UMA interconnect: one controller, all access "local" to it
+    /// (the per-socket bus latency is modelled by the machine simulator's
+    /// bus component, not here).
+    pub fn uma() -> Interconnect {
+        Interconnect {
+            kind: InterconnectKind::Uma,
+            hops: vec![vec![0]],
+            hop_latency: 0,
+            remote_base_latency: 0,
+            link_transfer: 0,
+        }
+    }
+
+    /// A NUMA interconnect built from an undirected adjacency list over
+    /// `n_mcs` controllers. Hop distances are all-pairs shortest paths.
+    ///
+    /// # Panics
+    /// Panics if an edge references an out-of-range controller, if
+    /// `n_mcs == 0`, or if the graph is disconnected (a controller that
+    /// cannot be reached would make remote memory inaccessible).
+    pub fn numa(n_mcs: usize, edges: &[(usize, usize)], hop_latency: u64, remote_base_latency: u64) -> Interconnect {
+        assert!(n_mcs > 0, "need at least one memory controller");
+        let mut adj = vec![Vec::new(); n_mcs];
+        for &(a, b) in edges {
+            assert!(a < n_mcs && b < n_mcs, "edge ({a},{b}) out of range");
+            assert_ne!(a, b, "self-loop ({a},{a}) is meaningless");
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        // BFS from each node.
+        let mut hops = vec![vec![u32::MAX; n_mcs]; n_mcs];
+        for start in 0..n_mcs {
+            let dist = &mut hops[start];
+            dist[start] = 0;
+            let mut frontier = vec![start];
+            while let Some(u) = frontier.pop() {
+                let next: Vec<usize> = adj[u]
+                    .iter()
+                    .copied()
+                    .filter(|&v| dist[v] == u32::MAX)
+                    .collect();
+                for v in next {
+                    dist[v] = dist[u] + 1;
+                    frontier.insert(0, v); // queue semantics
+                }
+            }
+            assert!(
+                dist.iter().all(|&d| d != u32::MAX),
+                "interconnect graph is disconnected from mc{start}"
+            );
+        }
+        Interconnect {
+            kind: InterconnectKind::Numa,
+            hops,
+            hop_latency,
+            remote_base_latency,
+            link_transfer: 0,
+        }
+    }
+
+    /// Sets the per-line link occupancy (inter-socket bandwidth bound).
+    pub fn with_link_transfer(mut self, cycles: u64) -> Interconnect {
+        self.link_transfer = cycles;
+        self
+    }
+
+    /// Cycles a remote line occupies its link (0 when unmodelled).
+    #[inline]
+    pub fn link_transfer(&self) -> u64 {
+        self.link_transfer
+    }
+
+    /// Architecture kind.
+    #[inline]
+    pub fn kind(&self) -> InterconnectKind {
+        self.kind
+    }
+
+    /// Number of memory controllers in the network.
+    #[inline]
+    pub fn n_mcs(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Hop distance between two controllers.
+    pub fn hops(&self, from: McId, to: McId) -> u32 {
+        self.hops[from.index()][to.index()]
+    }
+
+    /// Extra request latency, in cycles, for a request that originates at a
+    /// core whose local controller is `from` but is served by `to`.
+    /// Zero for a local access.
+    pub fn remote_penalty(&self, from: McId, to: McId) -> u64 {
+        let h = self.hops(from, to) as u64;
+        if h == 0 {
+            0
+        } else {
+            self.remote_base_latency + h * self.hop_latency
+        }
+    }
+
+    /// Maximum hop distance in the network (the network diameter).
+    pub fn diameter(&self) -> u32 {
+        self.hops
+            .iter()
+            .flat_map(|row| row.iter().copied())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The distinct hop distances from `from` to every controller,
+    /// ascending — e.g. `[0, 1, 2]` on the AMD machine. Used by the model's
+    /// latency-weighted ρ (§IV: "ρ is a average weighted to the number of
+    /// memory requests to each of the remote memories").
+    pub fn distance_classes(&self, from: McId) -> Vec<u32> {
+        let mut classes: Vec<u32> = self.hops[from.index()].clone();
+        classes.sort_unstable();
+        classes.dedup();
+        classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uma_is_single_node() {
+        let ic = Interconnect::uma();
+        assert_eq!(ic.kind(), InterconnectKind::Uma);
+        assert_eq!(ic.n_mcs(), 1);
+        assert_eq!(ic.hops(McId(0), McId(0)), 0);
+        assert_eq!(ic.remote_penalty(McId(0), McId(0)), 0);
+        assert_eq!(ic.diameter(), 0);
+    }
+
+    #[test]
+    fn two_node_link() {
+        let ic = Interconnect::numa(2, &[(0, 1)], 60, 40);
+        assert_eq!(ic.hops(McId(0), McId(1)), 1);
+        assert_eq!(ic.remote_penalty(McId(0), McId(1)), 100);
+        assert_eq!(ic.remote_penalty(McId(1), McId(1)), 0);
+        assert_eq!(ic.diameter(), 1);
+        assert_eq!(ic.distance_classes(McId(0)), vec![0, 1]);
+    }
+
+    #[test]
+    fn bfs_shortest_paths_on_a_path_graph() {
+        let ic = Interconnect::numa(4, &[(0, 1), (1, 2), (2, 3)], 10, 0);
+        assert_eq!(ic.hops(McId(0), McId(3)), 3);
+        assert_eq!(ic.hops(McId(3), McId(0)), 3, "symmetric");
+        assert_eq!(ic.hops(McId(1), McId(3)), 2);
+        assert_eq!(ic.remote_penalty(McId(0), McId(3)), 30);
+        assert_eq!(ic.diameter(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn disconnected_graph_rejected() {
+        Interconnect::numa(3, &[(0, 1)], 10, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_rejected() {
+        Interconnect::numa(2, &[(0, 2)], 10, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        Interconnect::numa(2, &[(1, 1)], 10, 0);
+    }
+
+    #[test]
+    fn distance_classes_sorted_unique() {
+        // Star: node 0 at centre.
+        let ic = Interconnect::numa(4, &[(0, 1), (0, 2), (0, 3)], 5, 0);
+        assert_eq!(ic.distance_classes(McId(0)), vec![0, 1]);
+        assert_eq!(ic.distance_classes(McId(1)), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,68 @@
+//! Burstiness probe: classify a program's off-chip traffic.
+//!
+//! ```text
+//! cargo run --release --example burstiness_probe
+//! ```
+//!
+//! Reproduces the paper's §III-B.2 methodology on two contrasting
+//! programs: the 5 µs fine-grained sampler counts LLC misses per window;
+//! the CCDF of window burst sizes separates the bursty small-problem
+//! regime from the saturated large-problem regime — the observation that
+//! justifies (and bounds) the M/M/1 model.
+
+use offchip::prelude::*;
+
+fn probe(label: &str, workload: &dyn Workload, machine: &MachineSpec) {
+    let n = machine.total_cores();
+    let cfg = SimConfig::new(machine.clone(), n).with_sampler_5us_scaled();
+    let report = run(workload, &cfg);
+    let windows = report.miss_windows.expect("sampler enabled");
+    let analysis = BurstAnalysis::from_windows(&windows, 50);
+
+    println!("{label}:");
+    println!(
+        "  {} sampler windows, {:.0}% idle, burst-size CV {:.2}",
+        windows.len(),
+        analysis.idle_fraction * 100.0,
+        analysis.cv.unwrap_or(0.0)
+    );
+    if let Some(tail) = analysis.tail {
+        println!(
+            "  log-log tail: slope {:.2}, straightness R^2 {:.2}",
+            tail.loglog_slope, tail.loglog_r_squared
+        );
+    }
+    if let Some(h) = analysis.hurst {
+        println!(
+            "  Hurst exponent: {:.2} (aggregated variance over {} levels)",
+            h.h, h.levels
+        );
+    }
+    println!("  verdict: {:?}", analysis.verdict);
+    println!("  CCDF (the Fig. 4 series):");
+    for &x in &[1u64, 5, 20, 50, 100, 200] {
+        let p = analysis.ccdf.exceedance(x);
+        if p > 0.0 {
+            println!("    P(burst > {x:>3} lines) = {p:.2e}");
+        }
+    }
+    println!();
+}
+
+fn main() {
+    let scale = 1.0 / 64.0;
+    let machine = machines::intel_numa_24().scaled(scale);
+    let n = machine.total_cores();
+
+    // Small problem: cache-resident working set, traffic in rare bursts.
+    let small = traces::cg::workload(ProblemClass::W, scale, n);
+    probe("CG.W (small problem size)", &small, &machine);
+
+    // Large problem: saturated bandwidth, steady traffic.
+    let large = traces::cg::workload(ProblemClass::C, scale, n);
+    probe("CG.C (large problem size)", &large, &machine);
+
+    // The real-world counterexample: large working set, still bursty.
+    let video = traces::x264::workload("native", scale, n);
+    probe("x264.native (streaming video encode)", &video, &machine);
+}

@@ -1,0 +1,76 @@
+//! Capacity planning: how many cores should this program use?
+//!
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+//!
+//! The motivating use of the paper's model: fit it from a handful of cheap
+//! measurements, then answer "what happens to throughput if I give the
+//! job more cores?" without measuring every configuration. Demonstrated
+//! on the Intel NUMA machine for a contended program (SP.C) and a
+//! compute-bound one (EP.C): SP's effective speedup flattens as the
+//! fitted M/M/1 pole approaches, while EP scales on.
+
+use offchip::prelude::*;
+
+/// Effective speedup of n cores over one, under the fitted model:
+/// `n / (C(n)/C(1))` — cores deliver C(1)-equivalent work per C(n) spent.
+fn model_speedup(model: &ContentionModel, c1: f64, n: usize) -> f64 {
+    n as f64 / (model.predict_c(n) / c1)
+}
+
+fn plan(program_name: &str, workload: &dyn Workload, machine: &MachineSpec) {
+    let total = machine.total_cores();
+    // Measure only the model's input points: 1, 2, 12, 13 (paper's Intel
+    // NUMA protocol) — four runs instead of twenty-four.
+    let protocol = FitProtocol::intel_numa();
+    let mut points = Vec::new();
+    let mut misses = 1.0;
+    for &n in &protocol.input_cores {
+        let r = run(workload, &SimConfig::new(machine.clone(), n));
+        points.push((n, r.counters.total_cycles as f64));
+        misses = r.counters.llc_misses.max(1) as f64;
+    }
+    let inputs = FitInputs {
+        points: points.clone(),
+        r: misses,
+        cores_per_processor: protocol.cores_per_processor,
+        arch: protocol.arch,
+        homogeneous_rho: false,
+    };
+    let model = ContentionModel::fit(&inputs).expect("fit");
+    let c1 = points[0].1;
+
+    println!("{program_name} on {}:", machine.name);
+    println!("  inputs measured at n = {:?}", protocol.input_cores);
+    if let Some(pole) = model.mm1().saturation_cores() {
+        println!("  fitted saturation pole: {pole:.1} cores per socket");
+    } else {
+        println!("  no contention slope detected (compute-bound)");
+    }
+    print!("  modelled effective speedup:");
+    for n in [1, 4, 8, 12, 16, 20, total] {
+        print!(" s({n})={:.1}", model_speedup(&model, c1, n));
+    }
+    println!();
+
+    // Sanity: measure the full machine and compare.
+    let full = run(workload, &SimConfig::new(machine.clone(), total));
+    let measured_speedup = total as f64 / (full.counters.total_cycles as f64 / c1);
+    println!(
+        "  measured effective speedup at n={total}: {measured_speedup:.1} (model {:.1})\n",
+        model_speedup(&model, c1, total)
+    );
+}
+
+fn main() {
+    let scale = 1.0 / 64.0;
+    let machine = machines::intel_numa_24().scaled(scale);
+    let total = machine.total_cores();
+
+    let sp = traces::sp::workload(ProblemClass::C, scale, total);
+    plan("SP.C (highest contention in the paper)", &sp, &machine);
+
+    let ep = traces::ep::workload(ProblemClass::C, scale, total);
+    plan("EP.C (embarrassingly parallel)", &ep, &machine);
+}

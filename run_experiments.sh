@@ -1,0 +1,10 @@
+#!/bin/sh
+# Regenerates every table and figure of the paper into results/.
+set -e
+cd "$(dirname "$0")"
+BIN=target/release
+for exp in table1 table3 figure1 table2 table4 figure3 figure4 figure5 figure6 ablations; do
+  echo "== $exp =="
+  "$BIN/$exp" > "results/$exp.txt" 2> "results/$exp.log" || echo "$exp FAILED"
+done
+echo "all experiments written to results/"

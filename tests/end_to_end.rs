@@ -1,0 +1,165 @@
+//! Cross-crate integration tests: full measure → fit → validate pipelines
+//! spanning the simulator, workloads, counters and the analytical model.
+
+use offchip::prelude::*;
+
+const SCALE: f64 = 1.0 / 64.0;
+
+fn sweep(
+    workload: &dyn Workload,
+    machine: &MachineSpec,
+    ns: &[usize],
+) -> (Vec<(usize, u64)>, f64) {
+    let mut out = Vec::new();
+    let mut misses = 1.0;
+    for &n in ns {
+        let r = run(workload, &SimConfig::new(machine.clone(), n));
+        out.push((n, r.counters.total_cycles));
+        misses = r.counters.llc_misses.max(1) as f64;
+    }
+    (out, misses)
+}
+
+#[test]
+fn paper_pipeline_on_uma() {
+    // Measure CG.C on the UMA machine, fit the paper's 3-point protocol,
+    // and require the model to track the unseen sweep points within 35%
+    // (the paper achieves 6% on real hardware; our substrate diverges more
+    // — see EXPERIMENTS.md — but the pipeline must stay in that band).
+    let machine = machines::intel_uma_8().scaled(SCALE);
+    let w = traces::cg::workload(ProblemClass::C, SCALE, 8);
+    let ns: Vec<usize> = (1..=8).collect();
+    let (cycles, misses) = sweep(&w, &machine, &ns);
+    let sweep_f: Vec<(usize, f64)> = cycles.iter().map(|&(n, c)| (n, c as f64)).collect();
+    let inputs = FitProtocol::intel_uma().inputs_from_sweep(&sweep_f, misses);
+    let model = ContentionModel::fit(&inputs).expect("fit");
+    let v = validate(&model, &cycles);
+    let err = v.mean_relative_error.expect("contended program");
+    assert!(err < 0.35, "mean relative error {err:.2} out of band");
+    // The model must reproduce its own input points exactly-ish.
+    for &(n, _) in &inputs.points {
+        let (_, measured, predicted) = v.points.iter().find(|p| p.0 == n).unwrap();
+        assert!(
+            (measured - predicted).abs() < 0.05,
+            "input point n={n} not interpolated: {measured} vs {predicted}"
+        );
+    }
+}
+
+#[test]
+fn contention_ordering_matches_table_2() {
+    // Class C on the UMA machine, full cores: SP > CG > IS > EP (paper
+    // Table II's ordering; FT checked separately since the paper switches
+    // it to class B on this machine).
+    let machine = machines::intel_uma_8().scaled(SCALE);
+    let omega_of = |w: &dyn Workload| {
+        let (s, _) = sweep(w, &machine, &[1, 8]);
+        degree_of_contention(s[1].1, s[0].1)
+    };
+    let sp = omega_of(&traces::sp::workload(ProblemClass::C, SCALE, 8));
+    let cg = omega_of(&traces::cg::workload(ProblemClass::C, SCALE, 8));
+    let is = omega_of(&traces::is::workload(ProblemClass::C, SCALE, 8));
+    let ep = omega_of(&traces::ep::workload(ProblemClass::C, SCALE, 8));
+    assert!(
+        sp > cg && cg > is && is > ep,
+        "ordering violated: SP {sp:.2} CG {cg:.2} IS {is:.2} EP {ep:.2}"
+    );
+    assert!(sp > 4.0, "SP.C must show severe contention, got {sp:.2}");
+    assert!(ep.abs() < 0.3, "EP.C must show none, got {ep:.2}");
+}
+
+#[test]
+fn small_classes_low_contention_everywhere() {
+    // Paper: "Small problem size W generates very small increase in number
+    // of cycles, even on large number of cores."
+    let machine = machines::intel_uma_8().scaled(SCALE);
+    for w in [
+        traces::cg::workload(ProblemClass::W, SCALE, 8),
+        traces::ep::workload(ProblemClass::W, SCALE, 8),
+    ] {
+        let (s, _) = sweep(&w, &machine, &[1, 8]);
+        let omega = degree_of_contention(s[1].1, s[0].1);
+        assert!(omega < 0.8, "{}: omega(8) = {omega:.2}", w.name());
+    }
+}
+
+#[test]
+fn numa_second_controller_gives_relief() {
+    // Paper Fig. 5b: "when the thirteenth core is activated ... the memory
+    // controller of processor two takes over a fraction of the memory
+    // requests from processor one controller, reducing the contention."
+    let machine = machines::intel_numa_24().scaled(SCALE);
+    let w = traces::cg::workload(ProblemClass::C, SCALE, 24);
+    let (s, _) = sweep(&w, &machine, &[1, 12, 13]);
+    let w12 = degree_of_contention(s[1].1, s[0].1);
+    let w13 = degree_of_contention(s[2].1, s[0].1);
+    assert!(
+        w13 < w12,
+        "expected relief at n=13: omega(12)={w12:.2} omega(13)={w13:.2}"
+    );
+}
+
+#[test]
+fn work_cycles_and_misses_constant_in_core_count() {
+    // Paper Fig. 3's observations 2 and 3.
+    let machine = machines::intel_numa_24().scaled(SCALE);
+    let w = traces::cg::workload(ProblemClass::B, SCALE, 24);
+    let r1 = run(&w, &SimConfig::new(machine.clone(), 1));
+    let r24 = run(&w, &SimConfig::new(machine, 24));
+    let work_drift = (r24.counters.work_cycles as f64 - r1.counters.work_cycles as f64).abs()
+        / r1.counters.work_cycles as f64;
+    assert!(work_drift < 0.02, "work cycles drifted {work_drift:.3}");
+    let miss_drift = (r24.counters.llc_misses as f64 - r1.counters.llc_misses as f64).abs()
+        / r1.counters.llc_misses as f64;
+    assert!(miss_drift < 0.2, "LLC misses drifted {miss_drift:.3}");
+    // And the cycle growth is stall growth.
+    assert!(r24.counters.stall_cycles > r1.counters.stall_cycles);
+}
+
+#[test]
+fn burstiness_depends_on_problem_size() {
+    // The paper's headline observation, end to end through the sampler.
+    let machine = machines::intel_numa_24().scaled(SCALE);
+    let verdict = |class: ProblemClass| {
+        let w = traces::cg::workload(class, SCALE, 24);
+        let cfg = SimConfig::new(machine.clone(), 24).with_sampler_5us_scaled();
+        let r = run(&w, &cfg);
+        BurstAnalysis::from_windows(&r.miss_windows.unwrap(), 50).verdict
+    };
+    assert_eq!(verdict(ProblemClass::W), BurstVerdict::Bursty);
+    assert_eq!(verdict(ProblemClass::C), BurstVerdict::NonBursty);
+}
+
+#[test]
+fn colinearity_separates_contended_from_bursty_programs() {
+    // Table IV's diagnostic, on the UMA machine (n = 1..4).
+    let machine = machines::intel_uma_8().scaled(SCALE);
+    let ns: Vec<usize> = (1..=4).collect();
+    let r2_of = |w: &dyn Workload| {
+        let (s, _) = sweep(w, &machine, &ns);
+        offchip::model::colinearity_r2(&s, 4).unwrap()
+    };
+    let contended = r2_of(&traces::sp::workload(ProblemClass::C, SCALE, 8));
+    assert!(contended > 0.8, "SP.C colinearity {contended:.2}");
+}
+
+#[test]
+fn papiex_report_renders_for_a_real_run() {
+    let machine = machines::amd_numa_48().scaled(SCALE);
+    let w = traces::is::workload(ProblemClass::W, SCALE, 48);
+    let r = run(&w, &SimConfig::new(machine, 12));
+    let report = offchip::perf::papiex::papiex_report_default(&r);
+    assert!(report.contains("IS.W"));
+    assert!(report.contains("L3_CACHE_MISSES"), "AMD uses the L3 event");
+    assert!(report.contains("mc7:"), "all eight controllers reported");
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let machine = machines::intel_uma_8().scaled(SCALE);
+    let w = traces::ft::workload(ProblemClass::A, SCALE, 8);
+    let a = run(&w, &SimConfig::new(machine.clone(), 6));
+    let b = run(&w, &SimConfig::new(machine, 6));
+    assert_eq!(a.counters, b.counters);
+    assert_eq!(a.makespan, b.makespan);
+}

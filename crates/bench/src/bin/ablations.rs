@@ -31,7 +31,7 @@ use offchip_npb::classes::ProblemClass;
 use offchip_simcore::{OnOffPareto, Poisson, Rng};
 use offchip_topology::machines::{self, DEFAULT_EXPERIMENT_SCALE};
 
-#[derive(serde::Serialize, Default)]
+#[derive(Default)]
 struct AblationSummary {
     protocol_errors: Vec<(String, f64)>,
     amd_rho_errors: Vec<(String, f64)>,
@@ -41,6 +41,21 @@ struct AblationSummary {
     discipline_sse: Vec<(String, f64)>,
     prefetch_omega: Vec<(String, f64, f64)>,
     replacement_misses: Vec<(String, f64)>,
+}
+
+impl offchip_json::ToJson for AblationSummary {
+    fn to_json(&self) -> offchip_json::Json {
+        offchip_json::json_obj! {
+            "protocol_errors" => self.protocol_errors,
+            "amd_rho_errors" => self.amd_rho_errors,
+            "scheduler_omega" => self.scheduler_omega,
+            "burstiness_r2" => self.burstiness_r2,
+            "placement_dip" => self.placement_dip,
+            "discipline_sse" => self.discipline_sse,
+            "prefetch_omega" => self.prefetch_omega,
+            "replacement_misses" => self.replacement_misses,
+        }
+    }
 }
 
 fn main() {
@@ -58,10 +73,12 @@ fn main() {
         FitProtocol::intel_numa(),
         FitProtocol::intel_numa_extended(),
     ] {
-        let inputs = proto.inputs_from_sweep(&sweep.cycles_sweep_f64(), sweep.mean_misses());
-        let err = ContentionModel::fit(&inputs)
+        let err = proto
+            .inputs_from_sweep(&sweep.cycles_sweep_f64(), sweep.mean_misses())
             .ok()
-            .and_then(|m| validate(&m, &sweep.cycles_sweep()).mean_relative_error)
+            .and_then(|inputs| ContentionModel::fit(&inputs).ok())
+            .and_then(|m| validate(&m, &sweep.cycles_sweep()).ok())
+            .and_then(|v| v.mean_relative_error)
             .unwrap_or(f64::NAN);
         println!("  {:<28} mean relative error {:>5.1}%", proto.name, err * 100.0);
         summary.protocol_errors.push((proto.name.to_string(), err));
@@ -77,10 +94,12 @@ fn main() {
     ns.dedup();
     let sweep = run_sweep(&amd, w.as_ref(), &ns, &seeds);
     for proto in [FitProtocol::amd_numa(), FitProtocol::amd_numa_homogeneous()] {
-        let inputs = proto.inputs_from_sweep(&sweep.cycles_sweep_f64(), sweep.mean_misses());
-        let err = ContentionModel::fit(&inputs)
+        let err = proto
+            .inputs_from_sweep(&sweep.cycles_sweep_f64(), sweep.mean_misses())
             .ok()
-            .and_then(|m| validate(&m, &sweep.cycles_sweep()).mean_relative_error)
+            .and_then(|inputs| ContentionModel::fit(&inputs).ok())
+            .and_then(|m| validate(&m, &sweep.cycles_sweep()).ok())
+            .and_then(|v| v.mean_relative_error)
             .unwrap_or(f64::NAN);
         println!("  {:<34} mean relative error {:>5.1}%", proto.name, err * 100.0);
         summary.amd_rho_errors.push((proto.name.to_string(), err));
@@ -119,14 +138,15 @@ fn main() {
         let ns: Vec<usize> = (1..=8).collect();
         let sweep = run_sweep(&uma, &w, &ns, &seeds);
         let r2 = colinearity_r2(&sweep.cycles_sweep(), 4).unwrap_or(0.0);
-        let inputs = FitProtocol::intel_uma()
-            .inputs_from_sweep(&sweep.cycles_sweep_f64(), sweep.mean_misses());
         // ω sits near zero in this regime, so relative error is
         // meaningless; compare in absolute ω units (cf. the paper only
         // quoting percentages "for problems with large contention").
-        let err = ContentionModel::fit(&inputs)
+        let err = FitProtocol::intel_uma()
+            .inputs_from_sweep(&sweep.cycles_sweep_f64(), sweep.mean_misses())
             .ok()
-            .map(|m| validate(&m, &sweep.cycles_sweep()).mean_absolute_error)
+            .and_then(|inputs| ContentionModel::fit(&inputs).ok())
+            .and_then(|m| validate(&m, &sweep.cycles_sweep()).ok())
+            .map(|v| v.mean_absolute_error)
             .unwrap_or(f64::NAN);
         println!(
             "  {name:<24} colinearity R² = {r2:.3}, model error {err:.3} omega units"

@@ -13,7 +13,6 @@ use offchip_npb::classes::ProblemClass;
 use offchip_perf::BurstAnalysis;
 use offchip_topology::machines::{self, DEFAULT_EXPERIMENT_SCALE};
 
-#[derive(serde::Serialize)]
 struct Series {
     program: String,
     idle_fraction: f64,
@@ -21,6 +20,18 @@ struct Series {
     verdict: String,
     /// `(burst size x, P(X > x))` points of the CCDF.
     ccdf: Vec<(u64, f64)>,
+}
+
+impl offchip_json::ToJson for Series {
+    fn to_json(&self) -> offchip_json::Json {
+        offchip_json::json_obj! {
+            "program" => self.program,
+            "idle_fraction" => self.idle_fraction,
+            "coefficient_of_variation" => self.coefficient_of_variation,
+            "verdict" => self.verdict,
+            "ccdf" => self.ccdf,
+        }
+    }
 }
 
 fn main() {

@@ -12,13 +12,24 @@ use offchip_model::omega::normalized_increase;
 use offchip_npb::classes::ProblemClass;
 use offchip_topology::machines::{self, DEFAULT_EXPERIMENT_SCALE};
 
-#[derive(serde::Serialize)]
 struct Row {
     program: String,
     size: char,
     machine: String,
     half_cores: f64,
     all_cores: f64,
+}
+
+impl offchip_json::ToJson for Row {
+    fn to_json(&self) -> offchip_json::Json {
+        offchip_json::json_obj! {
+            "program" => self.program,
+            "size" => self.size,
+            "machine" => self.machine,
+            "half_cores" => self.half_cores,
+            "all_cores" => self.all_cores,
+        }
+    }
 }
 
 fn main() {

@@ -12,11 +12,20 @@ use offchip_model::validation::colinearity_r2;
 use offchip_npb::classes::ProblemClass;
 use offchip_topology::machines::{self, DEFAULT_EXPERIMENT_SCALE};
 
-#[derive(serde::Serialize)]
 struct Cell {
     program: String,
     machine: String,
     r_squared: f64,
+}
+
+impl offchip_json::ToJson for Cell {
+    fn to_json(&self) -> offchip_json::Json {
+        offchip_json::json_obj! {
+            "program" => self.program,
+            "machine" => self.machine,
+            "r_squared" => self.r_squared,
+        }
+    }
 }
 
 fn main() {

@@ -4,10 +4,9 @@
 //! the measured-vs-modelled ω series and persist them as JSON.
 
 use crate::{build_workload, run_sweep, seeds, write_json, ExperimentResult, ProgramSpec};
-use offchip_model::{validate, ContentionModel, FitProtocol};
+use offchip_model::{fit_robust_from_sweep, validate, FitProtocol, RobustOptions};
 use offchip_topology::machines::{self, DEFAULT_EXPERIMENT_SCALE};
 
-#[derive(serde::Serialize)]
 struct FigureSeries {
     machine: String,
     protocol: String,
@@ -15,6 +14,20 @@ struct FigureSeries {
     points: Vec<(usize, f64, f64)>,
     mean_relative_error: Option<f64>,
     mean_absolute_error: f64,
+    fit_quality: String,
+}
+
+impl offchip_json::ToJson for FigureSeries {
+    fn to_json(&self) -> offchip_json::Json {
+        offchip_json::json_obj! {
+            "machine" => self.machine,
+            "protocol" => self.protocol,
+            "points" => self.points,
+            "mean_relative_error" => self.mean_relative_error,
+            "mean_absolute_error" => self.mean_absolute_error,
+            "fit_quality" => self.fit_quality,
+        }
+    }
 }
 
 /// Runs the figure for `program`, printing and persisting the series.
@@ -59,15 +72,26 @@ pub fn run_figure(program: ProgramSpec, figure_id: &str, artifact: &str) {
         let r = sweep.mean_misses();
 
         for proto in protocols {
-            let inputs = proto.inputs_from_sweep(&sweep.cycles_sweep_f64(), r);
-            let model = match ContentionModel::fit(&inputs) {
-                Ok(m) => m,
+            let robust = match fit_robust_from_sweep(
+                &proto,
+                &sweep.cycles_sweep_f64(),
+                r,
+                &RobustOptions::default(),
+            ) {
+                Ok(fit) => fit,
                 Err(e) => {
                     println!("{}: fit failed under {}: {e}", machine.name, proto.name);
                     continue;
                 }
             };
-            let v = validate(&model, &sweep.cycles_sweep());
+            let model = robust.model;
+            let v = match validate(&model, &sweep.cycles_sweep()) {
+                Ok(v) => v,
+                Err(e) => {
+                    println!("{}: validation failed under {}: {e}", machine.name, proto.name);
+                    continue;
+                }
+            };
             println!(
                 "{figure_id} — {} on {} (inputs {})",
                 program.name(),
@@ -103,6 +127,7 @@ pub fn run_figure(program: ProgramSpec, figure_id: &str, artifact: &str) {
                 "  mean absolute error: {:.3} omega units",
                 v.mean_absolute_error
             );
+            println!("  fit quality: {}", robust.quality);
             println!();
             all.push(FigureSeries {
                 machine: machine.name.clone(),
@@ -110,6 +135,7 @@ pub fn run_figure(program: ProgramSpec, figure_id: &str, artifact: &str) {
                 points: v.points.clone(),
                 mean_relative_error: v.mean_relative_error,
                 mean_absolute_error: v.mean_absolute_error,
+                fit_quality: robust.quality.to_string(),
             });
         }
     }

@@ -3,16 +3,28 @@
 use std::io::Write as _;
 use std::path::PathBuf;
 
+use offchip_json::{json_obj, ToJson};
+
 /// A named experiment result: arbitrary JSON-serialisable payload plus
 /// provenance, written under `target/experiments/<id>.json`.
-#[derive(Debug, Clone, serde::Serialize)]
-pub struct ExperimentResult<T: serde::Serialize> {
+#[derive(Debug, Clone)]
+pub struct ExperimentResult<T: ToJson> {
     /// Experiment id (`"table2"`, `"figure5"`, ...).
     pub id: String,
     /// The paper artefact being reproduced.
     pub paper_artifact: String,
     /// The payload.
     pub data: T,
+}
+
+impl<T: ToJson> ToJson for ExperimentResult<T> {
+    fn to_json(&self) -> offchip_json::Json {
+        json_obj! {
+            "id" => self.id,
+            "paper_artifact" => self.paper_artifact,
+            "data" => self.data.to_json(),
+        }
+    }
 }
 
 /// Directory experiment JSON lands in.
@@ -24,15 +36,12 @@ pub fn experiments_dir() -> PathBuf {
 /// Writes the result as pretty JSON; returns the path. Errors are
 /// propagated so a harness binary fails loudly rather than silently
 /// dropping data.
-pub fn write_json<T: serde::Serialize>(
-    result: &ExperimentResult<T>,
-) -> std::io::Result<PathBuf> {
+pub fn write_json<T: ToJson>(result: &ExperimentResult<T>) -> std::io::Result<PathBuf> {
     let dir = experiments_dir();
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{}.json", result.id));
     let mut f = std::fs::File::create(&path)?;
-    let body = serde_json::to_string_pretty(result)
-        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    let body = result.to_json().to_pretty_string();
     f.write_all(body.as_bytes())?;
     Ok(path)
 }
@@ -51,12 +60,12 @@ mod tests {
         let r = ExperimentResult {
             id: "selftest".into(),
             paper_artifact: "none".into(),
-            data: vec![1.0f64, 2.0],
+            data: vec![1.0f64, 2.5],
         };
         let path = write_json(&r).unwrap();
         let body = std::fs::read_to_string(path).unwrap();
         assert!(body.contains("selftest"));
-        assert!(body.contains("2.0"));
+        assert!(body.contains("2.5"));
     }
 
     #[test]

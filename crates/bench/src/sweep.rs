@@ -1,10 +1,47 @@
 //! Core-count sweeps with seed averaging.
 
+use offchip_json::{json_obj, Json, ToJson};
 use offchip_machine::{run, RunReport, SimConfig, Workload};
 use offchip_topology::MachineSpec;
 
+/// Why a sweep could not answer a question about itself.
+///
+/// Real measurement campaigns lose points — a node reboots mid-sweep, a
+/// counter multiplexing slot never fires — so every accessor that *needs*
+/// a particular point reports its absence as data, not as a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepError {
+    /// The sweep holds no points at all.
+    Empty,
+    /// The sweep lacks the one-core baseline `C(1)` that ω is defined
+    /// against.
+    MissingBaseline,
+    /// The sweep lacks the point `n` a consumer asked for.
+    MissingPoint(usize),
+    /// The point `n` exists but its cycle counter is non-finite or
+    /// non-positive (a corrupted reading).
+    CorruptPoint(usize),
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::Empty => write!(f, "sweep has no points"),
+            SweepError::MissingBaseline => {
+                write!(f, "sweep lacks the n = 1 baseline that omega(n) is defined against")
+            }
+            SweepError::MissingPoint(n) => write!(f, "sweep lacks the required point n = {n}"),
+            SweepError::CorruptPoint(n) => {
+                write!(f, "sweep point n = {n} has a non-finite or non-positive cycle count")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
 /// One averaged sweep point.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct SweepPoint {
     /// Active cores.
     pub n: usize,
@@ -20,8 +57,21 @@ pub struct SweepPoint {
     pub makespan: f64,
 }
 
+impl ToJson for SweepPoint {
+    fn to_json(&self) -> Json {
+        json_obj! {
+            "n" => self.n,
+            "total_cycles" => self.total_cycles,
+            "work_cycles" => self.work_cycles,
+            "stall_cycles" => self.stall_cycles,
+            "llc_misses" => self.llc_misses,
+            "makespan" => self.makespan,
+        }
+    }
+}
+
 /// A full sweep of one program on one machine.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct SweepResult {
     /// Machine name.
     pub machine: String,
@@ -45,24 +95,36 @@ impl SweepResult {
         self.points.iter().map(|p| (p.n, p.total_cycles)).collect()
     }
 
-    /// The one-core baseline `C(1)`.
-    ///
-    /// # Panics
-    /// Panics if the sweep lacks `n = 1`.
-    pub fn c1(&self) -> f64 {
-        self.points
+    /// The one-core baseline `C(1)`, or a typed error when the sweep is
+    /// incomplete or the baseline reading is corrupt.
+    pub fn c1(&self) -> Result<f64, SweepError> {
+        if self.points.is_empty() {
+            return Err(SweepError::Empty);
+        }
+        let p = self
+            .points
             .iter()
             .find(|p| p.n == 1)
-            .expect("sweep must include n = 1")
-            .total_cycles
+            .ok_or(SweepError::MissingBaseline)?;
+        if !p.total_cycles.is_finite() || p.total_cycles <= 0.0 {
+            return Err(SweepError::CorruptPoint(1));
+        }
+        Ok(p.total_cycles)
     }
 
-    /// ω(n) series from the sweep.
-    pub fn omega(&self) -> Vec<(usize, f64)> {
-        let c1 = self.c1();
+    /// ω(n) series from the sweep. Fails when the baseline is missing or
+    /// corrupt; individual non-finite points propagate as NaN-free errors.
+    pub fn omega(&self) -> Result<Vec<(usize, f64)>, SweepError> {
+        let c1 = self.c1()?;
         self.points
             .iter()
-            .map(|p| (p.n, (p.total_cycles - c1) / c1))
+            .map(|p| {
+                if p.total_cycles.is_finite() {
+                    Ok((p.n, (p.total_cycles - c1) / c1))
+                } else {
+                    Err(SweepError::CorruptPoint(p.n))
+                }
+            })
             .collect()
     }
 
@@ -70,6 +132,16 @@ impl SweepResult {
     pub fn mean_misses(&self) -> f64 {
         let total: f64 = self.points.iter().map(|p| p.llc_misses).sum();
         total / self.points.len().max(1) as f64
+    }
+}
+
+impl ToJson for SweepResult {
+    fn to_json(&self) -> Json {
+        json_obj! {
+            "machine" => self.machine,
+            "program" => self.program,
+            "points" => self.points,
+        }
     }
 }
 
@@ -161,11 +233,40 @@ mod tests {
         let w = build_workload(ProgramSpec::Cg(ProblemClass::S), 8);
         let s = run_sweep(&machine, w.as_ref(), &[1, 4], &[1, 2]);
         assert_eq!(s.points.len(), 2);
-        assert!(s.c1() > 0.0);
-        let omega = s.omega();
+        assert!(s.c1().unwrap() > 0.0);
+        let omega = s.omega().unwrap();
         assert_eq!(omega[0].1, 0.0);
         assert!(s.mean_misses() > 0.0);
         assert_eq!(s.cycles_sweep().len(), 2);
+    }
+
+    #[test]
+    fn incomplete_sweeps_report_typed_errors() {
+        let mut s = SweepResult {
+            machine: "m".into(),
+            program: "p".into(),
+            points: vec![],
+        };
+        assert_eq!(s.c1(), Err(SweepError::Empty));
+        s.points.push(SweepPoint {
+            n: 4,
+            total_cycles: 100.0,
+            work_cycles: 60.0,
+            stall_cycles: 40.0,
+            llc_misses: 10.0,
+            makespan: 100.0,
+        });
+        assert_eq!(s.c1(), Err(SweepError::MissingBaseline));
+        assert_eq!(s.omega(), Err(SweepError::MissingBaseline));
+        s.points.push(SweepPoint {
+            n: 1,
+            total_cycles: f64::NAN,
+            work_cycles: 0.0,
+            stall_cycles: 0.0,
+            llc_misses: 0.0,
+            makespan: 0.0,
+        });
+        assert_eq!(s.c1(), Err(SweepError::CorruptPoint(1)));
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use offchip_bench::ProgramSpec;
 use offchip_machine::{McScheduler, MemoryPolicy};
 use offchip_npb::classes::ProblemClass;
+use offchip_perf::FaultSpec;
 
 /// Usage text shown on parse errors.
 pub const USAGE: &str = "\
@@ -28,6 +29,9 @@ options:
   --scheduler fcfs|frfcfs      memory-controller scheduler (default fcfs)
   --placement interleave|firsttouch   page placement (default interleave)
   --protocol paper|extended    fit input points (fit; default paper)
+  --faults SPEC                inject counter faults before fitting (fit):
+                               drop=P,jitter=S,garbage=P,zero=P,seed=N
+                               (also read from OFFCHIP_FAULTS when unset)
   --seed N                     simulation seed";
 
 /// Which machine preset to use.
@@ -62,6 +66,8 @@ pub struct RunOptions {
     pub placement: MemoryPolicy,
     /// Use the extended fit protocol.
     pub extended_protocol: bool,
+    /// Counter faults to inject before fitting (`fit` only).
+    pub faults: Option<FaultSpec>,
     /// Simulation seed.
     pub seed: u64,
 }
@@ -78,6 +84,7 @@ impl Default for RunOptions {
             scheduler: McScheduler::Fcfs,
             placement: MemoryPolicy::InterleaveActive,
             extended_protocol: false,
+            faults: None,
             seed: 0x0FF_C41B,
         }
     }
@@ -191,6 +198,10 @@ fn parse_options(mut opts: RunOptions, rest: &[String]) -> Result<RunOptions, St
                     other => return Err(format!("unknown protocol {other:?}")),
                 }
             }
+            "--faults" => {
+                opts.faults =
+                    Some(FaultSpec::parse(&value()?).map_err(|e| format!("--faults: {e}"))?)
+            }
             "--seed" => opts.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
             other => return Err(format!("unknown option {other:?}")),
         }
@@ -273,6 +284,20 @@ mod tests {
         assert_eq!(o.scheduler, McScheduler::FrFcfs);
         assert_eq!(o.placement, MemoryPolicy::FirstTouch);
         assert_eq!(o.seed, 7);
+    }
+
+    #[test]
+    fn parses_fault_spec() {
+        let cmd = parse(&sv(&["fit", "CG.C", "--faults", "drop=0.2,jitter=0.05,seed=9"])).unwrap();
+        let Command::Fit(o) = cmd else {
+            panic!("wrong command")
+        };
+        let f = o.faults.unwrap();
+        assert_eq!(f.drop, 0.2);
+        assert_eq!(f.jitter, 0.05);
+        assert_eq!(f.seed, 9);
+        assert!(parse(&sv(&["fit", "CG.C", "--faults", "drop=2"])).is_err());
+        assert!(parse(&sv(&["fit", "CG.C", "--faults", "bogus=1"])).is_err());
     }
 
     #[test]

@@ -1,15 +1,16 @@
 //! Command implementations.
 
-use offchip_bench::plot::{linear_plot, Series};
 use offchip_bench::build_workload_scaled;
-use offchip_machine::{run, RunReport, SimConfig, Workload};
-use offchip_model::{validate, ContentionModel, FitProtocol};
+use offchip_bench::plot::{linear_plot, Series};
+use offchip_machine::{try_run, RunReport, SimConfig, Workload};
+use offchip_model::{fit_robust_from_sweep, validate, FitProtocol, RobustOptions};
 use offchip_perf::papiex::papiex_report_default;
-use offchip_perf::BurstAnalysis;
+use offchip_perf::{BurstAnalysis, FaultSpec};
 use offchip_topology::likwid::topology_report;
 use offchip_topology::{machines, MachineSpec};
 
 use crate::args::{Command, MachineChoice, RunOptions};
+use crate::error::CliError;
 
 fn machine_of(choice: MachineChoice, scale_denom: f64) -> MachineSpec {
     let base = match choice {
@@ -34,17 +35,31 @@ fn config_of(opts: &RunOptions, machine: &MachineSpec, n: usize) -> SimConfig {
     cfg
 }
 
-fn run_one(opts: &RunOptions, machine: &MachineSpec, n: usize, sampler: bool) -> RunReport {
+fn run_one(
+    opts: &RunOptions,
+    machine: &MachineSpec,
+    n: usize,
+    sampler: bool,
+) -> Result<RunReport, CliError> {
     let w = workload_of(opts, machine);
     let mut cfg = config_of(opts, machine, n);
     if sampler {
         cfg = cfg.with_sampler_5us_scaled();
     }
-    run(w.as_ref(), &cfg)
+    Ok(try_run(w.as_ref(), &cfg)?)
+}
+
+/// The fault spec in force: the `--faults` flag, else `OFFCHIP_FAULTS`.
+fn faults_in_force(opts: &RunOptions) -> Result<Option<FaultSpec>, CliError> {
+    match opts.faults {
+        Some(spec) => Ok(Some(spec)),
+        None => FaultSpec::from_env()
+            .map_err(|e| CliError::Runtime(format!("OFFCHIP_FAULTS: {e}"))),
+    }
 }
 
 /// Executes a parsed command.
-pub fn execute(cmd: Command) {
+pub fn execute(cmd: Command) -> Result<(), CliError> {
     match cmd {
         Command::Topology(choice) => {
             let targets = match choice {
@@ -59,7 +74,7 @@ pub fn execute(cmd: Command) {
         Command::Run(opts) => {
             let machine = machine_of(opts.machine, opts.scale_denom);
             let n = opts.cores.unwrap_or_else(|| machine.total_cores());
-            let report = run_one(&opts, &machine, n, false);
+            let report = run_one(&opts, &machine, n, false)?;
             print!("{}", papiex_report_default(&report));
         }
         Command::Sweep(opts) => {
@@ -73,7 +88,7 @@ pub fn execute(cmd: Command) {
                 machine.name
             );
             for n in 1..=total {
-                let r = run_one(&opts, &machine, n, false);
+                let r = run_one(&opts, &machine, n, false)?;
                 if n == 1 {
                     c1 = r.counters.total_cycles;
                 }
@@ -115,44 +130,55 @@ pub fn execute(cmd: Command) {
             let mut sweep = Vec::new();
             let mut misses = 1.0;
             for n in 1..=total {
-                let r = run(w.as_ref(), &config_of(&opts, &machine, n));
+                let r = try_run(w.as_ref(), &config_of(&opts, &machine, n))?;
                 sweep.push((n, r.counters.total_cycles));
                 misses = r.counters.llc_misses.max(1) as f64;
             }
-            let sweep_f: Vec<(usize, f64)> =
+            let mut sweep_f: Vec<(usize, f64)> =
                 sweep.iter().map(|&(n, c)| (n, c as f64)).collect();
-            let inputs = proto.inputs_from_sweep(&sweep_f, misses);
-            match ContentionModel::fit(&inputs) {
-                Ok(model) => {
+            if let Some(spec) = faults_in_force(&opts)? {
+                if spec.is_active() {
+                    let before = sweep_f.len();
+                    sweep_f = spec.injector().corrupt_sweep(&sweep_f);
                     println!(
-                        "  M/M/1: mu = {:.3e} req/cyc, L = {:.3e} req/cyc/core",
-                        model.mm1().mu(),
-                        model.mm1().l()
-                    );
-                    if let Some(pole) = model.mm1().saturation_cores() {
-                        println!("  saturation pole: {pole:.1} cores/processor");
-                    }
-                    let v = validate(&model, &sweep);
-                    println!("{:>4} {:>12} {:>12}", "n", "measured ω", "model ω");
-                    for (n, m, p) in &v.points {
-                        println!("{n:>4} {m:>12.2} {p:>12.2}");
-                    }
-                    if let Some(e) = v.mean_relative_error {
-                        println!("  mean relative error: {:.1}%", e * 100.0);
-                    }
-                    println!(
-                        "  mean absolute error: {:.3} omega units",
-                        v.mean_absolute_error
+                        "  injected faults ({spec:?}): {} of {before} sweep \
+                         points survive",
+                        sweep_f.len()
                     );
                 }
-                Err(e) => println!("  fit failed: {e}"),
             }
+            let robust =
+                fit_robust_from_sweep(&proto, &sweep_f, misses, &RobustOptions::default())?;
+            let model = &robust.model;
+            println!(
+                "  M/M/1: mu = {:.3e} req/cyc, L = {:.3e} req/cyc/core",
+                model.mm1().mu(),
+                model.mm1().l()
+            );
+            if let Some(pole) = model.mm1().saturation_cores() {
+                println!("  saturation pole: {pole:.1} cores/processor");
+            }
+            println!("  fit quality: {}", robust.quality);
+            let v = validate(model, &sweep)?;
+            println!("{:>4} {:>12} {:>12}", "n", "measured ω", "model ω");
+            for (n, m, p) in &v.points {
+                println!("{n:>4} {m:>12.2} {p:>12.2}");
+            }
+            if let Some(e) = v.mean_relative_error {
+                println!("  mean relative error: {:.1}%", e * 100.0);
+            }
+            println!(
+                "  mean absolute error: {:.3} omega units",
+                v.mean_absolute_error
+            );
         }
         Command::Burst(opts) => {
             let machine = machine_of(opts.machine, opts.scale_denom);
             let n = opts.cores.unwrap_or_else(|| machine.total_cores());
-            let report = run_one(&opts, &machine, n, true);
-            let windows = report.miss_windows.expect("sampler enabled");
+            let report = run_one(&opts, &machine, n, true)?;
+            let windows = report.miss_windows.ok_or_else(|| {
+                CliError::Runtime("run produced no sampler windows".into())
+            })?;
             let a = BurstAnalysis::from_windows(&windows, 50);
             println!(
                 "{} on {} ({n} cores): {} windows",
@@ -180,4 +206,5 @@ pub fn execute(cmd: Command) {
             }
         }
     }
+    Ok(())
 }

@@ -1,0 +1,64 @@
+//! The CLI's error type and its exit-code contract.
+//!
+//! Scripts drive this binary, so failures are distinguishable without
+//! parsing stderr:
+//!
+//! | code | meaning                                        |
+//! |------|------------------------------------------------|
+//! | 0    | success                                        |
+//! | 2    | usage: the command line did not parse          |
+//! | 3    | configuration rejected (machine/simulation)    |
+//! | 4    | model fit failed (typed `FitError` diagnosis)  |
+//! | 5    | runtime failure inside an otherwise valid run  |
+
+use offchip_machine::ConfigError;
+use offchip_model::FitError;
+
+/// Exit code for command-line parse failures (handled in `main`).
+pub const EXIT_USAGE: u8 = 2;
+
+/// A failure executing a parsed command.
+#[derive(Debug)]
+pub enum CliError {
+    /// The simulation configuration was rejected before running.
+    Config(ConfigError),
+    /// The analytical model could not be fitted.
+    Fit(FitError),
+    /// A run produced something the command could not consume.
+    Runtime(String),
+}
+
+impl CliError {
+    /// The process exit code this error maps to.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Config(_) => 3,
+            CliError::Fit(_) => 4,
+            CliError::Runtime(_) => 5,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Config(e) => write!(f, "invalid configuration: {e}"),
+            CliError::Fit(e) => write!(f, "model fit failed: {e}"),
+            CliError::Runtime(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ConfigError> for CliError {
+    fn from(e: ConfigError) -> CliError {
+        CliError::Config(e)
+    }
+}
+
+impl From<FitError> for CliError {
+    fn from(e: FitError) -> CliError {
+        CliError::Fit(e)
+    }
+}

@@ -13,24 +13,32 @@
 //! `--cores N`, `--scale DENOM` (machine scaled by 1/DENOM, default 64),
 //! `--threads N` (default: machine cores), `--prefetch D`,
 //! `--scheduler fcfs|frfcfs`, `--placement interleave|firsttouch`,
-//! `--protocol paper|extended` (fit only).
+//! `--protocol paper|extended` (fit only), `--faults drop=…,jitter=…`
+//! (fit only; also read from `OFFCHIP_FAULTS`).
+//!
+//! Exit codes: 0 success, 2 usage, 3 invalid configuration, 4 model fit
+//! failure, 5 runtime failure.
 
 use std::process::ExitCode;
 
 mod args;
 mod commands;
+mod error;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match args::parse(&argv) {
-        Ok(cmd) => {
-            commands::execute(cmd);
-            ExitCode::SUCCESS
-        }
+        Ok(cmd) => match commands::execute(cmd) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(e.exit_code())
+            }
+        },
         Err(e) => {
             eprintln!("error: {e}\n");
             eprintln!("{}", args::USAGE);
-            ExitCode::FAILURE
+            ExitCode::from(error::EXIT_USAGE)
         }
     }
 }

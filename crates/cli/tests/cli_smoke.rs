@@ -59,10 +59,69 @@ fn bad_arguments_fail_with_usage() {
         .args(["run", "LU.C"])
         .output()
         .expect("spawn offchip");
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("unknown kernel"));
     assert!(err.contains("usage:"));
+}
+
+#[test]
+fn bad_config_exits_with_config_code() {
+    // 99 cores on the 8-core UMA machine: parses fine, validates never.
+    let out = offchip()
+        .args(["run", "IS.S", "--machine", "uma", "--cores", "99"])
+        .output()
+        .expect("spawn offchip");
+    assert_eq!(out.status.code(), Some(3), "config errors exit 3");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("n_cores"), "diagnosis names the knob: {err}");
+}
+
+#[test]
+fn malformed_fault_spec_is_a_usage_error() {
+    let out = offchip()
+        .args(["fit", "CG.W", "--faults", "drop=2"])
+        .output()
+        .expect("spawn offchip");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("out of range"), "{err}");
+}
+
+#[test]
+fn faulted_fit_reports_quality_or_typed_error() {
+    // Heavy but survivable faults: the robust pipeline must either fit
+    // (printing its degradation ledger) or refuse with exit code 4 — and
+    // never panic (which would exit 101).
+    let out = offchip()
+        .args([
+            "fit", "CG.W", "--machine", "uma", "--scale", "128", "--faults",
+            "drop=0.2,jitter=0.05,seed=11",
+        ])
+        .output()
+        .expect("spawn offchip");
+    let code = out.status.code().expect("not killed by signal");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    match code {
+        0 => assert!(stdout.contains("fit quality:"), "{stdout}"),
+        4 => assert!(stderr.contains("model fit failed"), "{stderr}"),
+        other => panic!("unexpected exit {other}:\n{stdout}\n{stderr}"),
+    }
+}
+
+#[test]
+fn overwhelming_faults_exit_with_fit_code() {
+    // Dropping every sweep point leaves nothing to fit: a typed refusal.
+    let out = offchip()
+        .args([
+            "fit", "CG.W", "--machine", "uma", "--scale", "128", "--faults", "drop=1.0",
+        ])
+        .output()
+        .expect("spawn offchip");
+    assert_eq!(out.status.code(), Some(4), "fit errors exit 4");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("model fit failed"), "{err}");
 }
 
 #[test]

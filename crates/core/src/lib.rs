@@ -19,6 +19,9 @@
 //!   [`protocol`];
 //! * **validation**: average relative error against a measured sweep and
 //!   the colinearity goodness-of-fit R² of Table IV — [`validation`];
+//! * **robust fitting** — sanitisation, outlier trimming, refusal with a
+//!   diagnosis, and a [`FitQuality`] degradation ledger for sweeps
+//!   corrupted by counter faults — [`robust`];
 //! * the **M/G/1 extension** the paper's §VI sketches as future work —
 //!   Pollaczek–Khinchine with a configurable service-time distribution
 //!   (M/D/1 for deterministic controllers) — [`mg1`].
@@ -35,6 +38,7 @@ pub mod mm1;
 pub mod multiproc;
 pub mod omega;
 pub mod protocol;
+pub mod robust;
 pub mod validation;
 
 pub use mg1::Mg1Fit;
@@ -42,4 +46,7 @@ pub use mm1::Mm1Fit;
 pub use multiproc::{Architecture, ContentionModel, FitError, FitInputs};
 pub use omega::{degree_of_contention, omega_series};
 pub use protocol::FitProtocol;
+pub use robust::{
+    fit_robust, fit_robust_from_sweep, DropReason, FitQuality, RobustFit, RobustOptions,
+};
 pub use validation::{colinearity_r2, validate, Validation};

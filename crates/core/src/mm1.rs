@@ -14,7 +14,7 @@
 //! The fit is therefore an ordinary least-squares line through the
 //! measured `(n, 1/C(n))` points.
 
-use offchip_stats::LineFit;
+use offchip_stats::{LineFit, RegressionError};
 
 /// A fitted single-processor model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,18 +37,24 @@ pub struct Mm1Fit {
 pub enum Mm1Error {
     /// Fewer than two distinct `n` values supplied.
     TooFewPoints,
-    /// A supplied `C(n)` was zero or negative.
-    NonPositiveCycles,
+    /// The point `(n, C(n))` had a zero, negative, or non-finite cycle
+    /// count.
+    NonPositiveCycles {
+        /// The core count of the offending point.
+        n: usize,
+    },
     /// The regression itself failed (degenerate inputs).
-    Degenerate,
+    Degenerate(RegressionError),
 }
 
 impl std::fmt::Display for Mm1Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Mm1Error::TooFewPoints => write!(f, "need at least two (n, C(n)) points"),
-            Mm1Error::NonPositiveCycles => write!(f, "C(n) must be positive"),
-            Mm1Error::Degenerate => write!(f, "degenerate regression inputs"),
+            Mm1Error::NonPositiveCycles { n } => {
+                write!(f, "C({n}) is not positive and finite")
+            }
+            Mm1Error::Degenerate(e) => write!(f, "degenerate regression inputs: {e}"),
         }
     }
 }
@@ -65,12 +71,12 @@ impl Mm1Fit {
         let mut ys = Vec::with_capacity(points.len());
         for &(n, c) in points {
             if c <= 0.0 || !c.is_finite() {
-                return Err(Mm1Error::NonPositiveCycles);
+                return Err(Mm1Error::NonPositiveCycles { n });
             }
             xs.push(n as f64);
             ys.push(1.0 / c);
         }
-        let fit = LineFit::ordinary(&xs, &ys).ok_or(Mm1Error::Degenerate)?;
+        let fit = LineFit::try_ordinary(&xs, &ys).map_err(Mm1Error::Degenerate)?;
         Ok(Mm1Fit {
             a: fit.intercept,
             b: -fit.slope,
@@ -186,11 +192,13 @@ mod tests {
         assert_eq!(Mm1Fit::fit(&[(1, 1e9)], 1.0), Err(Mm1Error::TooFewPoints));
         assert_eq!(
             Mm1Fit::fit(&[(1, 1e9), (2, 0.0)], 1.0),
-            Err(Mm1Error::NonPositiveCycles)
+            Err(Mm1Error::NonPositiveCycles { n: 2 })
         );
-        assert_eq!(
-            Mm1Fit::fit(&[(2, 1e9), (2, 2e9)], 1.0),
-            Err(Mm1Error::Degenerate),
+        assert!(
+            matches!(
+                Mm1Fit::fit(&[(2, 1e9), (2, 2e9)], 1.0),
+                Err(Mm1Error::Degenerate(_))
+            ),
             "identical n values"
         );
     }

@@ -61,6 +61,28 @@ pub enum FitError {
     /// A cross-processor point had no remote cores after the fill-first
     /// split (internal inconsistency).
     BadCrossPoint,
+    /// The sweep lacks a point the fitting protocol requires.
+    MissingPoint(usize),
+    /// The sweep lacks the `n = 1` baseline ω is defined against.
+    MissingBaseline,
+    /// After discarding corrupt readings, too few points remain to fit
+    /// responsibly (the robust pipeline refuses below three).
+    TooFewUsablePoints {
+        /// Points that survived sanitisation.
+        usable: usize,
+        /// Points discarded as corrupt or outlying.
+        dropped: usize,
+    },
+    /// The regression produced a non-positive service rate μ — the
+    /// recovered queue would have no capacity, so every prediction from
+    /// it would be meaningless.
+    NonPositiveMu,
+    /// The fitted model saturates (`n·L ≥ μ`) at one of its own input
+    /// points: the M/M/1 abstraction is invalid inside its fitting domain.
+    SaturatedInputs {
+        /// The input core count at or past the fitted pole.
+        n: usize,
+    },
 }
 
 impl std::fmt::Display for FitError {
@@ -70,6 +92,27 @@ impl std::fmt::Display for FitError {
             FitError::NoCores => write!(f, "cores_per_processor must be positive"),
             FitError::BadMissCount => write!(f, "miss count r must be positive"),
             FitError::BadCrossPoint => write!(f, "cross-processor point has no remote cores"),
+            FitError::MissingPoint(n) => {
+                write!(f, "sweep is missing the protocol's required point n = {n}")
+            }
+            FitError::MissingBaseline => {
+                write!(f, "sweep is missing the n = 1 baseline C(1)")
+            }
+            FitError::TooFewUsablePoints { usable, dropped } => write!(
+                f,
+                "only {usable} usable points remain after dropping {dropped}; \
+                 fitting needs at least 3 — re-measure the sweep"
+            ),
+            FitError::NonPositiveMu => write!(
+                f,
+                "fitted service rate mu is not positive; the measured sweep \
+                 contradicts the queueing model"
+            ),
+            FitError::SaturatedInputs { n } => write!(
+                f,
+                "fitted model saturates at its own input point n = {n} \
+                 (n*L >= mu); the measurements are inconsistent with M/M/1"
+            ),
         }
     }
 }

@@ -8,7 +8,7 @@
 //!   homogeneous interconnect with only `C(1), C(12), C(13)` degrades
 //!   accuracy "up to 25 %".
 
-use crate::multiproc::{Architecture, FitInputs};
+use crate::multiproc::{Architecture, FitError, FitInputs};
 
 /// A named measurement protocol: the core counts to measure and how to fit.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -116,27 +116,47 @@ impl FitProtocol {
     /// Builds [`FitInputs`] by selecting this protocol's points from a
     /// measured sweep.
     ///
-    /// # Panics
-    /// Panics if the sweep is missing one of the protocol's core counts.
-    pub fn inputs_from_sweep(&self, sweep: &[(usize, f64)], r: f64) -> FitInputs {
-        let points = self
-            .input_cores
-            .iter()
-            .map(|&n| {
-                sweep
-                    .iter()
-                    .find(|&&(m, _)| m == n)
-                    .copied()
-                    .unwrap_or_else(|| panic!("sweep missing required point n={n}"))
-            })
-            .collect();
-        FitInputs {
-            points,
-            r,
-            cores_per_processor: self.cores_per_processor,
-            arch: self.arch,
-            homogeneous_rho: self.homogeneous_rho,
+    /// Returns [`FitError::MissingPoint`] when the sweep lacks one of the
+    /// protocol's core counts — a routine occurrence on real measurement
+    /// campaigns (a node dies mid-sweep), so it is data, not a panic. Use
+    /// [`FitProtocol::inputs_from_sweep_lossy`] to degrade gracefully
+    /// instead.
+    pub fn inputs_from_sweep(&self, sweep: &[(usize, f64)], r: f64) -> Result<FitInputs, FitError> {
+        let (inputs, missing) = self.inputs_from_sweep_lossy(sweep, r);
+        if let Some(&n) = missing.first() {
+            return Err(FitError::MissingPoint(n));
         }
+        Ok(inputs)
+    }
+
+    /// Builds [`FitInputs`] from whichever protocol points the sweep
+    /// actually contains, reporting the missing core counts instead of
+    /// failing. The robust fitting layer uses this to degrade — a fit from
+    /// a reduced point set with the loss recorded in its quality report —
+    /// rather than refuse outright.
+    pub fn inputs_from_sweep_lossy(
+        &self,
+        sweep: &[(usize, f64)],
+        r: f64,
+    ) -> (FitInputs, Vec<usize>) {
+        let mut points = Vec::with_capacity(self.input_cores.len());
+        let mut missing = Vec::new();
+        for &n in &self.input_cores {
+            match sweep.iter().find(|&&(m, _)| m == n) {
+                Some(&p) => points.push(p),
+                None => missing.push(n),
+            }
+        }
+        (
+            FitInputs {
+                points,
+                r,
+                cores_per_processor: self.cores_per_processor,
+                arch: self.arch,
+                homogeneous_rho: self.homogeneous_rho,
+            },
+            missing,
+        )
     }
 }
 
@@ -174,7 +194,7 @@ mod tests {
     #[test]
     fn inputs_selected_from_sweep() {
         let sweep: Vec<(usize, f64)> = (1..=8).map(|n| (n, 100.0 * n as f64)).collect();
-        let inputs = FitProtocol::intel_uma().inputs_from_sweep(&sweep, 5.0);
+        let inputs = FitProtocol::intel_uma().inputs_from_sweep(&sweep, 5.0).unwrap();
         assert_eq!(
             inputs.points,
             vec![(1, 100.0), (4, 400.0), (5, 500.0)]
@@ -184,9 +204,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "missing required point")]
-    fn missing_point_panics() {
+    fn missing_point_reports_typed_error() {
         let sweep = vec![(1, 100.0), (4, 400.0)];
-        FitProtocol::intel_uma().inputs_from_sweep(&sweep, 1.0);
+        assert_eq!(
+            FitProtocol::intel_uma()
+                .inputs_from_sweep(&sweep, 1.0)
+                .unwrap_err(),
+            FitError::MissingPoint(5)
+        );
+    }
+
+    #[test]
+    fn lossy_selection_degrades_and_records_losses() {
+        let sweep = vec![(1, 100.0), (4, 400.0)];
+        let (inputs, missing) =
+            FitProtocol::intel_uma().inputs_from_sweep_lossy(&sweep, 1.0);
+        assert_eq!(inputs.points, vec![(1, 100.0), (4, 400.0)]);
+        assert_eq!(missing, vec![5]);
     }
 }

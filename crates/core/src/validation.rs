@@ -11,7 +11,7 @@
 
 use offchip_stats::{mean_absolute_relative_error, LineFit};
 
-use crate::multiproc::ContentionModel;
+use crate::multiproc::{ContentionModel, FitError};
 use crate::omega::degree_of_contention;
 
 /// Per-point and aggregate validation results.
@@ -31,14 +31,18 @@ pub struct Validation {
 
 /// Validates a fitted model against a measured `(n, C(n))` sweep.
 ///
-/// # Panics
-/// Panics if the sweep has no `n = 1` baseline.
-pub fn validate(model: &ContentionModel, sweep: &[(usize, u64)]) -> Validation {
+/// Returns [`FitError::MissingBaseline`] when the sweep has no `n = 1`
+/// point — ω is undefined without it, and a thinned-out measurement
+/// campaign losing exactly that point must be reported, not panicked on.
+pub fn validate(
+    model: &ContentionModel,
+    sweep: &[(usize, u64)],
+) -> Result<Validation, FitError> {
     let c1 = sweep
         .iter()
         .find(|&&(n, _)| n == 1)
         .map(|&(_, c)| c)
-        .expect("sweep must include the one-core baseline");
+        .ok_or(FitError::MissingBaseline)?;
     let mut points = Vec::with_capacity(sweep.len());
     let mut measured = Vec::new();
     let mut modelled = Vec::new();
@@ -56,11 +60,11 @@ pub fn validate(model: &ContentionModel, sweep: &[(usize, u64)]) -> Validation {
         .map(|(p, m)| (p - m).abs())
         .sum::<f64>()
         / modelled.len().max(1) as f64;
-    Validation {
+    Ok(Validation {
         points,
         mean_relative_error,
         mean_absolute_error,
-    }
+    })
 }
 
 /// Table IV's colinearity goodness-of-fit: R² of the line `1/C(n)` vs `n`
@@ -111,7 +115,7 @@ mod tests {
     fn perfect_model_validates_with_tiny_error() {
         let sweep = mm1_sweep(0.02, 0.0012, 1e9, 12);
         let model = fitted(&sweep, 12);
-        let v = validate(&model, &sweep);
+        let v = validate(&model, &sweep).unwrap();
         assert_eq!(v.points.len(), 12);
         assert!(
             v.mean_relative_error.unwrap() < 0.01,
@@ -129,7 +133,7 @@ mod tests {
         // Fit against a much flatter program, then validate on the steep one.
         let flat = mm1_sweep(0.02, 0.0001, 1e9, 12);
         let model = fitted(&flat, 12);
-        let v = validate(&model, &sweep);
+        let v = validate(&model, &sweep).unwrap();
         assert!(v.mean_relative_error.unwrap() > 0.3);
     }
 
@@ -160,10 +164,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "baseline")]
-    fn validate_needs_baseline() {
+    fn validate_reports_missing_baseline() {
         let sweep = vec![(2usize, 100u64)];
         let model = fitted(&mm1_sweep(0.02, 0.0012, 1e9, 12), 12);
-        validate(&model, &sweep);
+        assert_eq!(
+            validate(&model, &sweep).unwrap_err(),
+            FitError::MissingBaseline
+        );
     }
 }

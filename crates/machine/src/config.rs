@@ -1,7 +1,65 @@
 //! Simulation configuration.
 
 use offchip_cache::ReplacementPolicy;
-use offchip_topology::{AllocationPolicy, MachineSpec};
+use offchip_topology::{AllocationPolicy, MachineSpec, SpecError};
+
+/// Why a [`SimConfig`] cannot be simulated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The machine specification itself is inconsistent.
+    Machine(SpecError),
+    /// `n_cores` is zero or exceeds the machine's core count.
+    CoresOutOfRange {
+        /// The requested core count.
+        n_cores: usize,
+        /// The machine's total logical cores.
+        total: usize,
+    },
+    /// Zero MSHRs would deadlock every miss.
+    ZeroMshrs,
+    /// A zero scheduler or synchronisation quantum.
+    ZeroQuantum,
+    /// The page size is not a power of two at least one cache line large.
+    BadPageSize {
+        /// The configured page size.
+        page_bytes: u64,
+        /// The machine's cache-line size.
+        line_bytes: u32,
+    },
+    /// The sampler window is zero.
+    ZeroSamplerWindow,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Machine(e) => write!(f, "machine spec invalid: {e}"),
+            ConfigError::CoresOutOfRange { n_cores, total } => write!(
+                f,
+                "n_cores {n_cores} outside 1..={total} — pass --cores within \
+                 the machine's range"
+            ),
+            ConfigError::ZeroMshrs => write!(f, "mshr_per_core must be positive"),
+            ConfigError::ZeroQuantum => write!(f, "quanta must be positive"),
+            ConfigError::BadPageSize {
+                page_bytes,
+                line_bytes,
+            } => write!(
+                f,
+                "page size {page_bytes} must be a power of two >= line size {line_bytes}"
+            ),
+            ConfigError::ZeroSamplerWindow => write!(f, "sampler window must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<SpecError> for ConfigError {
+    fn from(e: SpecError) -> ConfigError {
+        ConfigError::Machine(e)
+    }
+}
 
 /// Which memory-controller scheduler to instantiate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -115,26 +173,33 @@ impl SimConfig {
         self
     }
 
-    /// Validates the configuration.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validates the configuration, reporting the first inconsistency as a
+    /// typed, actionable error.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         self.machine.validate()?;
         let total = self.machine.total_cores();
         if self.n_cores == 0 || self.n_cores > total {
-            return Err(format!("n_cores {} outside 1..={}", self.n_cores, total));
+            return Err(ConfigError::CoresOutOfRange {
+                n_cores: self.n_cores,
+                total,
+            });
         }
         if self.mshr_per_core == 0 {
-            return Err("mshr_per_core must be positive".into());
+            return Err(ConfigError::ZeroMshrs);
         }
         if self.quantum_cycles == 0 || self.sync_quantum == 0 {
-            return Err("quanta must be positive".into());
+            return Err(ConfigError::ZeroQuantum);
         }
         if !self.page_bytes.is_power_of_two() || self.page_bytes < self.machine.line_bytes() as u64
         {
-            return Err("page size must be a power of two ≥ line size".into());
+            return Err(ConfigError::BadPageSize {
+                page_bytes: self.page_bytes,
+                line_bytes: self.machine.line_bytes(),
+            });
         }
         if let Some(w) = self.sampler_window {
             if w == 0 {
-                return Err("sampler window must be positive".into());
+                return Err(ConfigError::ZeroSamplerWindow);
             }
         }
         Ok(())
@@ -160,17 +225,32 @@ mod tests {
     }
 
     #[test]
-    fn bad_configs_rejected() {
+    fn bad_configs_rejected_with_typed_errors() {
         let mut cfg = SimConfig::new(machines::intel_uma_8(), 9);
-        assert!(cfg.validate().is_err());
+        assert_eq!(
+            cfg.validate().unwrap_err(),
+            ConfigError::CoresOutOfRange { n_cores: 9, total: 8 }
+        );
         cfg.n_cores = 8;
         cfg.validate().unwrap();
         cfg.mshr_per_core = 0;
-        assert!(cfg.validate().is_err());
+        assert_eq!(cfg.validate().unwrap_err(), ConfigError::ZeroMshrs);
         cfg.mshr_per_core = 4;
         cfg.page_bytes = 100; // not a power of two
-        assert!(cfg.validate().is_err());
+        assert!(matches!(
+            cfg.validate().unwrap_err(),
+            ConfigError::BadPageSize { page_bytes: 100, .. }
+        ));
         cfg.page_bytes = 32; // smaller than a line
         assert!(cfg.validate().is_err());
+        cfg.page_bytes = 4096;
+        cfg.quantum_cycles = 0;
+        assert_eq!(cfg.validate().unwrap_err(), ConfigError::ZeroQuantum);
+        cfg.quantum_cycles = 50_000;
+        cfg.machine.sockets = 0;
+        assert!(matches!(
+            cfg.validate().unwrap_err(),
+            ConfigError::Machine(_)
+        ));
     }
 }

@@ -9,7 +9,7 @@
 
 /// One operation of a thread's dynamic instruction stream, at the
 /// granularity the memory study needs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Op {
     /// A compute phase: `cycles` of core-private work retiring
     /// `instructions` instructions. No memory traffic beyond L1.

@@ -30,7 +30,7 @@ use offchip_dram::{
 use offchip_simcore::{EventQueue, SimTime};
 use offchip_topology::{allocation, CoreId, McId};
 
-use crate::config::{McScheduler, MemoryPolicy, SimConfig};
+use crate::config::{ConfigError, McScheduler, MemoryPolicy, SimConfig};
 use crate::counters::{Counters, RunReport, WindowSampler};
 use crate::firsttouch::FirstTouch;
 use crate::ops::{Op, ProgramIter, Workload};
@@ -132,9 +132,21 @@ struct Sim<'w> {
 ///
 /// # Panics
 /// Panics if the configuration is invalid (see [`SimConfig::validate`]) or
-/// the workload has no threads.
+/// the workload has no threads. Use [`try_run`] to surface configuration
+/// problems as typed errors instead.
 pub fn run(workload: &dyn Workload, cfg: &SimConfig) -> RunReport {
-    cfg.validate().expect("invalid simulation configuration");
+    try_run(workload, cfg).unwrap_or_else(|e| panic!("invalid simulation configuration: {e}"))
+}
+
+/// Runs `workload` under `cfg`, rejecting an invalid configuration with a
+/// typed [`ConfigError`] rather than panicking — the entry point for
+/// drivers fed untrusted configurations (the CLI, config files).
+///
+/// # Panics
+/// Panics if the workload has no threads (a workload-construction bug,
+/// not a configuration issue).
+pub fn try_run(workload: &dyn Workload, cfg: &SimConfig) -> Result<RunReport, ConfigError> {
+    cfg.validate()?;
     let n_threads = workload.n_threads();
     assert!(n_threads > 0, "workload has no threads");
 
@@ -283,7 +295,7 @@ pub fn run(workload: &dyn Workload, cfg: &SimConfig) -> RunReport {
     sim.counters.llc_misses = sim.hierarchy.total_llc_misses();
     sim.counters.llc_accesses = sim.hierarchy.total_llc_accesses();
 
-    RunReport {
+    Ok(RunReport {
         program: workload.name(),
         machine: cfg.machine.name.clone(),
         n_cores: cfg.n_cores,
@@ -296,7 +308,7 @@ pub fn run(workload: &dyn Workload, cfg: &SimConfig) -> RunReport {
             .collect(),
         miss_windows: sim.sampler.map(|s| s.finish(makespan)),
         placement,
-    }
+    })
 }
 
 impl<'w> Sim<'w> {

@@ -14,6 +14,7 @@
 
 use std::sync::Arc;
 
+use offchip_json::{json_obj, Json};
 use offchip_machine::{Op, ProgramIter, Workload};
 
 /// Per-thread trace recorder handed to instrumented kernels.
@@ -148,37 +149,103 @@ impl ProgramIter for Replay {
     }
 }
 
-/// On-disk form of a recording (JSON via serde): name + per-thread ops.
-#[derive(serde::Serialize, serde::Deserialize)]
-struct RecordingFile {
-    name: String,
-    threads: Vec<Vec<Op>>,
+/// Encodes one op for the on-disk recording format.
+///
+/// The schema is self-describing: `{"op": "compute"|"access"|"barrier", …}`
+/// so that hand-inspection and future extension stay easy.
+fn op_to_json(op: &Op) -> Json {
+    match op {
+        Op::Compute {
+            cycles,
+            instructions,
+        } => json_obj! { "op" => "compute", "cycles" => *cycles, "instructions" => *instructions },
+        Op::Access {
+            addr,
+            write,
+            dependent,
+        } => json_obj! { "op" => "access", "addr" => *addr, "write" => *write, "dependent" => *dependent },
+        Op::Barrier => json_obj! { "op" => "barrier" },
+    }
+}
+
+fn invalid(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
+}
+
+fn op_from_json(v: &Json) -> std::io::Result<Op> {
+    let kind = v
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| invalid("op entry lacks an \"op\" tag"))?;
+    let field = |name: &str| {
+        v.get(name)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| invalid(format!("{kind} op lacks numeric field \"{name}\"")))
+    };
+    let flag = |name: &str| {
+        v.get(name)
+            .and_then(Json::as_bool)
+            .ok_or_else(|| invalid(format!("{kind} op lacks boolean field \"{name}\"")))
+    };
+    match kind {
+        "compute" => Ok(Op::Compute {
+            cycles: field("cycles")?,
+            instructions: field("instructions")?,
+        }),
+        "access" => Ok(Op::Access {
+            addr: field("addr")?,
+            write: flag("write")?,
+            dependent: flag("dependent")?,
+        }),
+        "barrier" => Ok(Op::Barrier),
+        other => Err(invalid(format!("unknown op tag {other:?}"))),
+    }
 }
 
 impl RecordedWorkload {
     /// Saves the recording as JSON at `path`.
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
-        let file = RecordingFile {
-            name: self.name.clone(),
-            threads: self.threads.iter().map(|t| t.as_ref().clone()).collect(),
+        let threads: Vec<Json> = self
+            .threads
+            .iter()
+            .map(|t| Json::Arr(t.iter().map(op_to_json).collect()))
+            .collect();
+        let doc = json_obj! {
+            "name" => self.name,
+            "threads" => Json::Arr(threads),
         };
-        let body = serde_json::to_vec(&file)
-            .map_err(|e| std::io::Error::other(e.to_string()))?;
-        std::fs::write(path, body)
+        std::fs::write(path, doc.to_compact_string())
     }
 
     /// Loads a recording saved by [`RecordedWorkload::save`].
     pub fn load(path: &std::path::Path) -> std::io::Result<RecordedWorkload> {
-        let body = std::fs::read(path)?;
-        let file: RecordingFile = serde_json::from_slice(&body)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-        if file.threads.is_empty() {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                "recording has no threads",
-            ));
+        let body = std::fs::read_to_string(path)?;
+        let doc = Json::parse(&body).map_err(|e| invalid(format!("malformed recording: {e}")))?;
+        let name = doc
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| invalid("recording lacks a \"name\""))?
+            .to_string();
+        let threads_json = doc
+            .get("threads")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| invalid("recording lacks a \"threads\" array"))?;
+        let mut threads = Vec::with_capacity(threads_json.len());
+        for t in threads_json {
+            let ops_json = t
+                .as_arr()
+                .ok_or_else(|| invalid("thread entry is not an array"))?;
+            threads.push(
+                ops_json
+                    .iter()
+                    .map(op_from_json)
+                    .collect::<std::io::Result<Vec<Op>>>()?,
+            );
         }
-        Ok(RecordedWorkload::new(file.name, file.threads))
+        if threads.is_empty() {
+            return Err(invalid("recording has no threads"));
+        }
+        Ok(RecordedWorkload::new(name, threads))
     }
 }
 

@@ -10,15 +10,20 @@
 //! * [`papiex`] — a per-run textual report with derived metrics (IPC,
 //!   stall fraction, misses per kilo-instruction);
 //! * [`burst`] — the 5 µs window sampler analysis: burst-size CCDF, tail
-//!   diagnostics and the bursty/non-bursty verdict used in Fig. 4.
+//!   diagnostics and the bursty/non-bursty verdict used in Fig. 4;
+//! * [`fault`] — deterministic counter-fault injection (dropped samples,
+//!   jitter, garbage and zero readings) for exercising the robust fitting
+//!   pipeline against realistic measurement failures.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod burst;
+pub mod fault;
 pub mod papi;
 pub mod papiex;
 
 pub use burst::{BurstAnalysis, BurstVerdict};
+pub use fault::{FaultInjector, FaultSpec, FaultSpecError};
 pub use papi::{EventSet, PapiEvent};
 pub use papiex::papiex_report;

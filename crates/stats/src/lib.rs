@@ -36,5 +36,5 @@ pub use ccdf::{Ccdf, TailDiagnostics};
 pub use dist::{ExponentialFit, KsStatistic, ParetoFit};
 pub use histogram::{Histogram, LogHistogram};
 pub use hurst::{hurst_aggregated_variance, HurstEstimate};
-pub use regression::{LineFit, WeightedPoint};
+pub use regression::{LineFit, RegressionError, WeightedPoint};
 pub use summary::{mean_absolute_relative_error, relative_error, Summary};

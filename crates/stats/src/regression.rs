@@ -11,6 +11,57 @@
 //! parameters, and the coefficient of determination R² over a sweep of `n`
 //! is the paper's "colinearity goodness-of-fit" (Table IV).
 
+/// Why a least-squares system could not be solved.
+///
+/// The measurement pipeline feeds regressions with counter readings that
+/// may be corrupted or thinned by faults; each failure mode is reported
+/// as a distinct variant so callers can diagnose (and degrade) instead of
+/// panicking on a singular system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegressionError {
+    /// Fewer than two points carry positive weight: the slope is
+    /// under-determined.
+    TooFewPoints {
+        /// Points that actually participated.
+        usable: usize,
+    },
+    /// All participating abscissae are identical: vertical data, the
+    /// normal equations are singular.
+    SingularSystem,
+    /// A coordinate or weight was NaN or infinite.
+    NonFinite {
+        /// Index of the offending point.
+        index: usize,
+    },
+    /// A weight was negative.
+    NegativeWeight {
+        /// Index of the offending point.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for RegressionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegressionError::TooFewPoints { usable } => write!(
+                f,
+                "regression needs at least 2 usable points, got {usable}"
+            ),
+            RegressionError::SingularSystem => {
+                write!(f, "all abscissae identical: the least-squares system is singular")
+            }
+            RegressionError::NonFinite { index } => {
+                write!(f, "point {index} has a non-finite coordinate or weight")
+            }
+            RegressionError::NegativeWeight { index } => {
+                write!(f, "point {index} has a negative weight")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegressionError {}
+
 /// A point with an attached non-negative weight, for weighted least squares.
 ///
 /// The paper weights the remote stall parameter `ρ` by the fraction of
@@ -58,6 +109,12 @@ impl LineFit {
     /// assert!((fit.r_squared - 1.0).abs() < 1e-12);
     /// ```
     pub fn ordinary(xs: &[f64], ys: &[f64]) -> Option<LineFit> {
+        Self::try_ordinary(xs, ys).ok()
+    }
+
+    /// Like [`LineFit::ordinary`], but reports *why* the system could not
+    /// be solved.
+    pub fn try_ordinary(xs: &[f64], ys: &[f64]) -> Result<LineFit, RegressionError> {
         assert_eq!(
             xs.len(),
             ys.len(),
@@ -68,7 +125,7 @@ impl LineFit {
             .zip(ys)
             .map(|(&x, &y)| WeightedPoint { x, y, weight: 1.0 })
             .collect();
-        Self::weighted(&pts)
+        Self::try_weighted(&pts)
     }
 
     /// Fits a line by weighted least squares.
@@ -76,13 +133,22 @@ impl LineFit {
     /// Points with zero weight are skipped; negative weights are rejected by
     /// returning `None`, as are non-finite coordinates.
     pub fn weighted(points: &[WeightedPoint]) -> Option<LineFit> {
+        Self::try_weighted(points).ok()
+    }
+
+    /// Like [`LineFit::weighted`], but reports *why* the system could not
+    /// be solved.
+    pub fn try_weighted(points: &[WeightedPoint]) -> Result<LineFit, RegressionError> {
         let mut w_sum = 0.0;
         let mut wx = 0.0;
         let mut wy = 0.0;
         let mut used = 0usize;
-        for p in points {
-            if !(p.x.is_finite() && p.y.is_finite() && p.weight.is_finite()) || p.weight < 0.0 {
-                return None;
+        for (i, p) in points.iter().enumerate() {
+            if !(p.x.is_finite() && p.y.is_finite() && p.weight.is_finite()) {
+                return Err(RegressionError::NonFinite { index: i });
+            }
+            if p.weight < 0.0 {
+                return Err(RegressionError::NegativeWeight { index: i });
             }
             if p.weight == 0.0 {
                 continue;
@@ -93,7 +159,7 @@ impl LineFit {
             used += 1;
         }
         if used < 2 || w_sum <= 0.0 {
-            return None;
+            return Err(RegressionError::TooFewPoints { usable: used });
         }
         let x_bar = wx / w_sum;
         let y_bar = wy / w_sum;
@@ -109,7 +175,7 @@ impl LineFit {
         }
         if sxx == 0.0 {
             // All abscissae identical: vertical data, slope undefined.
-            return None;
+            return Err(RegressionError::SingularSystem);
         }
         let slope = sxy / sxx;
         let intercept = y_bar - slope * x_bar;
@@ -131,7 +197,7 @@ impl LineFit {
         } else {
             (1.0 - ss_res / ss_tot).max(0.0)
         };
-        Some(LineFit {
+        Ok(LineFit {
             slope,
             intercept,
             r_squared,
@@ -260,6 +326,33 @@ mod tests {
             WeightedPoint { x: 1.0, y: 2.0, weight: -1.0 },
         ];
         assert!(LineFit::weighted(&pts).is_none());
+    }
+
+    #[test]
+    fn typed_errors_name_the_failure() {
+        assert_eq!(
+            LineFit::try_ordinary(&[2.0], &[1.0]),
+            Err(RegressionError::TooFewPoints { usable: 1 })
+        );
+        assert_eq!(
+            LineFit::try_ordinary(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]),
+            Err(RegressionError::SingularSystem)
+        );
+        assert_eq!(
+            LineFit::try_ordinary(&[1.0, f64::NAN], &[1.0, 2.0]),
+            Err(RegressionError::NonFinite { index: 1 })
+        );
+        let pts = [
+            WeightedPoint { x: 0.0, y: 0.0, weight: 1.0 },
+            WeightedPoint { x: 1.0, y: 2.0, weight: -1.0 },
+        ];
+        assert_eq!(
+            LineFit::try_weighted(&pts),
+            Err(RegressionError::NegativeWeight { index: 1 })
+        );
+        // The messages are actionable, not just variant names.
+        let msg = RegressionError::TooFewPoints { usable: 1 }.to_string();
+        assert!(msg.contains("at least 2"), "{msg}");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! accessing the memory — direct, one hop and two hops").
 
 use crate::ids::McId;
+use crate::machine::SpecError;
 
 /// The flavour of memory architecture.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,19 +58,40 @@ impl Interconnect {
     /// # Panics
     /// Panics if an edge references an out-of-range controller, if
     /// `n_mcs == 0`, or if the graph is disconnected (a controller that
-    /// cannot be reached would make remote memory inaccessible).
+    /// cannot be reached would make remote memory inaccessible). Use
+    /// [`Interconnect::try_numa`] to get these as typed errors instead —
+    /// the panicking form is for the static presets, where a violation is
+    /// a bug, not data.
     pub fn numa(n_mcs: usize, edges: &[(usize, usize)], hop_latency: u64, remote_base_latency: u64) -> Interconnect {
-        assert!(n_mcs > 0, "need at least one memory controller");
+        Self::try_numa(n_mcs, edges, hop_latency, remote_base_latency)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Interconnect::numa`] for specs built from
+    /// untrusted input (config files, CLI flags).
+    pub fn try_numa(
+        n_mcs: usize,
+        edges: &[(usize, usize)],
+        hop_latency: u64,
+        remote_base_latency: u64,
+    ) -> Result<Interconnect, SpecError> {
+        if n_mcs == 0 {
+            return Err(SpecError::NoControllers);
+        }
         let mut adj = vec![Vec::new(); n_mcs];
         for &(a, b) in edges {
-            assert!(a < n_mcs && b < n_mcs, "edge ({a},{b}) out of range");
-            assert_ne!(a, b, "self-loop ({a},{a}) is meaningless");
+            if a >= n_mcs || b >= n_mcs {
+                return Err(SpecError::EdgeOutOfRange { a, b, n_mcs });
+            }
+            if a == b {
+                return Err(SpecError::SelfLoop { mc: a });
+            }
             adj[a].push(b);
             adj[b].push(a);
         }
         // BFS from each node.
         let mut hops = vec![vec![u32::MAX; n_mcs]; n_mcs];
-        for start in 0..n_mcs {
+        for (start, _) in adj.iter().enumerate() {
             let dist = &mut hops[start];
             dist[start] = 0;
             let mut frontier = vec![start];
@@ -84,18 +106,76 @@ impl Interconnect {
                     frontier.insert(0, v); // queue semantics
                 }
             }
-            assert!(
-                dist.iter().all(|&d| d != u32::MAX),
-                "interconnect graph is disconnected from mc{start}"
-            );
+            if dist.contains(&u32::MAX) {
+                return Err(SpecError::Disconnected { from: start });
+            }
         }
-        Interconnect {
+        Ok(Interconnect {
             kind: InterconnectKind::Numa,
             hops,
             hop_latency,
             remote_base_latency,
             link_transfer: 0,
+        })
+    }
+
+    /// A NUMA interconnect from an explicit hop-distance matrix (e.g. read
+    /// from a machine-description file), validated for consistency:
+    /// square, symmetric, zero exactly on the diagonal, and obeying the
+    /// triangle inequality — anything else cannot be the shortest-path
+    /// metric of a physical controller network.
+    pub fn numa_from_hops(
+        hops: Vec<Vec<u32>>,
+        hop_latency: u64,
+        remote_base_latency: u64,
+    ) -> Result<Interconnect, SpecError> {
+        let ic = Interconnect {
+            kind: InterconnectKind::Numa,
+            hops,
+            hop_latency,
+            remote_base_latency,
+            link_transfer: 0,
+        };
+        ic.check_hop_table()?;
+        Ok(ic)
+    }
+
+    /// Checks the hop table for internal consistency (see
+    /// [`Interconnect::numa_from_hops`]). Tables produced by the BFS
+    /// constructors satisfy this by construction; specs assembled by hand
+    /// or deserialised may not.
+    pub fn check_hop_table(&self) -> Result<(), SpecError> {
+        let n = self.hops.len();
+        if n == 0 {
+            return Err(SpecError::NoControllers);
         }
+        for (a, row) in self.hops.iter().enumerate() {
+            if row.len() != n {
+                return Err(SpecError::AsymmetricHops { a, b: row.len() });
+            }
+            if row[a] != 0 {
+                return Err(SpecError::NonZeroSelfDistance { mc: a });
+            }
+            for (b, &d) in row.iter().enumerate() {
+                if b != a && d == 0 {
+                    return Err(SpecError::ZeroDistance { a, b });
+                }
+                if self.hops[b][a] != d {
+                    return Err(SpecError::AsymmetricHops { a, b });
+                }
+            }
+        }
+        for a in 0..n {
+            for b in 0..n {
+                for via in 0..n {
+                    let through = self.hops[a][via].saturating_add(self.hops[via][b]);
+                    if through < self.hops[a][b] {
+                        return Err(SpecError::TriangleViolation { a, b, via });
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Sets the per-line link occupancy (inter-socket bandwidth bound).
@@ -210,6 +290,64 @@ mod tests {
     #[should_panic(expected = "self-loop")]
     fn self_loop_rejected() {
         Interconnect::numa(2, &[(1, 1)], 10, 0);
+    }
+
+    #[test]
+    fn try_numa_reports_typed_errors() {
+        assert_eq!(
+            Interconnect::try_numa(0, &[], 1, 0).unwrap_err(),
+            SpecError::NoControllers
+        );
+        assert_eq!(
+            Interconnect::try_numa(2, &[(0, 2)], 1, 0).unwrap_err(),
+            SpecError::EdgeOutOfRange { a: 0, b: 2, n_mcs: 2 }
+        );
+        assert_eq!(
+            Interconnect::try_numa(2, &[(1, 1)], 1, 0).unwrap_err(),
+            SpecError::SelfLoop { mc: 1 }
+        );
+        assert_eq!(
+            Interconnect::try_numa(3, &[(0, 1)], 1, 0).unwrap_err(),
+            SpecError::Disconnected { from: 0 }
+        );
+    }
+
+    #[test]
+    fn hop_table_consistency_checked() {
+        // A consistent 3-node path metric.
+        let good = vec![vec![0, 1, 2], vec![1, 0, 1], vec![2, 1, 0]];
+        let ic = Interconnect::numa_from_hops(good, 10, 5).unwrap();
+        assert_eq!(ic.diameter(), 2);
+        assert_eq!(ic.remote_penalty(McId(0), McId(2)), 25);
+
+        // Asymmetric.
+        let bad = vec![vec![0, 1], vec![2, 0]];
+        assert_eq!(
+            Interconnect::numa_from_hops(bad, 10, 5).unwrap_err(),
+            SpecError::AsymmetricHops { a: 0, b: 1 }
+        );
+        // Non-zero diagonal.
+        let bad = vec![vec![1, 1], vec![1, 0]];
+        assert_eq!(
+            Interconnect::numa_from_hops(bad, 10, 5).unwrap_err(),
+            SpecError::NonZeroSelfDistance { mc: 0 }
+        );
+        // Zero distance between distinct controllers.
+        let bad = vec![vec![0, 0], vec![0, 0]];
+        assert_eq!(
+            Interconnect::numa_from_hops(bad, 10, 5).unwrap_err(),
+            SpecError::ZeroDistance { a: 0, b: 1 }
+        );
+        // Triangle violation: 0->2 direct is 5, but via 1 it is 2.
+        let bad = vec![vec![0, 1, 5], vec![1, 0, 1], vec![5, 1, 0]];
+        assert_eq!(
+            Interconnect::numa_from_hops(bad, 10, 5).unwrap_err(),
+            SpecError::TriangleViolation { a: 0, b: 2, via: 1 }
+        );
+        // BFS-built tables are consistent by construction.
+        Interconnect::numa(4, &[(0, 1), (1, 2), (2, 3)], 10, 0)
+            .check_hop_table()
+            .unwrap();
     }
 
     #[test]

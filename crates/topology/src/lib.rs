@@ -31,4 +31,4 @@ pub mod machines;
 pub use allocation::{AllocationPolicy, Placement};
 pub use ids::{CoreId, McId, SocketId};
 pub use interconnect::{Interconnect, InterconnectKind};
-pub use machine::{CacheLevelSpec, CacheSharing, MachineSpec, MemoryKind};
+pub use machine::{CacheLevelSpec, CacheSharing, MachineSpec, MemoryKind, SpecError};

@@ -18,6 +18,164 @@
 use crate::ids::{CoreId, McId, SocketId};
 use crate::interconnect::{Interconnect, InterconnectKind};
 
+/// Why a machine specification is internally inconsistent.
+///
+/// Every variant names the offending component so a mis-edited preset (or
+/// a hand-built spec) can be repaired from the message alone.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// Zero sockets, domains, or cores per domain.
+    NoCores,
+    /// The cache hierarchy is empty.
+    NoCaches,
+    /// Two cache levels disagree on the line size.
+    MixedLineSizes {
+        /// Line size of the first level.
+        expected: u32,
+        /// The disagreeing line size.
+        got: u32,
+    },
+    /// A cache level cannot hold even one set.
+    LevelTooSmall {
+        /// The offending level number.
+        level: u8,
+    },
+    /// A cache level's line size is not a power of two.
+    LineNotPowerOfTwo {
+        /// The offending level number.
+        level: u8,
+    },
+    /// Cache levels are not strictly increasing.
+    LevelsNotIncreasing,
+    /// The last-level cache is not shared per domain.
+    LlcNotPerDomain,
+    /// The interconnect's controller count contradicts the machine
+    /// geometry.
+    McCountMismatch {
+        /// Controllers in the interconnect's hop table.
+        interconnect: usize,
+        /// Controllers the socket/domain geometry implies.
+        implied: usize,
+    },
+    /// The clock frequency is not positive and finite.
+    BadFrequency,
+    /// The DRAM spec has zero channels or banks.
+    NoDramParallelism,
+    /// The DRAM transfer time is zero (infinite bandwidth).
+    ZeroTransferTime,
+    /// The NUMA hop table is not symmetric: going there and coming back
+    /// disagree on the distance.
+    AsymmetricHops {
+        /// One controller of the inconsistent pair.
+        a: usize,
+        /// The other controller.
+        b: usize,
+    },
+    /// A controller's distance to itself is not zero.
+    NonZeroSelfDistance {
+        /// The offending controller.
+        mc: usize,
+    },
+    /// Two distinct controllers claim distance zero — they would be the
+    /// same controller.
+    ZeroDistance {
+        /// One controller of the pair.
+        a: usize,
+        /// The other controller.
+        b: usize,
+    },
+    /// The hop table violates the triangle inequality: a route through an
+    /// intermediate controller is shorter than the table's direct entry,
+    /// so the distances cannot come from shortest paths on any graph.
+    TriangleViolation {
+        /// Route start.
+        a: usize,
+        /// Route end.
+        b: usize,
+        /// The shortcut witness.
+        via: usize,
+    },
+    /// An interconnect edge references a controller outside `0..n_mcs`.
+    EdgeOutOfRange {
+        /// Edge endpoint a.
+        a: usize,
+        /// Edge endpoint b.
+        b: usize,
+        /// Number of controllers.
+        n_mcs: usize,
+    },
+    /// An interconnect edge connects a controller to itself.
+    SelfLoop {
+        /// The controller with the loop.
+        mc: usize,
+    },
+    /// The interconnect graph is disconnected.
+    Disconnected {
+        /// A controller unreachable from controller 0's component.
+        from: usize,
+    },
+    /// An interconnect was requested with zero controllers.
+    NoControllers,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::NoCores => write!(f, "machine has no cores"),
+            SpecError::NoCaches => write!(f, "machine has no caches"),
+            SpecError::MixedLineSizes { expected, got } => {
+                write!(f, "mixed line sizes: {got} vs {expected}")
+            }
+            SpecError::LevelTooSmall { level } => write!(f, "L{level} smaller than one set"),
+            SpecError::LineNotPowerOfTwo { level } => {
+                write!(f, "L{level} line size not a power of two")
+            }
+            SpecError::LevelsNotIncreasing => {
+                write!(f, "cache levels must be strictly increasing")
+            }
+            SpecError::LlcNotPerDomain => write!(f, "last-level cache must be per-domain"),
+            SpecError::McCountMismatch {
+                interconnect,
+                implied,
+            } => write!(
+                f,
+                "interconnect has {interconnect} MCs, machine implies {implied}"
+            ),
+            SpecError::BadFrequency => write!(f, "invalid frequency"),
+            SpecError::NoDramParallelism => write!(f, "DRAM must have channels and banks"),
+            SpecError::ZeroTransferTime => write!(f, "DRAM transfer time cannot be zero"),
+            SpecError::AsymmetricHops { a, b } => write!(
+                f,
+                "hop table asymmetric between mc{a} and mc{b}: remote latency \
+                 would depend on direction"
+            ),
+            SpecError::NonZeroSelfDistance { mc } => {
+                write!(f, "mc{mc} is a non-zero distance from itself")
+            }
+            SpecError::ZeroDistance { a, b } => write!(
+                f,
+                "distinct controllers mc{a} and mc{b} claim hop distance 0"
+            ),
+            SpecError::TriangleViolation { a, b, via } => write!(
+                f,
+                "hop table violates the triangle inequality: mc{a}->mc{b} is \
+                 longer than the route via mc{via}"
+            ),
+            SpecError::EdgeOutOfRange { a, b, n_mcs } => write!(
+                f,
+                "edge ({a},{b}) out of range for {n_mcs} controllers"
+            ),
+            SpecError::SelfLoop { mc } => write!(f, "self-loop ({mc},{mc}) is meaningless"),
+            SpecError::Disconnected { from } => {
+                write!(f, "interconnect graph is disconnected from mc{from}")
+            }
+            SpecError::NoControllers => write!(f, "need at least one memory controller"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
 /// How a cache level is shared among logical cores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CacheSharing {
@@ -187,53 +345,53 @@ impl MachineSpec {
 
     /// Validates internal consistency; called by the presets' tests and by
     /// the simulator on construction.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), SpecError> {
         if self.sockets == 0 || self.domains_per_socket == 0 || self.cores_per_domain == 0 {
-            return Err("machine has no cores".into());
+            return Err(SpecError::NoCores);
         }
         if self.caches.is_empty() {
-            return Err("machine has no caches".into());
+            return Err(SpecError::NoCaches);
         }
         let line = self.caches[0].line_bytes;
         for c in &self.caches {
             if c.line_bytes != line {
-                return Err(format!(
-                    "mixed line sizes: {} vs {}",
-                    c.line_bytes, line
-                ));
+                return Err(SpecError::MixedLineSizes {
+                    expected: line,
+                    got: c.line_bytes,
+                });
             }
             if c.size_bytes < (c.line_bytes * c.associativity) as u64 {
-                return Err(format!("L{} smaller than one set", c.level));
+                return Err(SpecError::LevelTooSmall { level: c.level });
             }
             if !c.line_bytes.is_power_of_two() {
-                return Err(format!("L{} line size not a power of two", c.level));
+                return Err(SpecError::LineNotPowerOfTwo { level: c.level });
             }
         }
         let levels: Vec<u8> = self.caches.iter().map(|c| c.level).collect();
         for w in levels.windows(2) {
             if w[1] <= w[0] {
-                return Err("cache levels must be strictly increasing".into());
+                return Err(SpecError::LevelsNotIncreasing);
             }
         }
         if self.caches.last().unwrap().sharing != CacheSharing::PerDomain {
-            return Err("last-level cache must be per-domain".into());
+            return Err(SpecError::LlcNotPerDomain);
         }
         let expected_mcs = self.total_mcs();
         if self.interconnect.n_mcs() != expected_mcs {
-            return Err(format!(
-                "interconnect has {} MCs, machine implies {}",
-                self.interconnect.n_mcs(),
-                expected_mcs
-            ));
+            return Err(SpecError::McCountMismatch {
+                interconnect: self.interconnect.n_mcs(),
+                implied: expected_mcs,
+            });
         }
+        self.interconnect.check_hop_table()?;
         if !(self.freq_ghz.is_finite() && self.freq_ghz > 0.0) {
-            return Err("invalid frequency".into());
+            return Err(SpecError::BadFrequency);
         }
         if self.dram.channels == 0 || self.dram.banks_per_channel == 0 {
-            return Err("DRAM must have channels and banks".into());
+            return Err(SpecError::NoDramParallelism);
         }
         if self.dram.transfer_cycles == 0 {
-            return Err("DRAM transfer time cannot be zero".into());
+            return Err(SpecError::ZeroTransferTime);
         }
         Ok(())
     }

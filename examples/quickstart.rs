@@ -44,7 +44,9 @@ fn main() {
     println!("\n== analytical model fitted from C(1), C(4), C(5) (paper section V) ==");
     let protocol = FitProtocol::intel_uma();
     let sweep_f: Vec<(usize, f64)> = sweep.iter().map(|&(n, c)| (n, c as f64)).collect();
-    let inputs = protocol.inputs_from_sweep(&sweep_f, llc_misses);
+    let inputs = protocol
+        .inputs_from_sweep(&sweep_f, llc_misses)
+        .expect("protocol points present");
     let model = ContentionModel::fit(&inputs).expect("model fit");
     println!(
         "  recovered M/M/1 parameters: mu = {:.4e} req/cycle, L = {:.4e} req/cycle/core",
@@ -54,7 +56,7 @@ fn main() {
     if let Some(pole) = model.mm1().saturation_cores() {
         println!("  saturation pole: {pole:.1} cores");
     }
-    let validation = validate(&model, &sweep);
+    let validation = validate(&model, &sweep).expect("baseline present");
     for (n, measured, predicted) in &validation.points {
         println!("  n={n}: measured omega {measured:>5.2} vs model {predicted:>5.2}");
     }

@@ -31,9 +31,11 @@ fn paper_pipeline_on_uma() {
     let ns: Vec<usize> = (1..=8).collect();
     let (cycles, misses) = sweep(&w, &machine, &ns);
     let sweep_f: Vec<(usize, f64)> = cycles.iter().map(|&(n, c)| (n, c as f64)).collect();
-    let inputs = FitProtocol::intel_uma().inputs_from_sweep(&sweep_f, misses);
+    let inputs = FitProtocol::intel_uma()
+        .inputs_from_sweep(&sweep_f, misses)
+        .expect("protocol points present");
     let model = ContentionModel::fit(&inputs).expect("fit");
-    let v = validate(&model, &cycles);
+    let v = validate(&model, &cycles).expect("baseline present");
     let err = v.mean_relative_error.expect("contended program");
     assert!(err < 0.35, "mean relative error {err:.2} out of band");
     // The model must reproduce its own input points exactly-ish.

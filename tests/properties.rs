@@ -152,6 +152,83 @@ proptest! {
     }
 }
 
+/// Fault-tolerance properties: the robust fitting pipeline, fed sweeps
+/// corrupted by every fault class the injector knows, either returns a
+/// physical model with a populated quality ledger or refuses with a typed
+/// error — it never panics, and it never emits NaN or a non-positive μ.
+mod fault_tolerance_properties {
+    use super::*;
+    use offchip::model::{fit_robust_from_sweep, FitProtocol, RobustOptions};
+    use offchip::perf::FaultSpec;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn faulted_fits_never_yield_nan_or_negative_mu(
+            mu in 0.01f64..0.1,
+            l_frac in 0.01f64..0.08,
+            r in 1e6f64..1e10,
+            drop in 0.0f64..0.5,
+            jitter in 0.0f64..0.15,
+            garbage in 0.0f64..0.3,
+            zero in 0.0f64..0.2,
+            seed in any::<u64>(),
+        ) {
+            let l = mu * l_frac;
+            let clean: Vec<(usize, f64)> =
+                (1..=8).map(|n| (n, r / (mu - n as f64 * l))).collect();
+            let spec = FaultSpec { drop, jitter, garbage, zero, seed };
+            let sweep = spec.injector().corrupt_sweep(&clean);
+            let proto = FitProtocol::intel_uma();
+            match fit_robust_from_sweep(&proto, &sweep, r, &RobustOptions::default()) {
+                Ok(fit) => {
+                    let m = fit.model.mm1();
+                    prop_assert!(m.mu().is_finite() && m.mu() > 0.0,
+                        "unphysical mu {}", m.mu());
+                    prop_assert!(m.l().is_finite());
+                    for n in 1..=16usize {
+                        prop_assert!(fit.model.predict_c(n).is_finite(),
+                            "C({n}) not finite");
+                        prop_assert!(fit.model.predict_omega(n).is_finite(),
+                            "omega({n}) not finite");
+                    }
+                    prop_assert!(fit.quality.points_used >= 3);
+                    prop_assert!(fit.quality.r_squared.is_finite());
+                    prop_assert!(
+                        fit.quality.points_used + fit.quality.dropped.len()
+                            >= fit.quality.points_supplied,
+                        "ledger accounts for every supplied point"
+                    );
+                }
+                Err(e) => {
+                    // A refusal must carry an actionable diagnosis.
+                    prop_assert!(!e.to_string().is_empty());
+                }
+            }
+        }
+
+        #[test]
+        fn injector_is_deterministic_under_any_spec(
+            drop in 0.0f64..1.0,
+            jitter in 0.0f64..0.5,
+            garbage in 0.0f64..1.0,
+            zero in 0.0f64..1.0,
+            seed in any::<u64>(),
+        ) {
+            let spec = FaultSpec { drop, jitter, garbage, zero, seed };
+            let clean: Vec<(usize, f64)> = (1..=24).map(|n| (n, 1e9 + n as f64)).collect();
+            let a = spec.injector().corrupt_sweep(&clean);
+            let b = spec.injector().corrupt_sweep(&clean);
+            prop_assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert_eq!(x.0, y.0);
+                prop_assert!(x.1 == y.1 || (x.1.is_nan() && y.1.is_nan()));
+            }
+        }
+    }
+}
+
 /// Simulation-level property: for any (small) core count and seed, the
 /// simulator conserves instructions and cycles identities.
 mod simulation_properties {

@@ -25,7 +25,9 @@ fn bench_model(c: &mut Criterion) {
         let mut sweep = sweep;
         sweep.push((13, sweep[11].1 * 1.05));
         b.iter(|| {
-            let inputs: FitInputs = proto.inputs_from_sweep(&sweep, 1e9);
+            let inputs: FitInputs = proto
+                .inputs_from_sweep(&sweep, 1e9)
+                .expect("protocol points present");
             black_box(ContentionModel::fit(&inputs).unwrap())
         })
     });

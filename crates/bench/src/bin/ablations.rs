@@ -23,7 +23,11 @@
 //! 8. **Cache replacement policy**: LRU vs PLRU vs random — the off-chip
 //!    request count (and hence ω) is a capacity phenomenon.
 
-use offchip_bench::{build_workload, run_sweep, seeds, write_json, ExperimentResult, ProgramSpec};
+use offchip_bench::report::timing_line;
+use offchip_bench::{
+    build_workload, jobs, run_sweep_timed, seeds, write_json, ExperimentResult, ProgramSpec,
+    SweepResult, SweepTiming,
+};
 use offchip_machine::{run, McScheduler, MemoryPolicy, Op, ProgramIter, SimConfig, Workload};
 use offchip_model::mg1::compare_disciplines;
 use offchip_model::{validate, validation::colinearity_r2, ContentionModel, FitProtocol};
@@ -58,8 +62,38 @@ impl offchip_json::ToJson for AblationSummary {
     }
 }
 
+/// Runs the protocol-fit error chain on a sweep, tolerating corrupt
+/// counters (NaN result, as the table renders missing cells).
+fn fit_error_of(
+    proto: &FitProtocol,
+    sweep: &SweepResult,
+    absolute: bool,
+) -> f64 {
+    let Ok(r) = sweep.mean_misses() else {
+        return f64::NAN;
+    };
+    let Ok(cycles) = sweep.cycles_sweep() else {
+        return f64::NAN;
+    };
+    proto
+        .inputs_from_sweep(&sweep.cycles_sweep_f64(), r)
+        .ok()
+        .and_then(|inputs| ContentionModel::fit(&inputs).ok())
+        .and_then(|m| validate(&m, &cycles).ok())
+        .and_then(|v| {
+            if absolute {
+                Some(v.mean_absolute_error)
+            } else {
+                v.mean_relative_error
+            }
+        })
+        .unwrap_or(f64::NAN)
+}
+
 fn main() {
     let seeds = seeds();
+    let jobs = jobs().expect("OFFCHIP_JOBS");
+    let mut total_timing = SweepTiming::zero(jobs);
     let mut summary = AblationSummary::default();
 
     // ── 1. Regression input points (Intel NUMA, CG.C) ──────────────────
@@ -67,19 +101,14 @@ fn main() {
     let numa = machines::intel_numa_24().scaled(DEFAULT_EXPERIMENT_SCALE);
     let w = build_workload(ProgramSpec::Cg(ProblemClass::C), numa.total_cores());
     let ns: Vec<usize> = (1..=numa.total_cores()).collect();
-    let sweep = run_sweep(&numa, w.as_ref(), &ns, &seeds);
+    let (sweep, timing) = run_sweep_timed(&numa, w.as_ref(), &ns, &seeds, jobs).expect("sweep");
+    total_timing.absorb(&timing);
     for proto in [
         FitProtocol::intel_numa_three_point(),
         FitProtocol::intel_numa(),
         FitProtocol::intel_numa_extended(),
     ] {
-        let err = proto
-            .inputs_from_sweep(&sweep.cycles_sweep_f64(), sweep.mean_misses())
-            .ok()
-            .and_then(|inputs| ContentionModel::fit(&inputs).ok())
-            .and_then(|m| validate(&m, &sweep.cycles_sweep()).ok())
-            .and_then(|v| v.mean_relative_error)
-            .unwrap_or(f64::NAN);
+        let err = fit_error_of(&proto, &sweep, false);
         println!("  {:<28} mean relative error {:>5.1}%", proto.name, err * 100.0);
         summary.protocol_errors.push((proto.name.to_string(), err));
     }
@@ -92,15 +121,10 @@ fn main() {
     let mut ns = ns;
     ns.sort_unstable();
     ns.dedup();
-    let sweep = run_sweep(&amd, w.as_ref(), &ns, &seeds);
+    let (sweep, timing) = run_sweep_timed(&amd, w.as_ref(), &ns, &seeds, jobs).expect("sweep");
+    total_timing.absorb(&timing);
     for proto in [FitProtocol::amd_numa(), FitProtocol::amd_numa_homogeneous()] {
-        let err = proto
-            .inputs_from_sweep(&sweep.cycles_sweep_f64(), sweep.mean_misses())
-            .ok()
-            .and_then(|inputs| ContentionModel::fit(&inputs).ok())
-            .and_then(|m| validate(&m, &sweep.cycles_sweep()).ok())
-            .and_then(|v| v.mean_relative_error)
-            .unwrap_or(f64::NAN);
+        let err = fit_error_of(&proto, &sweep, false);
         println!("  {:<34} mean relative error {:>5.1}%", proto.name, err * 100.0);
         summary.amd_rho_errors.push((proto.name.to_string(), err));
     }
@@ -136,18 +160,17 @@ fn main() {
             bursty,
         };
         let ns: Vec<usize> = (1..=8).collect();
-        let sweep = run_sweep(&uma, &w, &ns, &seeds);
-        let r2 = colinearity_r2(&sweep.cycles_sweep(), 4).unwrap_or(0.0);
+        let (sweep, timing) = run_sweep_timed(&uma, &w, &ns, &seeds, jobs).expect("sweep");
+        total_timing.absorb(&timing);
+        let r2 = sweep
+            .cycles_sweep()
+            .ok()
+            .and_then(|cycles| colinearity_r2(&cycles, 4))
+            .unwrap_or(0.0);
         // ω sits near zero in this regime, so relative error is
         // meaningless; compare in absolute ω units (cf. the paper only
         // quoting percentages "for problems with large contention").
-        let err = FitProtocol::intel_uma()
-            .inputs_from_sweep(&sweep.cycles_sweep_f64(), sweep.mean_misses())
-            .ok()
-            .and_then(|inputs| ContentionModel::fit(&inputs).ok())
-            .and_then(|m| validate(&m, &sweep.cycles_sweep()).ok())
-            .map(|v| v.mean_absolute_error)
-            .unwrap_or(f64::NAN);
+        let err = fit_error_of(&FitProtocol::intel_uma(), &sweep, true);
         println!(
             "  {name:<24} colinearity R² = {r2:.3}, model error {err:.3} omega units"
         );
@@ -177,8 +200,10 @@ fn main() {
     println!("\nAblation 6 — service discipline of the queueing model (Intel UMA, CG.C)");
     let w = build_workload(ProgramSpec::Cg(ProblemClass::C), uma.total_cores());
     let ns: Vec<usize> = (1..=4).collect();
-    let sweep = run_sweep(&uma, w.as_ref(), &ns, &seeds);
-    match compare_disciplines(&sweep.cycles_sweep_f64(), sweep.mean_misses()) {
+    let (sweep, timing) = run_sweep_timed(&uma, w.as_ref(), &ns, &seeds, jobs).expect("sweep");
+    total_timing.absorb(&timing);
+    let r = sweep.mean_misses().expect("finite misses");
+    match compare_disciplines(&sweep.cycles_sweep_f64(), r) {
         Ok((mm1, md1)) => {
             println!("  M/M/1 (cs^2 = 1): S = {:.1} cyc, L = {:.2e}, residual SSE {:.2e}",
                 mm1.s, mm1.l, mm1.sse);
@@ -235,6 +260,7 @@ fn main() {
         summary.replacement_misses.push((name.to_string(), misses));
     }
 
+    println!("\n{}", timing_line("ablations", &total_timing));
     let path = write_json(&ExperimentResult {
         id: "ablations".into(),
         paper_artifact: "Design-choice ablations (DESIGN.md section 5)".into(),

@@ -7,12 +7,18 @@
 //! growth is stall-cycle growth; (3) work cycles and LLC misses stay
 //! nearly constant.
 
-use offchip_bench::{build_workload, run_sweep, seeds, write_json, ExperimentResult, ProgramSpec};
+use offchip_bench::report::timing_line;
+use offchip_bench::{
+    build_workload, jobs, run_sweep_timed, seeds, write_json, ExperimentResult, ProgramSpec,
+    SweepTiming,
+};
 use offchip_npb::classes::ProblemClass;
 use offchip_topology::machines::{self, DEFAULT_EXPERIMENT_SCALE};
 
 fn main() {
     let seeds = seeds();
+    let jobs = jobs().expect("OFFCHIP_JOBS");
+    let mut total_timing = SweepTiming::zero(jobs);
     let quick = std::env::var("OFFCHIP_QUICK").is_ok_and(|v| v == "1");
     let machines = [
         machines::intel_uma_8().scaled(DEFAULT_EXPERIMENT_SCALE),
@@ -29,7 +35,9 @@ fn main() {
             ns.push(total);
         }
         let w = build_workload(ProgramSpec::Cg(ProblemClass::C), total);
-        let sweep = run_sweep(machine, w.as_ref(), &ns, &seeds);
+        let (sweep, timing) =
+            run_sweep_timed(machine, w.as_ref(), &ns, &seeds, jobs).expect("sweep");
+        total_timing.absorb(&timing);
 
         println!("Fig. 3 — CG.C on {}", machine.name);
         println!(
@@ -46,6 +54,7 @@ fn main() {
         all.push(sweep);
     }
 
+    println!("{}", timing_line("figure3", &total_timing));
     let path = write_json(&ExperimentResult {
         id: "figure3".into(),
         paper_artifact: "Fig. 3: CG.C cycle breakdown vs active cores".into(),

@@ -8,7 +8,11 @@
 //! non-bursty — "the memory bandwidth is saturated and therefore there are
 //! no significant time intervals without memory requests".
 
-use offchip_bench::{build_workload, sweep::run_sampled, write_json, ExperimentResult, ProgramSpec};
+use std::time::Instant;
+
+use offchip_bench::{
+    build_workload, jobs, sweep::run_sampled, write_json, ExperimentResult, ProgramSpec,
+};
 use offchip_npb::classes::ProblemClass;
 use offchip_perf::BurstAnalysis;
 use offchip_topology::machines::{self, DEFAULT_EXPERIMENT_SCALE};
@@ -47,16 +51,25 @@ fn main() {
     }
 
     println!("Fig. 4 — burstiness of off-chip traffic ({}, {n} threads / {n} cores)", machine.name);
-    let mut series = Vec::new();
-    for spec in programs {
+    // Fan the nine sampled runs across the worker pool; each worker builds
+    // its own workload trace so nothing is shared mutably. Results come
+    // back in program order, so the printed report is deterministic.
+    let jobs = jobs().expect("OFFCHIP_JOBS");
+    let t0 = Instant::now();
+    let analyses = offchip_pool::scoped_map(jobs, &programs, |_, &spec| {
         let w = build_workload(spec, n);
         let report = run_sampled(&machine, w.as_ref(), n);
         let windows = report.miss_windows.expect("sampler enabled");
         let analysis = BurstAnalysis::from_windows(&windows, 50);
+        (spec, windows.len(), analysis)
+    });
+    let wall = t0.elapsed();
+    let mut series = Vec::new();
+    for (spec, n_windows, analysis) in analyses {
         println!(
             "{:<16} windows={:<7} idle={:.2} CV={:>5.2} H={} verdict={:?}",
             spec.name(),
-            windows.len(),
+            n_windows,
             analysis.idle_fraction,
             analysis.cv.unwrap_or(0.0),
             analysis
@@ -98,6 +111,12 @@ fn main() {
         offchip_bench::plot::loglog_plot(&plot_series, 70, 20)
     );
 
+    println!(
+        "sweep timing [figure4]: {} sampled runs in {:.2} s wall ({:.1} runs/s, jobs={jobs})",
+        plot_series.len(),
+        wall.as_secs_f64(),
+        plot_series.len() as f64 / wall.as_secs_f64().max(1e-9),
+    );
     let path = write_json(&ExperimentResult {
         id: "figure4".into(),
         paper_artifact: "Fig. 4: burstiness of off-chip memory traffic".into(),

@@ -7,7 +7,11 @@
 //! SP 7.05/11.59/9.84. As in the paper, FT uses class B on the UMA
 //! machine ("FT.C working set size exceeds 4 GB and leads to swapping").
 
-use offchip_bench::{build_workload, run_point, seeds, write_json, ExperimentResult, ProgramSpec};
+use offchip_bench::report::timing_line;
+use offchip_bench::{
+    build_workload, jobs, run_sweep_timed, seeds, write_json, ExperimentResult, ProgramSpec,
+    SweepTiming,
+};
 use offchip_model::omega::normalized_increase;
 use offchip_npb::classes::ProblemClass;
 use offchip_topology::machines::{self, DEFAULT_EXPERIMENT_SCALE};
@@ -34,6 +38,8 @@ impl offchip_json::ToJson for Row {
 
 fn main() {
     let seeds = seeds();
+    let jobs = jobs().expect("OFFCHIP_JOBS");
+    let mut total_timing = SweepTiming::zero(jobs);
     let machines = [
         machines::intel_uma_8().scaled(DEFAULT_EXPERIMENT_SCALE),
         machines::intel_numa_24().scaled(DEFAULT_EXPERIMENT_SCALE),
@@ -58,9 +64,15 @@ fn main() {
                 };
                 let total = machine.total_cores();
                 let w = build_workload(spec, total);
-                let c1 = run_point(machine, w.as_ref(), 1, &seeds).total_cycles;
-                let half = run_point(machine, w.as_ref(), total / 2, &seeds).total_cycles;
-                let full = run_point(machine, w.as_ref(), total, &seeds).total_cycles;
+                // One three-point sweep, its (n, seed) grid fanned across
+                // the worker pool.
+                let (sweep, timing) =
+                    run_sweep_timed(machine, w.as_ref(), &[1, total / 2, total], &seeds, jobs)
+                        .expect("sweep");
+                total_timing.absorb(&timing);
+                let c1 = sweep.points[0].total_cycles;
+                let half = sweep.points[1].total_cycles;
+                let full = sweep.points[2].total_cycles;
                 let half_inc =
                     normalized_increase(half.round() as u64, c1.round() as u64);
                 let full_inc =
@@ -89,6 +101,7 @@ fn main() {
         println!();
     }
 
+    println!("{}", timing_line("table2", &total_timing));
     let path = write_json(&ExperimentResult {
         id: "table2".into(),
         paper_artifact: "Table II: normalised increase in number of cycles".into(),

@@ -7,7 +7,11 @@
 //! queueing model does not explain their behavior very well, because they
 //! are bursty".
 
-use offchip_bench::{build_workload, run_sweep, seeds, write_json, ExperimentResult, ProgramSpec};
+use offchip_bench::report::timing_line;
+use offchip_bench::{
+    build_workload, jobs, run_sweep_timed, seeds, write_json, ExperimentResult, ProgramSpec,
+    SweepTiming,
+};
 use offchip_model::validation::colinearity_r2;
 use offchip_npb::classes::ProblemClass;
 use offchip_topology::machines::{self, DEFAULT_EXPERIMENT_SCALE};
@@ -30,6 +34,8 @@ impl offchip_json::ToJson for Cell {
 
 fn main() {
     let seeds = seeds();
+    let jobs = jobs().expect("OFFCHIP_JOBS");
+    let mut total_timing = SweepTiming::zero(jobs);
     let machines = [
         machines::intel_uma_8().scaled(DEFAULT_EXPERIMENT_SCALE),
         machines::intel_numa_24().scaled(DEFAULT_EXPERIMENT_SCALE),
@@ -60,8 +66,14 @@ fn main() {
         print!("{:<14}", machine.name.split(':').next().unwrap_or(""));
         for &p in &programs {
             let w = build_workload(p, machine.total_cores());
-            let sweep = run_sweep(machine, w.as_ref(), &ns, &seeds);
-            let r2 = colinearity_r2(&sweep.cycles_sweep(), max_n).unwrap_or(0.0);
+            let (sweep, timing) =
+                run_sweep_timed(machine, w.as_ref(), &ns, &seeds, jobs).expect("sweep");
+            total_timing.absorb(&timing);
+            let r2 = sweep
+                .cycles_sweep()
+                .ok()
+                .and_then(|cycles| colinearity_r2(&cycles, max_n))
+                .unwrap_or(0.0);
             print!(" {r2:>12.2}");
             cells.push(Cell {
                 program: p.name(),
@@ -72,6 +84,7 @@ fn main() {
         println!();
     }
 
+    println!("{}", timing_line("table4", &total_timing));
     let path = write_json(&ExperimentResult {
         id: "table4".into(),
         paper_artifact: "Table IV: colinearity goodness-of-fit".into(),

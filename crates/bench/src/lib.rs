@@ -13,7 +13,9 @@
 //! Environment knobs:
 //!
 //! * `OFFCHIP_QUICK=1` — single seed and coarser sweeps, for smoke runs;
-//! * `OFFCHIP_SEEDS=k` — number of seeds averaged (default 3).
+//! * `OFFCHIP_SEEDS=k` — number of seeds averaged (default 3);
+//! * `OFFCHIP_JOBS=j` — worker budget of the parallel sweep engine
+//!   (default: the machine's available parallelism).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,5 +27,8 @@ pub mod sweep;
 pub mod workloads;
 
 pub use report::{write_json, ExperimentResult};
-pub use sweep::{run_point, run_sweep, seeds, SweepPoint, SweepResult};
+pub use sweep::{
+    jobs, run_point, run_point_parallel, run_sweep, run_sweep_parallel, run_sweep_timed, seeds,
+    SweepError, SweepPoint, SweepResult, SweepTiming,
+};
 pub use workloads::{build_workload, build_workload_scaled, experiment_scale, ProgramSpec};

@@ -3,7 +3,9 @@
 //! paper's per-machine input points, validate against the sweep, print
 //! the measured-vs-modelled ω series and persist them as JSON.
 
-use crate::{build_workload, run_sweep, seeds, write_json, ExperimentResult, ProgramSpec};
+use crate::report::timing_line;
+use crate::sweep::SweepTiming;
+use crate::{build_workload, jobs, run_sweep_timed, seeds, write_json, ExperimentResult, ProgramSpec};
 use offchip_model::{fit_robust_from_sweep, validate, FitProtocol, RobustOptions};
 use offchip_topology::machines::{self, DEFAULT_EXPERIMENT_SCALE};
 
@@ -33,6 +35,8 @@ impl offchip_json::ToJson for FigureSeries {
 /// Runs the figure for `program`, printing and persisting the series.
 pub fn run_figure(program: ProgramSpec, figure_id: &str, artifact: &str) {
     let seeds = seeds();
+    let jobs = jobs().expect("OFFCHIP_JOBS");
+    let mut total_timing = SweepTiming::zero(jobs);
     let quick = std::env::var("OFFCHIP_QUICK").is_ok_and(|v| v == "1");
     let machines = [
         machines::intel_uma_8().scaled(DEFAULT_EXPERIMENT_SCALE),
@@ -68,8 +72,23 @@ pub fn run_figure(program: ProgramSpec, figure_id: &str, artifact: &str) {
         ns.dedup();
 
         let w = build_workload(program, total);
-        let sweep = run_sweep(machine, w.as_ref(), &ns, &seeds);
-        let r = sweep.mean_misses();
+        let (sweep, timing) =
+            run_sweep_timed(machine, w.as_ref(), &ns, &seeds, jobs).expect("sweep");
+        total_timing.absorb(&timing);
+        let r = match sweep.mean_misses() {
+            Ok(r) => r,
+            Err(e) => {
+                println!("{}: miss counters unusable: {e}", machine.name);
+                continue;
+            }
+        };
+        let cycles = match sweep.cycles_sweep() {
+            Ok(c) => c,
+            Err(e) => {
+                println!("{}: cycle counters unusable: {e}", machine.name);
+                continue;
+            }
+        };
 
         for proto in protocols {
             let robust = match fit_robust_from_sweep(
@@ -85,7 +104,7 @@ pub fn run_figure(program: ProgramSpec, figure_id: &str, artifact: &str) {
                 }
             };
             let model = robust.model;
-            let v = match validate(&model, &sweep.cycles_sweep()) {
+            let v = match validate(&model, &cycles) {
                 Ok(v) => v,
                 Err(e) => {
                     println!("{}: validation failed under {}: {e}", machine.name, proto.name);
@@ -140,6 +159,7 @@ pub fn run_figure(program: ProgramSpec, figure_id: &str, artifact: &str) {
         }
     }
 
+    println!("{}", timing_line(figure_id, &total_timing));
     let path = write_json(&ExperimentResult {
         id: figure_id.into(),
         paper_artifact: artifact.into(),

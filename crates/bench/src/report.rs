@@ -51,6 +51,13 @@ pub fn fmt_omega(v: f64) -> String {
     format!("{v:.2}")
 }
 
+/// Renders the sweep engine's timing/throughput line as every experiment
+/// binary prints it: `sweep timing [table2]: 90 runs in 4.11 s wall
+/// (21.9 runs/s, 3.8x vs serial, jobs=4)`.
+pub fn timing_line(label: &str, timing: &crate::sweep::SweepTiming) -> String {
+    format!("sweep timing [{label}]: {timing}")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,5 +79,20 @@ mod tests {
     fn omega_formatting() {
         assert_eq!(fmt_omega(11.589), "11.59");
         assert_eq!(fmt_omega(0.0), "0.00");
+    }
+
+    #[test]
+    fn timing_line_names_the_artifact() {
+        let t = crate::sweep::SweepTiming {
+            runs: 12,
+            jobs: 4,
+            wall: std::time::Duration::from_millis(500),
+            busy: std::time::Duration::from_secs(2),
+        };
+        let line = timing_line("table2", &t);
+        assert!(line.starts_with("sweep timing [table2]:"), "{line}");
+        assert!(line.contains("12 runs"), "{line}");
+        assert!(line.contains("4.0x vs serial"), "{line}");
+        assert!(line.contains("jobs=4"), "{line}");
     }
 }

@@ -1,4 +1,16 @@
-//! Core-count sweeps with seed averaging.
+//! Core-count sweeps with seed averaging, fanned out across the
+//! process-wide worker pool.
+//!
+//! A sweep is a grid of *independent* `(n, seed)` simulator runs; the
+//! parallel engine ([`run_sweep_parallel`]) dispatches the grid to
+//! `min(jobs, points × seeds)` workers and folds the per-run samples into
+//! per-point means in deterministic `n`-ascending, seed-ascending order —
+//! so its output is **byte-identical** to the serial [`run_sweep`] for the
+//! same seeds, whatever `OFFCHIP_JOBS` says (the contract
+//! `tests/end_to_end.rs::parallel_sweep_is_byte_identical_to_serial`
+//! guards).
+
+use std::time::{Duration, Instant};
 
 use offchip_json::{json_obj, Json, ToJson};
 use offchip_machine::{run, RunReport, SimConfig, Workload};
@@ -21,6 +33,11 @@ pub enum SweepError {
     /// The point `n` exists but its cycle counter is non-finite or
     /// non-positive (a corrupted reading).
     CorruptPoint(usize),
+    /// A run was requested with no seeds to average over.
+    NoSeeds,
+    /// Every point's reading for the requested counter is non-finite,
+    /// so no average exists.
+    NoFinitePoints,
 }
 
 impl std::fmt::Display for SweepError {
@@ -33,6 +50,10 @@ impl std::fmt::Display for SweepError {
             SweepError::MissingPoint(n) => write!(f, "sweep lacks the required point n = {n}"),
             SweepError::CorruptPoint(n) => {
                 write!(f, "sweep point n = {n} has a non-finite or non-positive cycle count")
+            }
+            SweepError::NoSeeds => write!(f, "sweep requested with an empty seed list"),
+            SweepError::NoFinitePoints => {
+                write!(f, "every sweep point's reading is non-finite; nothing to average")
             }
         }
     }
@@ -83,14 +104,26 @@ pub struct SweepResult {
 
 impl SweepResult {
     /// `(n, C(n))` pairs for the analytical model (`u64`, as counters).
-    pub fn cycles_sweep(&self) -> Vec<(usize, u64)> {
+    ///
+    /// A non-finite or non-positive reading is a corrupted counter, not a
+    /// zero-cycle run — converting it with `round() as u64` would feed a
+    /// silent `0` into the model, so it surfaces as
+    /// [`SweepError::CorruptPoint`] instead.
+    pub fn cycles_sweep(&self) -> Result<Vec<(usize, u64)>, SweepError> {
         self.points
             .iter()
-            .map(|p| (p.n, p.total_cycles.round() as u64))
+            .map(|p| {
+                if p.total_cycles.is_finite() && p.total_cycles > 0.0 {
+                    Ok((p.n, p.total_cycles.round() as u64))
+                } else {
+                    Err(SweepError::CorruptPoint(p.n))
+                }
+            })
             .collect()
     }
 
-    /// `(n, C(n))` pairs as `f64` for fitting.
+    /// `(n, C(n))` pairs as `f64` for fitting (the robust fitting layer
+    /// sanitises non-finite readings itself, so this stays infallible).
     pub fn cycles_sweep_f64(&self) -> Vec<(usize, f64)> {
         self.points.iter().map(|p| (p.n, p.total_cycles)).collect()
     }
@@ -113,13 +146,15 @@ impl SweepResult {
     }
 
     /// ω(n) series from the sweep. Fails when the baseline is missing or
-    /// corrupt; individual non-finite points propagate as NaN-free errors.
+    /// corrupt; individual non-finite *or non-positive* points propagate
+    /// as typed errors (the same corruption test [`Self::c1`] applies to
+    /// the baseline).
     pub fn omega(&self) -> Result<Vec<(usize, f64)>, SweepError> {
         let c1 = self.c1()?;
         self.points
             .iter()
             .map(|p| {
-                if p.total_cycles.is_finite() {
+                if p.total_cycles.is_finite() && p.total_cycles > 0.0 {
                     Ok((p.n, (p.total_cycles - c1) / c1))
                 } else {
                     Err(SweepError::CorruptPoint(p.n))
@@ -128,10 +163,25 @@ impl SweepResult {
             .collect()
     }
 
-    /// Mean LLC misses over all points (the model's `r(n) ≈ r`).
-    pub fn mean_misses(&self) -> f64 {
-        let total: f64 = self.points.iter().map(|p| p.llc_misses).sum();
-        total / self.points.len().max(1) as f64
+    /// Mean LLC misses over the finite points (the model's `r(n) ≈ r`).
+    ///
+    /// Non-finite readings are skipped — one corrupt point must not
+    /// NaN-poison the fitted `r` — and when none remain the absence is a
+    /// typed error.
+    pub fn mean_misses(&self) -> Result<f64, SweepError> {
+        if self.points.is_empty() {
+            return Err(SweepError::Empty);
+        }
+        let finite: Vec<f64> = self
+            .points
+            .iter()
+            .map(|p| p.llc_misses)
+            .filter(|m| m.is_finite())
+            .collect();
+        if finite.is_empty() {
+            return Err(SweepError::NoFinitePoints);
+        }
+        Ok(finite.iter().sum::<f64>() / finite.len() as f64)
     }
 }
 
@@ -161,14 +211,44 @@ pub fn seeds() -> Vec<u64> {
         .collect()
 }
 
-/// Runs one `(machine, workload, n)` point averaged over `seeds`.
-pub fn run_point(
-    machine: &MachineSpec,
-    workload: &dyn Workload,
-    n: usize,
-    seeds: &[u64],
-) -> SweepPoint {
-    assert!(!seeds.is_empty());
+/// The worker count experiment binaries fan sweeps out to: `OFFCHIP_JOBS`
+/// when set, else the machine's available parallelism. Garbage in the
+/// environment is a loud error, not a silent serial fallback.
+pub fn jobs() -> Result<usize, offchip_pool::JobsError> {
+    offchip_pool::resolve_jobs(None)
+}
+
+/// One run's counter readings, kept in `f64` exactly as the serial
+/// accumulation consumed them (so parallel refolds bit-identically).
+#[derive(Debug, Clone, Copy)]
+struct RunSample {
+    total_cycles: f64,
+    work_cycles: f64,
+    stall_cycles: f64,
+    llc_misses: f64,
+    makespan: f64,
+    elapsed: Duration,
+}
+
+fn sample(machine: &MachineSpec, workload: &dyn Workload, n: usize, seed: u64) -> RunSample {
+    let t0 = Instant::now();
+    let mut cfg = SimConfig::new(machine.clone(), n);
+    cfg.seed = seed;
+    let r = run(workload, &cfg);
+    RunSample {
+        total_cycles: r.counters.total_cycles as f64,
+        work_cycles: r.counters.work_cycles as f64,
+        stall_cycles: r.counters.stall_cycles as f64,
+        llc_misses: r.counters.llc_misses as f64,
+        makespan: r.makespan.cycles() as f64,
+        elapsed: t0.elapsed(),
+    }
+}
+
+/// Folds one point's per-seed samples (in seed order) into the mean.
+/// Both the serial and the parallel path call this with samples in the
+/// same order, which is what makes their f64 sums identical.
+fn point_from_samples(n: usize, samples: &[RunSample]) -> SweepPoint {
     let mut acc = SweepPoint {
         n,
         total_cycles: 0.0,
@@ -177,17 +257,14 @@ pub fn run_point(
         llc_misses: 0.0,
         makespan: 0.0,
     };
-    for &seed in seeds {
-        let mut cfg = SimConfig::new(machine.clone(), n);
-        cfg.seed = seed;
-        let r = run(workload, &cfg);
-        acc.total_cycles += r.counters.total_cycles as f64;
-        acc.work_cycles += r.counters.work_cycles as f64;
-        acc.stall_cycles += r.counters.stall_cycles as f64;
-        acc.llc_misses += r.counters.llc_misses as f64;
-        acc.makespan += r.makespan.cycles() as f64;
+    for s in samples {
+        acc.total_cycles += s.total_cycles;
+        acc.work_cycles += s.work_cycles;
+        acc.stall_cycles += s.stall_cycles;
+        acc.llc_misses += s.llc_misses;
+        acc.makespan += s.makespan;
     }
-    let k = seeds.len() as f64;
+    let k = samples.len() as f64;
     acc.total_cycles /= k;
     acc.work_cycles /= k;
     acc.stall_cycles /= k;
@@ -196,21 +273,170 @@ pub fn run_point(
     acc
 }
 
-/// Runs a full sweep over `ns`.
+/// Wall-clock accounting of one sweep through the engine.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepTiming {
+    /// Simulator runs executed (points × seeds).
+    pub runs: usize,
+    /// Worker budget the grid was dispatched to.
+    pub jobs: usize,
+    /// Wall-clock time of the whole sweep.
+    pub wall: Duration,
+    /// Sum of per-run times — what a serial loop would have taken.
+    pub busy: Duration,
+}
+
+impl SweepTiming {
+    /// Runs completed per wall-clock second.
+    pub fn runs_per_sec(&self) -> f64 {
+        self.runs as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Estimated speedup over a serial loop (aggregate run time / wall).
+    pub fn speedup(&self) -> f64 {
+        self.busy.as_secs_f64() / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Merges another sweep's accounting into this one (sequential
+    /// sweeps: walls add).
+    pub fn absorb(&mut self, other: &SweepTiming) {
+        self.runs += other.runs;
+        self.jobs = self.jobs.max(other.jobs);
+        self.wall += other.wall;
+        self.busy += other.busy;
+    }
+
+    /// A zero element for [`Self::absorb`] folds.
+    pub fn zero(jobs: usize) -> SweepTiming {
+        SweepTiming {
+            runs: 0,
+            jobs,
+            wall: Duration::ZERO,
+            busy: Duration::ZERO,
+        }
+    }
+}
+
+impl std::fmt::Display for SweepTiming {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} runs in {:.2} s wall ({:.1} runs/s, {:.1}x vs serial, jobs={})",
+            self.runs,
+            self.wall.as_secs_f64(),
+            self.runs_per_sec(),
+            self.speedup(),
+            self.jobs
+        )
+    }
+}
+
+/// Runs one `(machine, workload, n)` point averaged over `seeds`,
+/// serially on the calling thread.
+pub fn run_point(
+    machine: &MachineSpec,
+    workload: &dyn Workload,
+    n: usize,
+    seeds: &[u64],
+) -> Result<SweepPoint, SweepError> {
+    if seeds.is_empty() {
+        return Err(SweepError::NoSeeds);
+    }
+    let samples: Vec<RunSample> = seeds
+        .iter()
+        .map(|&seed| sample(machine, workload, n, seed))
+        .collect();
+    Ok(point_from_samples(n, &samples))
+}
+
+/// Runs one point with its seed replicas fanned across `jobs` workers.
+pub fn run_point_parallel(
+    machine: &MachineSpec,
+    workload: &dyn Workload,
+    n: usize,
+    seeds: &[u64],
+    jobs: usize,
+) -> Result<SweepPoint, SweepError> {
+    let sweep = run_sweep_parallel(machine, workload, &[n], seeds, jobs)?;
+    sweep
+        .points
+        .into_iter()
+        .next()
+        .ok_or(SweepError::MissingPoint(n))
+}
+
+/// Runs a full sweep over `ns`, serially — the reference implementation
+/// the parallel engine's determinism contract is checked against.
 pub fn run_sweep(
     machine: &MachineSpec,
     workload: &dyn Workload,
     ns: &[usize],
     seeds: &[u64],
-) -> SweepResult {
-    SweepResult {
+) -> Result<SweepResult, SweepError> {
+    Ok(SweepResult {
         machine: machine.name.clone(),
         program: workload.name(),
         points: ns
             .iter()
             .map(|&n| run_point(machine, workload, n, seeds))
-            .collect(),
+            .collect::<Result<_, _>>()?,
+    })
+}
+
+/// Runs a full sweep with the `(n, seed)` grid fanned out across at most
+/// `jobs` workers, aggregating per-point means in deterministic
+/// `n`-ascending (grid order), seed-ascending order. Output is
+/// byte-identical to [`run_sweep`] for the same seeds.
+pub fn run_sweep_parallel(
+    machine: &MachineSpec,
+    workload: &dyn Workload,
+    ns: &[usize],
+    seeds: &[u64],
+    jobs: usize,
+) -> Result<SweepResult, SweepError> {
+    run_sweep_timed(machine, workload, ns, seeds, jobs).map(|(s, _)| s)
+}
+
+/// [`run_sweep_parallel`] plus the sweep's timing/throughput accounting,
+/// for the report output of the experiment binaries.
+pub fn run_sweep_timed(
+    machine: &MachineSpec,
+    workload: &dyn Workload,
+    ns: &[usize],
+    seeds: &[u64],
+    jobs: usize,
+) -> Result<(SweepResult, SweepTiming), SweepError> {
+    if seeds.is_empty() {
+        return Err(SweepError::NoSeeds);
     }
+    let grid: Vec<(usize, u64)> = ns
+        .iter()
+        .flat_map(|&n| seeds.iter().map(move |&s| (n, s)))
+        .collect();
+    let t0 = Instant::now();
+    let samples = offchip_pool::scoped_map(jobs, &grid, |_, &(n, seed)| {
+        sample(machine, workload, n, seed)
+    });
+    let wall = t0.elapsed();
+    let points = ns
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| point_from_samples(n, &samples[i * seeds.len()..(i + 1) * seeds.len()]))
+        .collect();
+    let timing = SweepTiming {
+        runs: grid.len(),
+        jobs,
+        wall,
+        busy: samples.iter().map(|s| s.elapsed).sum(),
+    };
+    Ok((
+        SweepResult {
+            machine: machine.name.clone(),
+            program: workload.name(),
+            points,
+        },
+        timing,
+    ))
 }
 
 /// Runs one configuration with the sampler enabled (single seed: the
@@ -227,17 +453,28 @@ mod tests {
     use offchip_npb::classes::ProblemClass;
     use offchip_topology::machines;
 
+    fn point(n: usize, cycles: f64, misses: f64) -> SweepPoint {
+        SweepPoint {
+            n,
+            total_cycles: cycles,
+            work_cycles: 0.0,
+            stall_cycles: 0.0,
+            llc_misses: misses,
+            makespan: cycles,
+        }
+    }
+
     #[test]
     fn sweep_points_are_sane() {
         let machine = machines::intel_uma_8().scaled(1.0 / 64.0);
         let w = build_workload(ProgramSpec::Cg(ProblemClass::S), 8);
-        let s = run_sweep(&machine, w.as_ref(), &[1, 4], &[1, 2]);
+        let s = run_sweep(&machine, w.as_ref(), &[1, 4], &[1, 2]).unwrap();
         assert_eq!(s.points.len(), 2);
         assert!(s.c1().unwrap() > 0.0);
         let omega = s.omega().unwrap();
         assert_eq!(omega[0].1, 0.0);
-        assert!(s.mean_misses() > 0.0);
-        assert_eq!(s.cycles_sweep().len(), 2);
+        assert!(s.mean_misses().unwrap() > 0.0);
+        assert_eq!(s.cycles_sweep().unwrap().len(), 2);
     }
 
     #[test]
@@ -248,35 +485,140 @@ mod tests {
             points: vec![],
         };
         assert_eq!(s.c1(), Err(SweepError::Empty));
-        s.points.push(SweepPoint {
-            n: 4,
-            total_cycles: 100.0,
-            work_cycles: 60.0,
-            stall_cycles: 40.0,
-            llc_misses: 10.0,
-            makespan: 100.0,
-        });
+        assert_eq!(s.mean_misses(), Err(SweepError::Empty));
+        s.points.push(point(4, 100.0, 10.0));
         assert_eq!(s.c1(), Err(SweepError::MissingBaseline));
         assert_eq!(s.omega(), Err(SweepError::MissingBaseline));
-        s.points.push(SweepPoint {
-            n: 1,
-            total_cycles: f64::NAN,
-            work_cycles: 0.0,
-            stall_cycles: 0.0,
-            llc_misses: 0.0,
-            makespan: 0.0,
-        });
+        s.points.push(point(1, f64::NAN, 0.0));
         assert_eq!(s.c1(), Err(SweepError::CorruptPoint(1)));
+    }
+
+    #[test]
+    fn omega_rejects_nonpositive_points() {
+        // Regression: a finite but non-positive C(n) is a corrupt counter
+        // reading; omega() used to happily return a ratio for it.
+        let s = SweepResult {
+            machine: "m".into(),
+            program: "p".into(),
+            points: vec![point(1, 100.0, 1.0), point(2, -5.0, 1.0)],
+        };
+        assert_eq!(s.omega(), Err(SweepError::CorruptPoint(2)));
+        let zero = SweepResult {
+            points: vec![point(1, 100.0, 1.0), point(2, 0.0, 1.0)],
+            ..s
+        };
+        assert_eq!(zero.omega(), Err(SweepError::CorruptPoint(2)));
+    }
+
+    #[test]
+    fn cycles_sweep_surfaces_corrupt_points() {
+        // Regression: `round() as u64` used to saturate NaN/negative
+        // readings to 0 and feed that into the model.
+        let s = SweepResult {
+            machine: "m".into(),
+            program: "p".into(),
+            points: vec![point(1, 100.0, 1.0), point(2, f64::NAN, 1.0)],
+        };
+        assert_eq!(s.cycles_sweep(), Err(SweepError::CorruptPoint(2)));
+        let neg = SweepResult {
+            points: vec![point(1, 100.0, 1.0), point(2, -42.0, 1.0)],
+            ..s.clone()
+        };
+        assert_eq!(neg.cycles_sweep(), Err(SweepError::CorruptPoint(2)));
+        let ok = SweepResult {
+            points: vec![point(1, 100.4, 1.0), point(2, 201.6, 1.0)],
+            ..s
+        };
+        assert_eq!(ok.cycles_sweep(), Ok(vec![(1, 100), (2, 202)]));
+    }
+
+    #[test]
+    fn mean_misses_skips_nonfinite_points() {
+        // Regression: one NaN reading used to NaN-poison the mean (and
+        // hence the model's fitted r).
+        let s = SweepResult {
+            machine: "m".into(),
+            program: "p".into(),
+            points: vec![point(1, 1.0, 10.0), point(2, 1.0, f64::NAN), point(3, 1.0, 20.0)],
+        };
+        assert_eq!(s.mean_misses(), Ok(15.0));
+        let all_bad = SweepResult {
+            points: vec![point(1, 1.0, f64::NAN), point(2, 1.0, f64::INFINITY)],
+            ..s
+        };
+        assert_eq!(all_bad.mean_misses(), Err(SweepError::NoFinitePoints));
+    }
+
+    #[test]
+    fn run_point_rejects_empty_seeds() {
+        // Regression: this used to be an assert!(), a panic path in a
+        // pipeline that otherwise reports typed errors.
+        let machine = machines::intel_uma_8().scaled(1.0 / 64.0);
+        let w = build_workload(ProgramSpec::Cg(ProblemClass::S), 8);
+        assert_eq!(
+            run_point(&machine, w.as_ref(), 1, &[]).unwrap_err(),
+            SweepError::NoSeeds
+        );
+        assert_eq!(
+            run_sweep_parallel(&machine, w.as_ref(), &[1], &[], 4).unwrap_err(),
+            SweepError::NoSeeds
+        );
     }
 
     #[test]
     fn seed_averaging_is_mean() {
         let machine = machines::intel_uma_8().scaled(1.0 / 64.0);
         let w = build_workload(ProgramSpec::Is(ProblemClass::S), 8);
-        let a = run_point(&machine, w.as_ref(), 2, &[7]);
-        let b = run_point(&machine, w.as_ref(), 2, &[8]);
-        let ab = run_point(&machine, w.as_ref(), 2, &[7, 8]);
+        let a = run_point(&machine, w.as_ref(), 2, &[7]).unwrap();
+        let b = run_point(&machine, w.as_ref(), 2, &[8]).unwrap();
+        let ab = run_point(&machine, w.as_ref(), 2, &[7, 8]).unwrap();
         assert!((ab.total_cycles - (a.total_cycles + b.total_cycles) / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_bit_for_bit() {
+        let machine = machines::intel_uma_8().scaled(1.0 / 64.0);
+        let w = build_workload(ProgramSpec::Cg(ProblemClass::S), 8);
+        let ns = [1, 2, 4];
+        let seeds = [3, 11];
+        let serial = run_sweep(&machine, w.as_ref(), &ns, &seeds).unwrap();
+        for jobs in [1, 4] {
+            let par = run_sweep_parallel(&machine, w.as_ref(), &ns, &seeds, jobs).unwrap();
+            assert_eq!(
+                serial.to_json().to_pretty_string(),
+                par.to_json().to_pretty_string(),
+                "jobs = {jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_point_matches_serial_point() {
+        let machine = machines::intel_uma_8().scaled(1.0 / 64.0);
+        let w = build_workload(ProgramSpec::Is(ProblemClass::S), 8);
+        let serial = run_point(&machine, w.as_ref(), 4, &[1, 2, 3]).unwrap();
+        let par = run_point_parallel(&machine, w.as_ref(), 4, &[1, 2, 3], 3).unwrap();
+        assert_eq!(
+            serial.to_json().to_pretty_string(),
+            par.to_json().to_pretty_string()
+        );
+    }
+
+    #[test]
+    fn timing_accounts_for_every_run() {
+        let machine = machines::intel_uma_8().scaled(1.0 / 64.0);
+        let w = build_workload(ProgramSpec::Cg(ProblemClass::S), 8);
+        let (_, t) = run_sweep_timed(&machine, w.as_ref(), &[1, 2], &[5, 6, 7], 4).unwrap();
+        assert_eq!(t.runs, 6);
+        assert_eq!(t.jobs, 4);
+        assert!(t.wall > Duration::ZERO);
+        assert!(t.busy >= t.wall / 8, "busy {:?} wall {:?}", t.busy, t.wall);
+        assert!(t.runs_per_sec() > 0.0);
+        let mut total = SweepTiming::zero(1);
+        total.absorb(&t);
+        assert_eq!(total.runs, 6);
+        let line = total.to_string();
+        assert!(line.contains("runs/s"), "{line}");
     }
 
     #[test]

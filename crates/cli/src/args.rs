@@ -32,6 +32,8 @@ options:
   --faults SPEC                inject counter faults before fitting (fit):
                                drop=P,jitter=S,garbage=P,zero=P,seed=N
                                (also read from OFFCHIP_FAULTS when unset)
+  --jobs N                     sweep-engine workers (sweep/fit; default:
+                               OFFCHIP_JOBS, else available parallelism)
   --seed N                     simulation seed";
 
 /// Which machine preset to use.
@@ -68,6 +70,10 @@ pub struct RunOptions {
     pub extended_protocol: bool,
     /// Counter faults to inject before fitting (`fit` only).
     pub faults: Option<FaultSpec>,
+    /// Sweep-engine worker budget (`None`: `OFFCHIP_JOBS`, else the
+    /// machine's parallelism). Validated in the command layer so that a
+    /// bad value is a typed configuration error (exit 3), not a panic.
+    pub jobs: Option<usize>,
     /// Simulation seed.
     pub seed: u64,
 }
@@ -85,6 +91,7 @@ impl Default for RunOptions {
             placement: MemoryPolicy::InterleaveActive,
             extended_protocol: false,
             faults: None,
+            jobs: None,
             seed: 0x0FF_C41B,
         }
     }
@@ -202,6 +209,9 @@ fn parse_options(mut opts: RunOptions, rest: &[String]) -> Result<RunOptions, St
                 opts.faults =
                     Some(FaultSpec::parse(&value()?).map_err(|e| format!("--faults: {e}"))?)
             }
+            "--jobs" => {
+                opts.jobs = Some(value()?.parse().map_err(|e| format!("--jobs: {e}"))?)
+            }
             "--seed" => opts.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
             other => return Err(format!("unknown option {other:?}")),
         }
@@ -272,7 +282,7 @@ mod tests {
     fn parses_full_command_line() {
         let cmd = parse(&sv(&[
             "sweep", "SP.C", "--machine", "numa", "--prefetch", "2", "--scale", "32",
-            "--scheduler", "frfcfs", "--placement", "firsttouch", "--seed", "7",
+            "--scheduler", "frfcfs", "--placement", "firsttouch", "--jobs", "4", "--seed", "7",
         ]))
         .unwrap();
         let Command::Sweep(o) = cmd else {
@@ -283,7 +293,11 @@ mod tests {
         assert_eq!(o.scale_denom, 32.0);
         assert_eq!(o.scheduler, McScheduler::FrFcfs);
         assert_eq!(o.placement, MemoryPolicy::FirstTouch);
+        assert_eq!(o.jobs, Some(4));
         assert_eq!(o.seed, 7);
+        // --jobs 0 parses here; the command layer rejects it as a typed
+        // configuration error (exit 3), tested in cli_smoke.rs.
+        assert!(parse(&sv(&["sweep", "SP.C", "--jobs", "x"])).is_err());
     }
 
     #[test]

@@ -1,8 +1,12 @@
 //! Command implementations.
 
+use std::time::Instant;
+
 use offchip_bench::build_workload_scaled;
 use offchip_bench::plot::{linear_plot, Series};
-use offchip_machine::{try_run, RunReport, SimConfig, Workload};
+use offchip_bench::{SweepPoint, SweepResult};
+use offchip_machine::{try_run, ConfigError, RunReport, SimConfig, Workload};
+use offchip_pool::JobsError;
 use offchip_model::{fit_robust_from_sweep, validate, FitProtocol, RobustOptions};
 use offchip_perf::papiex::papiex_report_default;
 use offchip_perf::{BurstAnalysis, FaultSpec};
@@ -49,6 +53,56 @@ fn run_one(
     Ok(try_run(w.as_ref(), &cfg)?)
 }
 
+/// The sweep-engine worker budget: `--jobs` wins, else `OFFCHIP_JOBS`,
+/// else the machine's parallelism. A zero or garbage value is a typed
+/// configuration error (exit code 3), not a panic or a silent fallback.
+fn jobs_of(opts: &RunOptions) -> Result<usize, CliError> {
+    offchip_pool::resolve_jobs(opts.jobs).map_err(|e| {
+        CliError::Config(ConfigError::BadJobs {
+            value: match e {
+                JobsError::Zero => "0".into(),
+                JobsError::Invalid(v) => v,
+            },
+        })
+    })
+}
+
+/// Runs one configuration per core count, fanned across `jobs` workers;
+/// reports come back in `ns` order (the pool's determinism contract).
+fn sweep_reports(
+    opts: &RunOptions,
+    machine: &MachineSpec,
+    ns: &[usize],
+    jobs: usize,
+) -> Result<Vec<RunReport>, CliError> {
+    let w = workload_of(opts, machine);
+    offchip_pool::scoped_map(jobs, ns, |_, &n| try_run(w.as_ref(), &config_of(opts, machine, n)))
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(CliError::from)
+}
+
+/// Assembles the single-seed [`SweepResult`] of a CLI sweep from per-`n`
+/// reports, so ω and the baseline come from the typed sweep accessors.
+fn sweep_of(opts: &RunOptions, machine: &MachineSpec, ns: &[usize], reports: &[RunReport]) -> SweepResult {
+    SweepResult {
+        machine: machine.name.clone(),
+        program: opts.program.name(),
+        points: ns
+            .iter()
+            .zip(reports)
+            .map(|(&n, r)| SweepPoint {
+                n,
+                total_cycles: r.counters.total_cycles as f64,
+                work_cycles: r.counters.work_cycles as f64,
+                stall_cycles: r.counters.stall_cycles as f64,
+                llc_misses: r.counters.llc_misses as f64,
+                makespan: r.makespan.cycles() as f64,
+            })
+            .collect(),
+    }
+}
+
 /// The fault spec in force: the `--faults` flag, else `OFFCHIP_FAULTS`.
 fn faults_in_force(opts: &RunOptions) -> Result<Option<FaultSpec>, CliError> {
     match opts.faults {
@@ -80,25 +134,23 @@ pub fn execute(cmd: Command) -> Result<(), CliError> {
         Command::Sweep(opts) => {
             let machine = machine_of(opts.machine, opts.scale_denom);
             let total = machine.total_cores();
-            let mut points = Vec::new();
-            let mut c1 = 0u64;
+            let jobs = jobs_of(&opts)?;
             println!(
-                "sweeping {} on {} (1..={total} cores)",
+                "sweeping {} on {} (1..={total} cores, jobs={jobs})",
                 opts.program.name(),
                 machine.name
             );
-            for n in 1..=total {
-                let r = run_one(&opts, &machine, n, false)?;
-                if n == 1 {
-                    c1 = r.counters.total_cycles;
-                }
-                let omega =
-                    (r.counters.total_cycles as f64 - c1 as f64) / c1 as f64;
+            let ns: Vec<usize> = (1..=total).collect();
+            let t0 = Instant::now();
+            let reports = sweep_reports(&opts, &machine, &ns, jobs)?;
+            let wall = t0.elapsed();
+            let sweep = sweep_of(&opts, &machine, &ns, &reports);
+            let omega = sweep.omega()?;
+            for ((n, om), r) in omega.iter().zip(&reports) {
                 println!(
-                    "  n={n:>2}  C(n)={:>14}  omega={omega:>7.3}  misses={}",
+                    "  n={n:>2}  C(n)={:>14}  omega={om:>7.3}  misses={}",
                     r.counters.total_cycles, r.counters.llc_misses
                 );
-                points.push((n as f64, omega));
             }
             println!(
                 "\n{}",
@@ -106,34 +158,54 @@ pub fn execute(cmd: Command) -> Result<(), CliError> {
                     &[Series {
                         label: format!("omega(n), {}", opts.program.name()),
                         marker: '*',
-                        points,
+                        points: omega.iter().map(|&(n, om)| (n as f64, om)).collect(),
                     }],
                     60,
                     14,
                 )
             );
+            println!(
+                "sweep timing: {} runs in {:.2} s wall ({:.1} runs/s, jobs={jobs})",
+                reports.len(),
+                wall.as_secs_f64(),
+                reports.len() as f64 / wall.as_secs_f64().max(1e-9),
+            );
         }
         Command::Fit(opts) => {
             let machine = machine_of(opts.machine, opts.scale_denom);
             let total = machine.total_cores();
+            let jobs = jobs_of(&opts)?;
             let mut proto = FitProtocol::for_machine(&machine.name);
             if opts.extended_protocol && machine.name.contains("Intel NUMA") {
                 proto = FitProtocol::intel_numa_extended();
             }
             println!(
-                "fitting {} on {} with inputs {:?}",
+                "fitting {} on {} with inputs {:?} (jobs={jobs})",
                 opts.program.name(),
                 machine.name,
                 proto.input_cores
             );
-            let w = workload_of(&opts, &machine);
-            let mut sweep = Vec::new();
-            let mut misses = 1.0;
-            for n in 1..=total {
-                let r = try_run(w.as_ref(), &config_of(&opts, &machine, n))?;
-                sweep.push((n, r.counters.total_cycles));
-                misses = r.counters.llc_misses.max(1) as f64;
-            }
+            let ns: Vec<usize> = (1..=total).collect();
+            let t0 = Instant::now();
+            let reports = sweep_reports(&opts, &machine, &ns, jobs)?;
+            let wall = t0.elapsed();
+            let sweep: Vec<(usize, u64)> = ns
+                .iter()
+                .zip(&reports)
+                .map(|(&n, r)| (n, r.counters.total_cycles))
+                .collect();
+            // The paper's r: the full-core run's miss count (the last
+            // report, exactly as the serial loop left it behind).
+            let misses = reports
+                .last()
+                .map(|r| r.counters.llc_misses.max(1) as f64)
+                .unwrap_or(1.0);
+            println!(
+                "  sweep timing: {} runs in {:.2} s wall ({:.1} runs/s, jobs={jobs})",
+                reports.len(),
+                wall.as_secs_f64(),
+                reports.len() as f64 / wall.as_secs_f64().max(1e-9),
+            );
             let mut sweep_f: Vec<(usize, f64)> =
                 sweep.iter().map(|&(n, c)| (n, c as f64)).collect();
             if let Some(spec) = faults_in_force(&opts)? {

@@ -11,6 +11,7 @@
 //! | 4    | model fit failed (typed `FitError` diagnosis)  |
 //! | 5    | runtime failure inside an otherwise valid run  |
 
+use offchip_bench::SweepError;
 use offchip_machine::ConfigError;
 use offchip_model::FitError;
 
@@ -22,6 +23,10 @@ pub const EXIT_USAGE: u8 = 2;
 pub enum CliError {
     /// The simulation configuration was rejected before running.
     Config(ConfigError),
+    /// The sweep layer rejected its inputs or produced corrupt points
+    /// (empty seed list, non-finite counters) — a configuration-class
+    /// failure, same exit code as [`CliError::Config`].
+    Sweep(SweepError),
     /// The analytical model could not be fitted.
     Fit(FitError),
     /// A run produced something the command could not consume.
@@ -32,7 +37,7 @@ impl CliError {
     /// The process exit code this error maps to.
     pub fn exit_code(&self) -> u8 {
         match self {
-            CliError::Config(_) => 3,
+            CliError::Config(_) | CliError::Sweep(_) => 3,
             CliError::Fit(_) => 4,
             CliError::Runtime(_) => 5,
         }
@@ -43,6 +48,7 @@ impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CliError::Config(e) => write!(f, "invalid configuration: {e}"),
+            CliError::Sweep(e) => write!(f, "sweep rejected: {e}"),
             CliError::Fit(e) => write!(f, "model fit failed: {e}"),
             CliError::Runtime(e) => write!(f, "{e}"),
         }
@@ -60,5 +66,11 @@ impl From<ConfigError> for CliError {
 impl From<FitError> for CliError {
     fn from(e: FitError) -> CliError {
         CliError::Fit(e)
+    }
+}
+
+impl From<SweepError> for CliError {
+    fn from(e: SweepError) -> CliError {
+        CliError::Sweep(e)
     }
 }

@@ -14,7 +14,8 @@
 //! `--threads N` (default: machine cores), `--prefetch D`,
 //! `--scheduler fcfs|frfcfs`, `--placement interleave|firsttouch`,
 //! `--protocol paper|extended` (fit only), `--faults drop=…,jitter=…`
-//! (fit only; also read from `OFFCHIP_FAULTS`).
+//! (fit only; also read from `OFFCHIP_FAULTS`), `--jobs N` (sweep/fit
+//! worker count; also read from `OFFCHIP_JOBS`, default: all cores).
 //!
 //! Exit codes: 0 success, 2 usage, 3 invalid configuration, 4 model fit
 //! failure, 5 runtime failure.

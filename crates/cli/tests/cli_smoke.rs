@@ -133,3 +133,45 @@ fn alternate_knobs_accepted() {
     assert!(out.contains("SP.S"));
     assert!(out.contains("LLC_MISSES"), "Intel NUMA LLC event");
 }
+
+#[test]
+fn sweep_accepts_jobs_flag_and_prints_timing() {
+    let out = run_ok(&[
+        "sweep", "EP.S", "--machine", "uma", "--scale", "128", "--jobs", "2",
+    ]);
+    assert!(out.contains("jobs=2"), "timing names the worker count: {out}");
+    assert!(out.contains("sweep timing:"), "timing line present: {out}");
+    assert!(out.contains("runs/s"), "throughput reported: {out}");
+}
+
+#[test]
+fn zero_jobs_exits_with_config_code() {
+    let out = offchip()
+        .args(["sweep", "EP.S", "--machine", "uma", "--scale", "128", "--jobs", "0"])
+        .output()
+        .expect("spawn offchip");
+    assert_eq!(out.status.code(), Some(3), "--jobs 0 is a config error");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("jobs"), "diagnosis names the knob: {err}");
+}
+
+#[test]
+fn garbage_jobs_env_exits_with_config_code() {
+    let out = offchip()
+        .args(["sweep", "EP.S", "--machine", "uma", "--scale", "128"])
+        .env("OFFCHIP_JOBS", "abc")
+        .output()
+        .expect("spawn offchip");
+    assert_eq!(out.status.code(), Some(3), "garbage OFFCHIP_JOBS exits 3");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("jobs"), "diagnosis names the knob: {err}");
+}
+
+#[test]
+fn non_integer_jobs_flag_is_a_usage_error() {
+    let out = offchip()
+        .args(["sweep", "EP.S", "--machine", "uma", "--jobs", "two"])
+        .output()
+        .expect("spawn offchip");
+    assert_eq!(out.status.code(), Some(2), "flag parse failures exit 2");
+}

@@ -28,6 +28,12 @@ pub enum ConfigError {
     },
     /// The sampler window is zero.
     ZeroSamplerWindow,
+    /// The sweep-engine worker budget (`--jobs` / `OFFCHIP_JOBS`) is zero
+    /// or not an integer.
+    BadJobs {
+        /// The offending value, verbatim.
+        value: String,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -49,6 +55,11 @@ impl std::fmt::Display for ConfigError {
                 "page size {page_bytes} must be a power of two >= line size {line_bytes}"
             ),
             ConfigError::ZeroSamplerWindow => write!(f, "sampler window must be positive"),
+            ConfigError::BadJobs { value } => write!(
+                f,
+                "jobs value {value:?} invalid — pass a positive integer to \
+                 --jobs / OFFCHIP_JOBS"
+            ),
         }
     }
 }
@@ -247,6 +258,8 @@ mod tests {
         cfg.quantum_cycles = 0;
         assert_eq!(cfg.validate().unwrap_err(), ConfigError::ZeroQuantum);
         cfg.quantum_cycles = 50_000;
+        let jobs = ConfigError::BadJobs { value: "zero".into() };
+        assert!(jobs.to_string().contains("OFFCHIP_JOBS"));
         cfg.machine.sockets = 0;
         assert!(matches!(
             cfg.validate().unwrap_err(),

@@ -57,7 +57,12 @@ impl<I: Iterator<Item = Op>> ProgramIter for std::iter::Fuse<I> {
 
 /// A parallel program: a fixed partition into threads, each yielding an
 /// op stream.
-pub trait Workload {
+///
+/// Workloads are `Send + Sync`: the sweep engine shares one workload
+/// across worker threads that each run an independent `(n, seed)`
+/// configuration, so descriptions must be immutable shared data (per-run
+/// mutable state belongs in the [`ProgramIter`]s a run constructs).
+pub trait Workload: Send + Sync {
     /// Program name for reports (e.g. `"CG.C"`).
     fn name(&self) -> String;
 

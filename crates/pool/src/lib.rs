@@ -1,0 +1,289 @@
+//! `offchip-pool` — a dependency-free scoped worker pool.
+//!
+//! Every figure and table of the reproduction is a core-count sweep:
+//! dozens of *independent* `(machine, workload, n, seed)` simulator runs
+//! whose results are only combined at the end. The pool fans such grids
+//! out across OS threads with three properties the harness relies on:
+//!
+//! 1. **Determinism** — [`scoped_map`] returns results in *input order*,
+//!    no matter which worker computed which item or in what order they
+//!    finished. Aggregation code that folds the returned `Vec` therefore
+//!    produces byte-identical output to a serial loop.
+//! 2. **No dependencies** — the workspace is offline; everything here is
+//!    `std` (`std::thread::scope`, atomics, `Mutex`/`Condvar`).
+//! 3. **Shared budgeting** — concurrent pools (e.g. integration tests
+//!    running in parallel inside one test binary) draw permits from one
+//!    process-global semaphore sized by `OFFCHIP_JOBS`, so the process
+//!    never oversubscribes the machine however many sweeps are in flight.
+//!
+//! Worker count for one map is `min(jobs, items)`; each map always makes
+//! progress with at least one *leader* worker that bypasses the global
+//! semaphore (so a saturated process cannot deadlock a new sweep), while
+//! every other worker acquires a permit per item.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Why a requested job count cannot be used.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobsError {
+    /// Zero workers cannot run anything.
+    Zero,
+    /// The value (flag or `OFFCHIP_JOBS`) did not parse as an integer.
+    Invalid(String),
+}
+
+impl std::fmt::Display for JobsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobsError::Zero => write!(f, "jobs must be at least 1"),
+            JobsError::Invalid(v) => {
+                write!(f, "jobs value {v:?} is not a positive integer")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobsError {}
+
+/// The machine's available parallelism (≥ 1).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Parses `OFFCHIP_JOBS` from the environment: `Ok(None)` when unset,
+/// a typed error when set to garbage or zero.
+pub fn jobs_from_env() -> Result<Option<usize>, JobsError> {
+    match std::env::var("OFFCHIP_JOBS") {
+        Err(_) => Ok(None),
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(0) => Err(JobsError::Zero),
+            Ok(n) => Ok(Some(n)),
+            Err(_) => Err(JobsError::Invalid(v)),
+        },
+    }
+}
+
+/// Resolves the effective worker count: an explicit request (e.g. a
+/// `--jobs` flag) wins, else `OFFCHIP_JOBS`, else the machine's
+/// available parallelism.
+pub fn resolve_jobs(requested: Option<usize>) -> Result<usize, JobsError> {
+    match requested {
+        Some(0) => Err(JobsError::Zero),
+        Some(n) => Ok(n),
+        None => Ok(jobs_from_env()?.unwrap_or_else(default_jobs)),
+    }
+}
+
+/// A counting semaphore (`Mutex` + `Condvar`; std has none).
+struct Semaphore {
+    permits: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Semaphore {
+    fn new(permits: usize) -> Semaphore {
+        Semaphore {
+            permits: Mutex::new(permits),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) -> Permit<'_> {
+        let mut n = self.permits.lock().expect("pool semaphore poisoned");
+        while *n == 0 {
+            n = self.cv.wait(n).expect("pool semaphore poisoned");
+        }
+        *n -= 1;
+        Permit { sem: self }
+    }
+}
+
+/// RAII permit: releases on drop.
+struct Permit<'a> {
+    sem: &'a Semaphore,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut n = self.sem.permits.lock().expect("pool semaphore poisoned");
+        *n += 1;
+        self.sem.cv.notify_one();
+    }
+}
+
+/// Cumulative counters of the process-global pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Items executed through [`scoped_map`] since process start.
+    pub executed: usize,
+    /// Peak simultaneously running items across all concurrent maps.
+    pub peak_in_flight: usize,
+}
+
+static EXECUTED: AtomicUsize = AtomicUsize::new(0);
+static IN_FLIGHT: AtomicUsize = AtomicUsize::new(0);
+static PEAK_IN_FLIGHT: AtomicUsize = AtomicUsize::new(0);
+
+/// Snapshot of the global pool counters.
+pub fn stats() -> PoolStats {
+    PoolStats {
+        executed: EXECUTED.load(Ordering::Relaxed),
+        peak_in_flight: PEAK_IN_FLIGHT.load(Ordering::Relaxed),
+    }
+}
+
+/// The size of the process-global permit budget that concurrent maps
+/// share (frozen at first use from `OFFCHIP_JOBS`, else the machine's
+/// parallelism).
+pub fn shared_limit() -> usize {
+    shared().0
+}
+
+fn shared() -> &'static (usize, Semaphore) {
+    static SHARED: OnceLock<(usize, Semaphore)> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let n = jobs_from_env().ok().flatten().unwrap_or_else(default_jobs);
+        (n, Semaphore::new(n))
+    })
+}
+
+fn count_start() {
+    EXECUTED.fetch_add(1, Ordering::Relaxed);
+    let now = IN_FLIGHT.fetch_add(1, Ordering::Relaxed) + 1;
+    PEAK_IN_FLIGHT.fetch_max(now, Ordering::Relaxed);
+}
+
+fn count_end() {
+    IN_FLIGHT.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// Applies `f` to every item on up to `jobs` workers and returns the
+/// results **in input order** (the determinism contract: the output is
+/// indistinguishable from `items.iter().enumerate().map(f).collect()`).
+///
+/// `f` receives `(index, &item)`. Work is pulled from a shared counter,
+/// so long and short items balance across workers. A panic in `f`
+/// propagates to the caller once all workers stop.
+pub fn scoped_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = jobs.max(1).min(n);
+    if workers == 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                count_start();
+                let r = f(i, t);
+                count_end();
+                r
+            })
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        let (next, slots, f) = (&next, &slots, &f);
+        for w in 0..workers {
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                // The leader (worker 0) bypasses the global budget so a
+                // map always progresses even when other sweeps hold every
+                // permit; followers queue on the shared semaphore.
+                let _permit = (w != 0).then(|| shared().1.acquire());
+                count_start();
+                let r = f(i, &items[i]);
+                count_end();
+                *slots[i].lock().expect("pool slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("pool slot poisoned")
+                .expect("every index was claimed exactly once")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = scoped_map(8, &items, |i, &x| {
+            // Finish in scrambled order on purpose.
+            std::thread::sleep(std::time::Duration::from_micros((100 - i as u64) * 3));
+            x * 2
+        });
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_matches_serial_exactly() {
+        let items: Vec<u64> = (0..57).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(0x9E3779B9)).collect();
+        for jobs in [1, 2, 3, 8, 64] {
+            let par = scoped_map(jobs, &items, |_, &x| x.wrapping_mul(0x9E3779B9));
+            assert_eq!(par, serial, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_grids() {
+        let none: Vec<i32> = scoped_map(4, &[], |_, &x: &i32| x);
+        assert!(none.is_empty());
+        assert_eq!(scoped_map(4, &[41], |_, &x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn stats_count_executions() {
+        let before = stats().executed;
+        scoped_map(4, &[1, 2, 3, 4, 5], |_, &x: &i32| x);
+        let after = stats().executed;
+        assert!(after >= before + 5, "executed {before} -> {after}");
+        assert!(stats().peak_in_flight >= 1);
+    }
+
+    #[test]
+    fn jobs_resolution_contract() {
+        assert_eq!(resolve_jobs(Some(3)), Ok(3));
+        assert_eq!(resolve_jobs(Some(0)), Err(JobsError::Zero));
+        assert!(default_jobs() >= 1);
+        assert!(shared_limit() >= 1);
+    }
+
+    #[test]
+    fn concurrent_maps_share_the_budget() {
+        // Two maps racing: both finish, order within each preserved.
+        let a: Vec<usize> = (0..40).collect();
+        let b: Vec<usize> = (40..80).collect();
+        std::thread::scope(|s| {
+            let ha = s.spawn(|| scoped_map(4, &a, |_, &x| x + 1));
+            let hb = s.spawn(|| scoped_map(4, &b, |_, &x| x + 1));
+            assert_eq!(ha.join().unwrap(), (1..41).collect::<Vec<_>>());
+            assert_eq!(hb.join().unwrap(), (41..81).collect::<Vec<_>>());
+        });
+    }
+}

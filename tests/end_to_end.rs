@@ -1,22 +1,39 @@
 //! Cross-crate integration tests: full measure → fit → validate pipelines
 //! spanning the simulator, workloads, counters and the analytical model.
+//!
+//! Sweep-shaped tests fan their independent runs through `offchip-pool`,
+//! which keeps every sweep deterministic (input-order results) while the
+//! whole test binary shares one process-global worker budget.
 
 use offchip::prelude::*;
 
 const SCALE: f64 = 1.0 / 64.0;
 
+fn pool_jobs() -> usize {
+    offchip_pool::resolve_jobs(None).expect("OFFCHIP_JOBS")
+}
+
+/// Measures `workload` at each core count, fanned across the shared
+/// worker pool; results come back in `ns` order so the returned sweep
+/// (and the trailing "misses from the last run" value) is byte-identical
+/// to the old serial loop.
 fn sweep(
     workload: &dyn Workload,
     machine: &MachineSpec,
     ns: &[usize],
 ) -> (Vec<(usize, u64)>, f64) {
-    let mut out = Vec::new();
-    let mut misses = 1.0;
-    for &n in ns {
-        let r = run(workload, &SimConfig::new(machine.clone(), n));
-        out.push((n, r.counters.total_cycles));
-        misses = r.counters.llc_misses.max(1) as f64;
-    }
+    let reports = offchip_pool::scoped_map(pool_jobs(), ns, |_, &n| {
+        run(workload, &SimConfig::new(machine.clone(), n))
+    });
+    let misses = reports
+        .last()
+        .map(|r| r.counters.llc_misses.max(1) as f64)
+        .unwrap_or(1.0);
+    let out = ns
+        .iter()
+        .zip(&reports)
+        .map(|(&n, r)| (n, r.counters.total_cycles))
+        .collect();
     (out, misses)
 }
 
@@ -52,16 +69,30 @@ fn paper_pipeline_on_uma() {
 fn contention_ordering_matches_table_2() {
     // Class C on the UMA machine, full cores: SP > CG > IS > EP (paper
     // Table II's ordering; FT checked separately since the paper switches
-    // it to class B on this machine).
+    // it to class B on this machine). The whole 4-workload × {1, 8}-core
+    // grid — eight independent runs dominated by the n = 8 class-C
+    // simulations — fans across the pool in one map instead of running
+    // the workloads back to back.
     let machine = machines::intel_uma_8().scaled(SCALE);
-    let omega_of = |w: &dyn Workload| {
-        let (s, _) = sweep(w, &machine, &[1, 8]);
-        degree_of_contention(s[1].1, s[0].1)
-    };
-    let sp = omega_of(&traces::sp::workload(ProblemClass::C, SCALE, 8));
-    let cg = omega_of(&traces::cg::workload(ProblemClass::C, SCALE, 8));
-    let is = omega_of(&traces::is::workload(ProblemClass::C, SCALE, 8));
-    let ep = omega_of(&traces::ep::workload(ProblemClass::C, SCALE, 8));
+    let workloads: Vec<Box<dyn Workload>> = vec![
+        Box::new(traces::sp::workload(ProblemClass::C, SCALE, 8)),
+        Box::new(traces::cg::workload(ProblemClass::C, SCALE, 8)),
+        Box::new(traces::is::workload(ProblemClass::C, SCALE, 8)),
+        Box::new(traces::ep::workload(ProblemClass::C, SCALE, 8)),
+    ];
+    // Expensive full-core runs first so workers overlap them instead of
+    // leaving the longest simulation as a serial tail.
+    let grid: Vec<(usize, usize)> = (0..workloads.len())
+        .map(|w| (w, 8))
+        .chain((0..workloads.len()).map(|w| (w, 1)))
+        .collect();
+    let cycles = offchip_pool::scoped_map(pool_jobs(), &grid, |_, &(w, n)| {
+        run(workloads[w].as_ref(), &SimConfig::new(machine.clone(), n))
+            .counters
+            .total_cycles
+    });
+    let omega_of = |w: usize| degree_of_contention(cycles[w], cycles[workloads.len() + w]);
+    let (sp, cg, is, ep) = (omega_of(0), omega_of(1), omega_of(2), omega_of(3));
     assert!(
         sp > cg && cg > is && is > ep,
         "ordering violated: SP {sp:.2} CG {cg:.2} IS {is:.2} EP {ep:.2}"
@@ -161,7 +192,61 @@ fn deterministic_end_to_end() {
     let machine = machines::intel_uma_8().scaled(SCALE);
     let w = traces::ft::workload(ProblemClass::A, SCALE, 8);
     let a = run(&w, &SimConfig::new(machine.clone(), 6));
-    let b = run(&w, &SimConfig::new(machine, 6));
+    let b = run(&w, &SimConfig::new(machine.clone(), 6));
     assert_eq!(a.counters, b.counters);
     assert_eq!(a.makespan, b.makespan);
+    // And through the pool: fanning the same configuration out twice
+    // must reproduce the single-threaded counters run for run.
+    let pooled = offchip_pool::scoped_map(4, &[6usize, 6], |_, &n| {
+        run(&w, &SimConfig::new(machine.clone(), n)).counters
+    });
+    assert_eq!(pooled[0], a.counters);
+    assert_eq!(pooled[1], a.counters);
+}
+
+#[test]
+fn parallel_sweep_is_byte_identical_to_serial() {
+    // The sweep engine's headline contract: `run_sweep_parallel` must
+    // serialize to exactly the bytes `run_sweep` produces — same seeds,
+    // same per-point means, same f64 fold order — whatever the worker
+    // count. This is what lets `OFFCHIP_JOBS` vary freely across CI and
+    // laptops without perturbing a single committed artifact.
+    let machine = machines::intel_uma_8().scaled(SCALE);
+    let w = traces::cg::workload(ProblemClass::W, SCALE, 8);
+    let ns = [1usize, 2, 4, 8];
+    let seeds = [7u64, 11, 13];
+    use offchip_json::ToJson;
+    let serial = offchip_bench::run_sweep(&machine, &w, &ns, &seeds).expect("serial sweep");
+    for jobs in [1usize, 4] {
+        let par = offchip_bench::run_sweep_parallel(&machine, &w, &ns, &seeds, jobs)
+            .expect("parallel sweep");
+        assert_eq!(
+            serial.to_json().to_pretty_string(),
+            par.to_json().to_pretty_string(),
+            "jobs={jobs} diverged from the serial reference"
+        );
+    }
+}
+
+#[test]
+fn sweep_tests_share_the_global_worker_budget() {
+    // Every sweep-shaped test in this binary draws from one process-wide
+    // permit pool, so however many tests the harness runs concurrently,
+    // at most `shared_limit()` non-leader items execute at once (each
+    // concurrent map may add one budget-exempt leader, and the harness
+    // runs at most `default_jobs()` tests — hence maps — at a time).
+    let machine = machines::intel_uma_8().scaled(SCALE);
+    let w = traces::ep::workload(ProblemClass::W, SCALE, 8);
+    let (s, _) = sweep(&w, &machine, &[1, 2, 4, 8]);
+    assert_eq!(s.len(), 4);
+    let stats = offchip_pool::stats();
+    assert!(stats.executed >= 4, "pool never executed: {stats:?}");
+    let ceiling = offchip_pool::shared_limit() + offchip_pool::default_jobs();
+    assert!(
+        stats.peak_in_flight <= ceiling,
+        "worker budget not shared: peak {} > limit {} + leaders {}",
+        stats.peak_in_flight,
+        offchip_pool::shared_limit(),
+        offchip_pool::default_jobs()
+    );
 }

@@ -53,7 +53,7 @@ pub fn fmt_omega(v: f64) -> String {
 
 /// Renders the sweep engine's timing/throughput line as every experiment
 /// binary prints it: `sweep timing [table2]: 90 runs in 4.11 s wall
-/// (21.9 runs/s, 3.8x vs serial, jobs=4)`.
+/// (21.9 runs/s, 14.52 Mev/s, 3.8x vs serial, jobs=4)`.
 pub fn timing_line(label: &str, timing: &crate::sweep::SweepTiming) -> String {
     format!("sweep timing [{label}]: {timing}")
 }
@@ -88,6 +88,7 @@ mod tests {
             jobs: 4,
             wall: std::time::Duration::from_millis(500),
             busy: std::time::Duration::from_secs(2),
+            events: 3_000_000,
         };
         let line = timing_line("table2", &t);
         assert!(line.starts_with("sweep timing [table2]:"), "{line}");

@@ -228,6 +228,10 @@ struct RunSample {
     llc_misses: f64,
     makespan: f64,
     elapsed: Duration,
+    /// Discrete events the simulator processed, for throughput accounting
+    /// (events/s is the host-load-independent denominator `perfstat`
+    /// trends; it never feeds a sweep point).
+    sim_events: u64,
 }
 
 fn sample(machine: &MachineSpec, workload: &dyn Workload, n: usize, seed: u64) -> RunSample {
@@ -242,6 +246,7 @@ fn sample(machine: &MachineSpec, workload: &dyn Workload, n: usize, seed: u64) -
         llc_misses: r.counters.llc_misses as f64,
         makespan: r.makespan.cycles() as f64,
         elapsed: t0.elapsed(),
+        sim_events: r.counters.sim_events,
     }
 }
 
@@ -284,12 +289,19 @@ pub struct SweepTiming {
     pub wall: Duration,
     /// Sum of per-run times — what a serial loop would have taken.
     pub busy: Duration,
+    /// Total discrete events processed across the sweep's runs.
+    pub events: u64,
 }
 
 impl SweepTiming {
     /// Runs completed per wall-clock second.
     pub fn runs_per_sec(&self) -> f64 {
         self.runs as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Simulator events retired per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall.as_secs_f64().max(1e-9)
     }
 
     /// Estimated speedup over a serial loop (aggregate run time / wall).
@@ -304,6 +316,7 @@ impl SweepTiming {
         self.jobs = self.jobs.max(other.jobs);
         self.wall += other.wall;
         self.busy += other.busy;
+        self.events += other.events;
     }
 
     /// A zero element for [`Self::absorb`] folds.
@@ -313,6 +326,7 @@ impl SweepTiming {
             jobs,
             wall: Duration::ZERO,
             busy: Duration::ZERO,
+            events: 0,
         }
     }
 }
@@ -321,10 +335,11 @@ impl std::fmt::Display for SweepTiming {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} runs in {:.2} s wall ({:.1} runs/s, {:.1}x vs serial, jobs={})",
+            "{} runs in {:.2} s wall ({:.1} runs/s, {:.2} Mev/s, {:.1}x vs serial, jobs={})",
             self.runs,
             self.wall.as_secs_f64(),
             self.runs_per_sec(),
+            self.events_per_sec() / 1e6,
             self.speedup(),
             self.jobs
         )
@@ -428,6 +443,7 @@ pub fn run_sweep_timed(
         jobs,
         wall,
         busy: samples.iter().map(|s| s.elapsed).sum(),
+        events: samples.iter().map(|s| s.sim_events).sum(),
     };
     Ok((
         SweepResult {

@@ -1,6 +1,8 @@
 //! A single set-associative cache.
 
-use crate::replacement::{ReplacementPolicy, SetState};
+use offchip_simcore::FastDiv;
+
+use crate::replacement::{ReplState, ReplacementPolicy};
 
 /// Read or write access. Writes mark the line dirty; dirty victims are
 /// reported so the memory model can account for write-backs.
@@ -110,45 +112,91 @@ impl CacheStats {
     }
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-}
+/// Sentinel tag marking an invalid (empty) way. A real tag is
+/// `line_id / sets` with `line_id = addr >> line_shift`, so it could only
+/// collide with the sentinel for byte addresses at the very top of the
+/// 64-bit space — which no workload layout produces (the bump allocator
+/// starts at one page and grows upward by working-set bytes).
+const INVALID_TAG: u64 = u64::MAX;
 
 /// A set-associative cache with write-back, write-allocate semantics.
+///
+/// Lines are stored struct-of-arrays: one flat `tags` vector (the only
+/// data the lookup loop reads — a way scan is a short contiguous `u64`
+/// compare the compiler can unroll, instead of striding over padded
+/// structs) and a parallel `dirty` vector consulted only on hits-for-write
+/// and evictions.
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     config: CacheConfig,
-    lines: Vec<Line>,        // sets × ways, row-major
-    states: Vec<SetState>,   // one per set
+    tags: Vec<u64>,   // sets × ways, row-major; INVALID_TAG = empty way
+    dirty: Vec<bool>, // parallel to `tags`
+    state: ReplState, // flat per-set replacement state
     stats: CacheStats,
     seq: u64,
     rng_state: u64, // xorshift64* stream for the random policy
     line_shift: u32,
-    /// Bloom-ish exact tracker for cold-miss classification: tags ever seen.
-    /// Kept as a sorted Vec checked with binary search; workloads touch
-    /// bounded working sets so this stays small relative to the trace.
-    seen: std::collections::HashSet<u64>,
+    set_div: FastDiv, // exact strength-reduced divide by the set count
+    /// Exact tracker for cold-miss classification: every line id ever
+    /// missed on, probed once per miss at every level — which under a
+    /// streaming workload is the hottest lookup in the whole simulator.
+    seen: SeenLines,
+}
+
+/// Set of line ids, specialised for the dense address ranges the trace
+/// generators' bump allocator produces.
+///
+/// A hash set here dominated whole-simulator profiles: with class-C
+/// working sets it grows to millions of entries, far past the host's own
+/// caches, so every miss paid a DRAM-latency probe. The first
+/// [`SeenLines::DIRECT_LINES`] line ids use one bitmap bit each instead —
+/// a footprint 128× smaller than hashed `u64` entries, grown lazily to
+/// the highest line actually seen. Lines above the window (possible only
+/// through direct `SetAssocCache` use with adversarial addresses, never
+/// through the generators) fall back to a hash set.
+#[derive(Debug, Clone, Default)]
+struct SeenLines {
+    words: Vec<u64>,
+    overflow: offchip_simcore::FxHashSet<u64>,
+}
+
+impl SeenLines {
+    /// Line ids below this live in the bitmap: 2²⁸ lines = 16 GiB of
+    /// address space at 64-byte lines, a 32 MiB bitmap when fully grown.
+    const DIRECT_LINES: u64 = 1 << 28;
+
+    /// Inserts `line`; true when it was not yet present.
+    #[inline]
+    fn insert(&mut self, line: u64) -> bool {
+        if line >= Self::DIRECT_LINES {
+            return self.overflow.insert(line);
+        }
+        let w = (line >> 6) as usize;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let bit = 1u64 << (line & 63);
+        let newly = self.words[w] & bit == 0;
+        self.words[w] |= bit;
+        newly
+    }
 }
 
 impl SetAssocCache {
     /// Creates an empty cache.
     pub fn new(config: CacheConfig) -> SetAssocCache {
         assert!(config.sets > 0 && config.ways > 0);
-        let states = (0..config.sets)
-            .map(|_| SetState::new(config.policy, config.ways))
-            .collect();
         SetAssocCache {
-            lines: vec![Line::default(); config.sets * config.ways],
-            states,
+            tags: vec![INVALID_TAG; config.sets * config.ways],
+            dirty: vec![false; config.sets * config.ways],
+            state: ReplState::new(config.policy, config.sets, config.ways),
             stats: CacheStats::default(),
             seq: 0,
             rng_state: 0x9E3779B97F4A7C15,
             line_shift: config.line_bytes.trailing_zeros(),
+            set_div: FastDiv::new(config.sets as u64),
             config,
-            seen: std::collections::HashSet::new(),
+            seen: SeenLines::default(),
         }
     }
 
@@ -172,9 +220,8 @@ impl SetAssocCache {
     #[inline]
     fn split(&self, addr: u64) -> (usize, u64) {
         let line = addr >> self.line_shift;
-        let set = (line % self.config.sets as u64) as usize;
-        let tag = line / self.config.sets as u64;
-        (set, tag)
+        let (tag, set) = self.set_div.div_rem(line);
+        (set as usize, tag)
     }
 
     #[inline]
@@ -192,19 +239,18 @@ impl SetAssocCache {
     pub fn access(&mut self, addr: u64, kind: AccessKind) -> AccessResult {
         self.seq += 1;
         let seq = self.seq;
+        let ways = self.config.ways;
         let (set, tag) = self.split(addr);
-        let base = set * self.config.ways;
-        // Lookup.
-        for w in 0..self.config.ways {
-            let line = &mut self.lines[base + w];
-            if line.valid && line.tag == tag {
-                if kind == AccessKind::Write {
-                    line.dirty = true;
-                }
-                self.states[set].touch(w, seq, false);
-                self.stats.hits += 1;
-                return AccessResult::Hit;
+        let base = set * ways;
+        // Lookup: contiguous tag compare over the set's ways.
+        let set_tags = &self.tags[base..base + ways];
+        if let Some(w) = set_tags.iter().position(|&t| t == tag) {
+            if kind == AccessKind::Write {
+                self.dirty[base + w] = true;
             }
+            self.state.touch(set, ways, w, seq, false);
+            self.stats.hits += 1;
+            return AccessResult::Hit;
         }
         // Miss: find a victim (prefer an invalid way).
         self.stats.misses += 1;
@@ -212,30 +258,28 @@ impl SetAssocCache {
         if self.seen.insert(line_id) {
             self.stats.cold_misses += 1;
         }
-        let victim_way = match (0..self.config.ways).find(|&w| !self.lines[base + w].valid) {
+        let victim_way = match set_tags.iter().position(|&t| t == INVALID_TAG) {
             Some(w) => w,
             None => {
                 let draw = self.next_draw();
-                self.states[set].victim(self.config.ways, draw)
+                self.state.victim(set, ways, draw)
             }
         };
-        let victim = self.lines[base + victim_way];
-        let evicted = if victim.valid {
-            let victim_line = victim.tag * self.config.sets as u64 + set as u64;
+        let victim_tag = self.tags[base + victim_way];
+        let victim_dirty = self.dirty[base + victim_way];
+        let evicted = if victim_tag != INVALID_TAG {
+            let victim_line = victim_tag * self.config.sets as u64 + set as u64;
             let victim_addr = victim_line << self.line_shift;
-            if victim.dirty {
+            if victim_dirty {
                 self.stats.writebacks += 1;
             }
-            Some((victim_addr, victim.dirty))
+            Some((victim_addr, victim_dirty))
         } else {
             None
         };
-        self.lines[base + victim_way] = Line {
-            tag,
-            valid: true,
-            dirty: kind == AccessKind::Write,
-        };
-        self.states[set].touch(victim_way, seq, true);
+        self.tags[base + victim_way] = tag;
+        self.dirty[base + victim_way] = kind == AccessKind::Write;
+        self.state.touch(set, ways, victim_way, seq, true);
         AccessResult::Miss { evicted }
     }
 
@@ -246,34 +290,30 @@ impl SetAssocCache {
     pub fn install(&mut self, addr: u64) -> Option<(u64, bool)> {
         self.seq += 1;
         let seq = self.seq;
+        let ways = self.config.ways;
         let (set, tag) = self.split(addr);
-        let base = set * self.config.ways;
-        for w in 0..self.config.ways {
-            let line = &self.lines[base + w];
-            if line.valid && line.tag == tag {
-                return None; // already resident
-            }
+        let base = set * ways;
+        let set_tags = &self.tags[base..base + ways];
+        if set_tags.contains(&tag) {
+            return None; // already resident
         }
-        let victim_way = match (0..self.config.ways).find(|&w| !self.lines[base + w].valid) {
+        let victim_way = match set_tags.iter().position(|&t| t == INVALID_TAG) {
             Some(w) => w,
             None => {
                 let draw = self.next_draw();
-                self.states[set].victim(self.config.ways, draw)
+                self.state.victim(set, ways, draw)
             }
         };
-        let victim = self.lines[base + victim_way];
-        let evicted = if victim.valid {
-            let victim_line = victim.tag * self.config.sets as u64 + set as u64;
-            Some((victim_line << self.line_shift, victim.dirty))
+        let victim_tag = self.tags[base + victim_way];
+        let evicted = if victim_tag != INVALID_TAG {
+            let victim_line = victim_tag * self.config.sets as u64 + set as u64;
+            Some((victim_line << self.line_shift, self.dirty[base + victim_way]))
         } else {
             None
         };
-        self.lines[base + victim_way] = Line {
-            tag,
-            valid: true,
-            dirty: false,
-        };
-        self.states[set].touch(victim_way, seq, true);
+        self.tags[base + victim_way] = tag;
+        self.dirty[base + victim_way] = false;
+        self.state.touch(set, ways, victim_way, seq, true);
         evicted
     }
 
@@ -281,18 +321,13 @@ impl SetAssocCache {
     pub fn probe(&self, addr: u64) -> bool {
         let (set, tag) = self.split(addr);
         let base = set * self.config.ways;
-        (0..self.config.ways).any(|w| {
-            let line = &self.lines[base + w];
-            line.valid && line.tag == tag
-        })
+        self.tags[base..base + self.config.ways].contains(&tag)
     }
 
     /// Invalidates every line (statistics are kept).
     pub fn flush(&mut self) {
-        for line in &mut self.lines {
-            line.valid = false;
-            line.dirty = false;
-        }
+        self.tags.fill(INVALID_TAG);
+        self.dirty.fill(false);
     }
 }
 

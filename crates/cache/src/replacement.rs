@@ -21,48 +21,54 @@ pub enum ReplacementPolicy {
     Random,
 }
 
-/// Per-set replacement state, sized for a fixed number of ways.
+/// Replacement state for *all* sets of one cache, stored flat.
+///
+/// One enum for the whole cache (instead of one per set) keeps the
+/// per-set state in a single contiguous allocation: a `touch` on the hot
+/// lookup path is one indexed store, with no per-set `Vec` pointer chase.
+/// Row-major layout: set `s`'s state lives at `[s·ways, (s+1)·ways)`
+/// (LRU/FIFO stamps) or `[s·(ways−1), (s+1)·(ways−1))` (PLRU tree bits).
 #[derive(Debug, Clone)]
-pub(crate) enum SetState {
-    /// `stamp[w]` = last-touch sequence number of way `w`.
+pub(crate) enum ReplState {
+    /// `stamp[s·ways + w]` = last-touch sequence number of way `w`.
     Lru { stamp: Vec<u64> },
-    /// PLRU tree bits; `bits[i]` for internal node `i` (heap order), false
-    /// = left subtree is colder.
+    /// PLRU tree bits in heap order per set; false = left subtree colder.
     TreePlru { bits: Vec<bool> },
-    /// `filled[w]` = fill sequence number of way `w`.
+    /// `filled[s·ways + w]` = fill sequence number of way `w`.
     Fifo { filled: Vec<u64> },
     /// No per-way state; victim drawn from the cache's RNG stream.
     Random,
 }
 
-impl SetState {
-    pub(crate) fn new(policy: ReplacementPolicy, ways: usize) -> SetState {
+impl ReplState {
+    pub(crate) fn new(policy: ReplacementPolicy, sets: usize, ways: usize) -> ReplState {
         match policy {
-            ReplacementPolicy::Lru => SetState::Lru {
-                stamp: vec![0; ways],
+            ReplacementPolicy::Lru => ReplState::Lru {
+                stamp: vec![0; sets * ways],
             },
             ReplacementPolicy::TreePlru if ways.is_power_of_two() && ways > 1 => {
-                SetState::TreePlru {
-                    bits: vec![false; ways - 1],
+                ReplState::TreePlru {
+                    bits: vec![false; sets * (ways - 1)],
                 }
             }
-            ReplacementPolicy::TreePlru => SetState::Lru {
-                stamp: vec![0; ways],
+            ReplacementPolicy::TreePlru => ReplState::Lru {
+                stamp: vec![0; sets * ways],
             },
-            ReplacementPolicy::Fifo => SetState::Fifo {
-                filled: vec![0; ways],
+            ReplacementPolicy::Fifo => ReplState::Fifo {
+                filled: vec![0; sets * ways],
             },
-            ReplacementPolicy::Random => SetState::Random,
+            ReplacementPolicy::Random => ReplState::Random,
         }
     }
 
-    /// Records a touch (hit or fill) of way `w` at sequence `seq`.
-    pub(crate) fn touch(&mut self, w: usize, seq: u64, is_fill: bool) {
+    /// Records a touch (hit or fill) of way `w` of set `set` at `seq`.
+    #[inline]
+    pub(crate) fn touch(&mut self, set: usize, ways: usize, w: usize, seq: u64, is_fill: bool) {
         match self {
-            SetState::Lru { stamp } => stamp[w] = seq,
-            SetState::TreePlru { bits } => {
+            ReplState::Lru { stamp } => stamp[set * ways + w] = seq,
+            ReplState::TreePlru { bits } => {
                 // Walk root→leaf, pointing every node *away* from w.
-                let ways = bits.len() + 1;
+                let bits = &mut bits[set * (ways - 1)..(set + 1) * (ways - 1)];
                 let mut node = 0usize;
                 let mut lo = 0usize;
                 let mut hi = ways;
@@ -78,27 +84,30 @@ impl SetState {
                     }
                 }
             }
-            SetState::Fifo { filled } => {
+            ReplState::Fifo { filled } => {
                 if is_fill {
-                    filled[w] = seq;
+                    filled[set * ways + w] = seq;
                 }
             }
-            SetState::Random => {}
+            ReplState::Random => {}
         }
     }
 
-    /// Chooses a victim among `ways` ways; `rng_draw` supplies randomness
-    /// for the random policy.
-    pub(crate) fn victim(&self, ways: usize, rng_draw: u64) -> usize {
+    /// Chooses a victim way in `set`; `rng_draw` supplies randomness for
+    /// the random policy.
+    #[inline]
+    pub(crate) fn victim(&self, set: usize, ways: usize, rng_draw: u64) -> usize {
         match self {
-            SetState::Lru { stamp } | SetState::Fifo { filled: stamp } => stamp
+            ReplState::Lru { stamp } | ReplState::Fifo { filled: stamp } => stamp
+                [set * ways..(set + 1) * ways]
                 .iter()
                 .enumerate()
                 .min_by_key(|&(_, &s)| s)
                 .map(|(w, _)| w)
                 .expect("non-empty set"),
-            SetState::TreePlru { bits } => {
+            ReplState::TreePlru { bits } => {
                 // Follow the cold bits root→leaf.
+                let bits = &bits[set * (ways - 1)..(set + 1) * (ways - 1)];
                 let mut node = 0usize;
                 let mut lo = 0usize;
                 let mut hi = ways;
@@ -114,7 +123,7 @@ impl SetState {
                 }
                 lo
             }
-            SetState::Random => (rng_draw % ways as u64) as usize,
+            ReplState::Random => (rng_draw % ways as u64) as usize,
         }
     }
 }
@@ -125,60 +134,80 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recent() {
-        let mut s = SetState::new(ReplacementPolicy::Lru, 4);
+        let mut s = ReplState::new(ReplacementPolicy::Lru, 1, 4);
         for (seq, w) in [(1, 0), (2, 1), (3, 2), (4, 3), (5, 0)] {
-            s.touch(w, seq, false);
+            s.touch(0, 4, w, seq, false);
         }
         // Way 1 is now least recently used.
-        assert_eq!(s.victim(4, 0), 1);
+        assert_eq!(s.victim(0, 4, 0), 1);
     }
 
     #[test]
     fn fifo_ignores_hits() {
-        let mut s = SetState::new(ReplacementPolicy::Fifo, 2);
-        s.touch(0, 1, true);
-        s.touch(1, 2, true);
-        s.touch(0, 3, false); // hit: does not refresh FIFO age
-        assert_eq!(s.victim(2, 0), 0, "way 0 was filled first");
-        s.touch(0, 4, true); // refill
-        assert_eq!(s.victim(2, 0), 1);
+        let mut s = ReplState::new(ReplacementPolicy::Fifo, 1, 2);
+        s.touch(0, 2, 0, 1, true);
+        s.touch(0, 2, 1, 2, true);
+        s.touch(0, 2, 0, 3, false); // hit: does not refresh FIFO age
+        assert_eq!(s.victim(0, 2, 0), 0, "way 0 was filled first");
+        s.touch(0, 2, 0, 4, true); // refill
+        assert_eq!(s.victim(0, 2, 0), 1);
     }
 
     #[test]
     fn plru_never_evicts_most_recent() {
-        let mut s = SetState::new(ReplacementPolicy::TreePlru, 8);
+        let mut s = ReplState::new(ReplacementPolicy::TreePlru, 1, 8);
         for w in 0..8 {
-            s.touch(w, w as u64, true);
+            s.touch(0, 8, w, w as u64, true);
         }
         for w in 0..8 {
-            s.touch(w, 100 + w as u64, false);
-            assert_ne!(s.victim(8, 0), w, "PLRU must not evict the MRU way");
+            s.touch(0, 8, w, 100 + w as u64, false);
+            assert_ne!(s.victim(0, 8, 0), w, "PLRU must not evict the MRU way");
         }
     }
 
     #[test]
     fn plru_falls_back_to_lru_for_odd_ways() {
-        let s = SetState::new(ReplacementPolicy::TreePlru, 3);
-        assert!(matches!(s, SetState::Lru { .. }));
+        let s = ReplState::new(ReplacementPolicy::TreePlru, 2, 3);
+        assert!(matches!(s, ReplState::Lru { .. }));
     }
 
     #[test]
     fn random_uses_draw() {
-        let s = SetState::new(ReplacementPolicy::Random, 4);
-        assert_eq!(s.victim(4, 7), 3);
-        assert_eq!(s.victim(4, 8), 0);
+        let s = ReplState::new(ReplacementPolicy::Random, 1, 4);
+        assert_eq!(s.victim(0, 4, 7), 3);
+        assert_eq!(s.victim(0, 4, 8), 0);
     }
 
     #[test]
     fn plru_cycles_through_all_ways() {
         // Repeatedly evicting and filling must touch every way eventually.
-        let mut s = SetState::new(ReplacementPolicy::TreePlru, 4);
+        let mut s = ReplState::new(ReplacementPolicy::TreePlru, 1, 4);
         let mut seen = [false; 4];
         for seq in 0..16 {
-            let v = s.victim(4, 0);
+            let v = s.victim(0, 4, 0);
             seen[v] = true;
-            s.touch(v, seq, true);
+            s.touch(0, 4, v, seq, true);
         }
         assert!(seen.iter().all(|&x| x), "seen={seen:?}");
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut s = ReplState::new(ReplacementPolicy::Lru, 2, 2);
+        s.touch(0, 2, 0, 10, false);
+        s.touch(0, 2, 1, 11, false);
+        s.touch(1, 2, 1, 5, false);
+        s.touch(1, 2, 0, 6, false);
+        assert_eq!(s.victim(0, 2, 0), 0, "set 0 LRU is way 0");
+        assert_eq!(s.victim(1, 2, 0), 1, "set 1 LRU is way 1");
+    }
+
+    #[test]
+    fn plru_sets_are_independent() {
+        let mut s = ReplState::new(ReplacementPolicy::TreePlru, 2, 4);
+        s.touch(0, 4, 3, 1, true);
+        // Set 1's tree is untouched: victim stays at way 0.
+        assert_eq!(s.victim(1, 4, 0), 0);
+        assert_ne!(s.victim(0, 4, 0), 3);
     }
 }

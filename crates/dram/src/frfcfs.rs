@@ -4,11 +4,25 @@
 //! ("first-ready"), falling back to oldest-first, with a starvation cap so
 //! a stream of hits cannot indefinitely bypass an old miss (cf. the
 //! scheduling literature the paper cites: ATLAS \[13\], fair queueing \[18\],
-//! PAR-BS \[17\]). This implementation keeps a pending queue and commits
-//! requests when channel resources free, so — unlike the reservation-style
-//! [`FcfsController`](crate::fcfs::FcfsController) — it genuinely reorders.
-//! It exists for the scheduler ablation bench, which shows the contention
-//! *shape* of the study is insensitive to the scheduling discipline.
+//! PAR-BS \[17\]). This implementation keeps pending requests in per-bank
+//! queues and commits them when channel resources free, so — unlike the
+//! reservation-style [`FcfsController`](crate::fcfs::FcfsController) — it
+//! genuinely reorders. It exists for the scheduler ablation bench, which
+//! shows the contention *shape* of the study is insensitive to the
+//! scheduling discipline.
+//!
+//! # Why per-bank queues
+//!
+//! Row-hit selection compares each candidate against its bank's open row,
+//! and bank readiness gates whole groups of requests at once. A single
+//! arrival-ordered channel queue therefore re-derives the DRAM coordinates
+//! of every entry on every pick, which made serving a queue of n requests
+//! O(n²) in address-mapping work. Splitting the queue per bank caches the
+//! coordinates once at enqueue, prunes whole banks that are busy, and
+//! reduces the starvation check to an O(1) formula on the channel head
+//! (see [`Channel::pick`]).
+
+use std::collections::VecDeque;
 
 use offchip_simcore::SimTime;
 
@@ -20,19 +34,135 @@ use crate::{EnqueueResult, McModel, Request, WakeResult};
 struct Pending {
     req: Request,
     arrival: SimTime,
-    /// How many younger requests have been served ahead of this one.
-    bypassed: u32,
+    /// Row coordinate, cached at enqueue (the mapping is fixed).
+    row: u64,
+    /// Channel-local enqueue sequence number; bank queues stay sorted by it.
+    seq: u64,
+    /// Channel serve count at enqueue time (for the O(1) bypass count).
+    serves_at_enq: u64,
+    /// Requests already pending on the channel at enqueue time; every one
+    /// of them is older than this request.
+    older_at_enq: u64,
+}
+
+#[derive(Debug)]
+struct Bank {
+    /// Pending requests for this bank, ordered by `seq`. Removal can be
+    /// mid-queue: arrival order need not match `seq` order when network
+    /// latencies differ, so the oldest *ready* entry may sit behind a
+    /// not-yet-arrived older one.
+    queue: VecDeque<Pending>,
+    free_at: SimTime,
+    open_row: Option<u64>,
+    /// Earliest `arrival` in `queue`; meaningless while the queue is empty.
+    min_arrival: SimTime,
+}
+
+#[derive(Debug)]
+struct Channel {
+    banks: Vec<Bank>,
+    bus_free: SimTime,
+    /// Requests pending across all of this channel's banks.
+    pending: u64,
+    /// Requests served so far on this channel.
+    serves: u64,
+    /// Sequence number for the next enqueue.
+    next_seq: u64,
+}
+
+impl Channel {
+    /// Bank whose queue front is the channel's oldest pending request.
+    fn head_bank(&self) -> Option<usize> {
+        let mut best: Option<(u64, usize)> = None;
+        for (b, bank) in self.banks.iter().enumerate() {
+            if let Some(p) = bank.queue.front() {
+                if best.is_none_or(|(s, _)| p.seq < s) {
+                    best = Some((p.seq, b));
+                }
+            }
+        }
+        best.map(|(_, b)| b)
+    }
+
+    /// Picks the `(bank, queue index)` of the request to serve next among
+    /// those whose bank and arrival are ready at `now`; `None` if nothing
+    /// is ready.
+    fn pick(&self, now: SimTime, starvation_cap: u32) -> Option<(usize, usize)> {
+        let head_bank = self.head_bank()?;
+        let head = &self.banks[head_bank].queue[0];
+        // Whatever bypasses a request also bypasses everything older than
+        // it, so bypass counts are non-increasing in age and only the
+        // channel's oldest pending request can be starved. Being the
+        // oldest, all `older_at_enq` requests that preceded it have been
+        // served, so its bypass count is exactly the serves since its
+        // enqueue minus the serves owed to those elders — no per-entry
+        // bookkeeping needed.
+        let bypassed = self.serves - head.serves_at_enq - head.older_at_enq;
+        if bypassed >= u64::from(starvation_cap) {
+            if head.arrival <= now && self.banks[head_bank].free_at <= now {
+                return Some((head_bank, 0));
+            }
+            // A starved request blocks reordering past it until servable.
+            return None;
+        }
+        // (seq, bank, idx) of the oldest ready row hit and the oldest
+        // ready request overall; a hit wins over any non-hit.
+        let mut best_hit: Option<(u64, usize, usize)> = None;
+        let mut best_ready: Option<(u64, usize, usize)> = None;
+        for (b, bank) in self.banks.iter().enumerate() {
+            if bank.free_at > now {
+                continue;
+            }
+            let mut saw_ready = false;
+            for (i, p) in bank.queue.iter().enumerate() {
+                if p.arrival > now {
+                    continue;
+                }
+                if !saw_ready {
+                    saw_ready = true;
+                    if best_ready.is_none_or(|(s, _, _)| p.seq < s) {
+                        best_ready = Some((p.seq, b, i));
+                    }
+                }
+                if bank.open_row == Some(p.row) {
+                    if best_hit.is_none_or(|(s, _, _)| p.seq < s) {
+                        best_hit = Some((p.seq, b, i));
+                    }
+                    break; // later entries in this bank are younger hits
+                }
+                if bank.open_row.is_none() {
+                    break; // a closed row cannot hit: oldest ready suffices
+                }
+                if best_hit.is_some_and(|(s, _, _)| s < p.seq) {
+                    break; // any hit deeper in this bank is younger still
+                }
+            }
+        }
+        best_hit.or(best_ready).map(|(_, b, i)| (b, i))
+    }
+
+    /// Earliest time this channel could serve something, given its queues.
+    fn next_opportunity(&self) -> Option<SimTime> {
+        let mut earliest: Option<SimTime> = None;
+        for bank in &self.banks {
+            if bank.queue.is_empty() {
+                continue;
+            }
+            // All of a bank's requests share `free_at`, so the bank's
+            // earliest chance is its earliest arrival against the bank
+            // and bus frees.
+            let ready = bank.min_arrival.max(bank.free_at).max(self.bus_free);
+            earliest = Some(earliest.map_or(ready, |e| e.min(ready)));
+        }
+        earliest
+    }
 }
 
 /// The reordering controller.
 #[derive(Debug)]
 pub struct FrFcfsController {
     cfg: McConfig,
-    bank_free: Vec<Vec<SimTime>>,
-    open_row: Vec<Vec<Option<u64>>>,
-    bus_free: Vec<SimTime>,
-    /// Pending requests per channel, in arrival order.
-    pending: Vec<Vec<Pending>>,
+    channels: Vec<Channel>,
     /// Maximum times a request may be bypassed by row hits before it gets
     /// absolute priority.
     starvation_cap: u32,
@@ -49,78 +179,28 @@ impl FrFcfsController {
     pub fn with_starvation_cap(cfg: McConfig, starvation_cap: u32) -> FrFcfsController {
         let ch = cfg.mapping.channels() as usize;
         let banks = cfg.mapping.banks() as usize;
+        let channels = (0..ch)
+            .map(|_| Channel {
+                banks: (0..banks)
+                    .map(|_| Bank {
+                        queue: VecDeque::new(),
+                        free_at: SimTime::ZERO,
+                        open_row: None,
+                        min_arrival: SimTime::ZERO,
+                    })
+                    .collect(),
+                bus_free: SimTime::ZERO,
+                pending: 0,
+                serves: 0,
+                next_seq: 0,
+            })
+            .collect();
         FrFcfsController {
             cfg,
-            bank_free: vec![vec![SimTime::ZERO; banks]; ch],
-            open_row: vec![vec![None; banks]; ch],
-            bus_free: vec![SimTime::ZERO; ch],
-            pending: vec![Vec::new(); ch],
+            channels,
             starvation_cap,
             stats: McStats::default(),
         }
-    }
-
-    /// Picks the index of the request to serve next on channel `c` among
-    /// those whose bank and arrival are ready at `now`; `None` if nothing
-    /// is ready.
-    fn pick(&self, c: usize, now: SimTime) -> Option<usize> {
-        let queue = &self.pending[c];
-        // Starved request (oldest first) gets absolute priority.
-        if let Some((idx, _)) = queue
-            .iter()
-            .enumerate()
-            .find(|(_, p)| p.bypassed >= self.starvation_cap)
-        {
-            let p = &queue[idx];
-            let coord = self.cfg.mapping.map(p.req.line_addr);
-            if p.arrival <= now && self.bank_free[c][coord.bank as usize] <= now {
-                return Some(idx);
-            }
-            // A starved request blocks reordering past it until servable.
-            return None;
-        }
-        let mut best: Option<(usize, bool)> = None; // (idx, is_row_hit)
-        for (idx, p) in queue.iter().enumerate() {
-            if p.arrival > now {
-                continue;
-            }
-            let coord = self.cfg.mapping.map(p.req.line_addr);
-            let b = coord.bank as usize;
-            if self.bank_free[c][b] > now {
-                continue;
-            }
-            let hit = self.open_row[c][b] == Some(coord.row);
-            match best {
-                None => best = Some((idx, hit)),
-                Some((_, false)) if hit => best = Some((idx, hit)),
-                // Queue is arrival-ordered, so the first hit found is the
-                // oldest hit; nothing later improves on it.
-                Some((_, true)) => break,
-                _ => {}
-            }
-        }
-        best.map(|(idx, _)| idx)
-    }
-
-    /// Earliest time channel `c` could serve something, given its queue.
-    fn next_opportunity(&self, c: usize) -> Option<SimTime> {
-        let queue = &self.pending[c];
-        if queue.is_empty() {
-            return None;
-        }
-        let mut earliest: Option<SimTime> = None;
-        for p in queue {
-            let coord = self.cfg.mapping.map(p.req.line_addr);
-            let ready = p
-                .arrival
-                .max(self.bank_free[c][coord.bank as usize])
-                .max(self.bus_free[c]);
-            earliest = Some(match earliest {
-                None => ready,
-                Some(e) => e.min(ready),
-            });
-        }
-        earliest
     }
 }
 
@@ -128,39 +208,50 @@ impl McModel for FrFcfsController {
     fn enqueue(&mut self, now: SimTime, req: Request) -> EnqueueResult {
         let arrival = now + req.network_latency;
         let coord = self.cfg.mapping.map(req.line_addr);
-        self.pending[coord.channel as usize].push(Pending {
+        let ch = &mut self.channels[coord.channel as usize];
+        let p = Pending {
             req,
             arrival,
-            bypassed: 0,
-        });
+            row: coord.row,
+            seq: ch.next_seq,
+            serves_at_enq: ch.serves,
+            older_at_enq: ch.pending,
+        };
+        ch.next_seq += 1;
+        ch.pending += 1;
+        let bank = &mut ch.banks[coord.bank as usize];
+        if bank.queue.is_empty() || arrival < bank.min_arrival {
+            bank.min_arrival = arrival;
+        }
+        bank.queue.push_back(p);
         // Ask for a wake as soon as the request could possibly be served.
         EnqueueResult::Deferred(Some(arrival))
     }
 
     fn wake(&mut self, now: SimTime) -> WakeResult {
         let mut committed = Vec::new();
-        for c in 0..self.pending.len() {
+        for ch in &mut self.channels {
             // Serve at most one request per channel per wake: the bus
             // occupies until `completion`, so further picks belong to a
             // later wake anyway.
-            if self.bus_free[c] > now {
+            if ch.bus_free > now {
                 continue;
             }
-            let Some(idx) = self.pick(c, now) else {
+            let Some((b, idx)) = ch.pick(now, self.starvation_cap) else {
                 continue;
             };
-            let p = self.pending[c].remove(idx);
-            // Everything older than the served request got bypassed.
-            for older in &mut self.pending[c][..idx] {
-                older.bypassed += 1;
+            let bank = &mut ch.banks[b];
+            let p = bank.queue.remove(idx).expect("picked index exists");
+            if let Some(m) = bank.queue.iter().map(|q| q.arrival).min() {
+                bank.min_arrival = m;
             }
-            let coord = self.cfg.mapping.map(p.req.line_addr);
-            let b = coord.bank as usize;
+            ch.pending -= 1;
+            ch.serves += 1;
             if p.req.is_write {
                 // Buffered write: data-bus cost only (cf. the FCFS model).
-                let transfer_start = now.max(self.bus_free[c]);
+                let transfer_start = now.max(ch.bus_free);
                 let completion = transfer_start + self.cfg.transfer_cycles;
-                self.bus_free[c] = completion;
+                ch.bus_free = completion;
                 self.stats.requests += 1;
                 self.stats.writes += 1;
                 self.stats.total_residence_cycles += completion - p.arrival;
@@ -170,31 +261,28 @@ impl McModel for FrFcfsController {
                 committed.push((p.req, completion + p.req.network_latency));
                 continue;
             }
-            let row_time = if self.open_row[c][b] == Some(coord.row) {
+            let row_time = if bank.open_row == Some(p.row) {
                 self.stats.row_hits += 1;
                 self.cfg.row_hit_cycles
             } else {
                 self.stats.row_misses += 1;
-                self.open_row[c][b] = Some(coord.row);
+                bank.open_row = Some(p.row);
                 self.cfg.row_miss_cycles
             };
             let data_ready = now + row_time;
-            let transfer_start = data_ready.max(self.bus_free[c]);
+            let transfer_start = data_ready.max(ch.bus_free);
             let completion = transfer_start + self.cfg.transfer_cycles;
             // Hits pipeline on the open row (bank held for the transfer
             // slot only); activations occupy the bank for the full window
             // (cf. the FCFS model).
-            self.bank_free[c][b] = if row_time == self.cfg.row_hit_cycles {
+            bank.free_at = if row_time == self.cfg.row_hit_cycles {
                 now + self.cfg.transfer_cycles
             } else {
                 now + self.cfg.row_miss_cycles
             };
-            self.bus_free[c] = completion;
+            ch.bus_free = completion;
 
             self.stats.requests += 1;
-            if p.req.is_write {
-                self.stats.writes += 1;
-            }
             self.stats.total_residence_cycles += completion - p.arrival;
             self.stats.total_queueing_cycles += now - p.arrival;
             self.stats.bus_busy_cycles += self.cfg.transfer_cycles;
@@ -204,13 +292,10 @@ impl McModel for FrFcfsController {
         }
         // Next wake: the earliest opportunity over all channels.
         let mut next_wake: Option<SimTime> = None;
-        for c in 0..self.pending.len() {
-            if let Some(t) = self.next_opportunity(c) {
+        for ch in &self.channels {
+            if let Some(t) = ch.next_opportunity() {
                 let t = t.max(now + 1);
-                next_wake = Some(match next_wake {
-                    None => t,
-                    Some(w) => w.min(t),
-                });
+                next_wake = Some(next_wake.map_or(t, |w| w.min(t)));
             }
         }
         WakeResult {
@@ -224,7 +309,7 @@ impl McModel for FrFcfsController {
     }
 
     fn pending(&self) -> usize {
-        self.pending.iter().map(|q| q.len()).sum()
+        self.channels.iter().map(|c| c.pending as usize).sum()
     }
 }
 

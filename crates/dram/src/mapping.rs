@@ -16,14 +16,20 @@ pub struct DramCoord {
     pub row: u64,
 }
 
+use offchip_simcore::FastDiv;
+
 /// The mapping function, fixed per controller.
+///
+/// The decomposition divisors (line size, channels, lines-per-row, banks)
+/// are fixed at construction, so each is a precomputed [`FastDiv`]:
+/// `map` runs on every off-chip request and several of the divisors are
+/// not powers of two (3-channel controllers, scaled geometries).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AddressMapping {
-    channels: u32,
-    banks: u32,
-    line_bytes: u32,
-    /// Lines per row (row size / line size).
-    row_lines: u64,
+    line_div: FastDiv,
+    channel_div: FastDiv,
+    row_div: FastDiv,
+    bank_div: FastDiv,
 }
 
 impl AddressMapping {
@@ -43,34 +49,36 @@ impl AddressMapping {
             "row must hold at least one line"
         );
         AddressMapping {
-            channels,
-            banks,
-            line_bytes,
-            row_lines: row_bytes / line_bytes as u64,
+            line_div: FastDiv::new(line_bytes as u64),
+            channel_div: FastDiv::new(channels as u64),
+            row_div: FastDiv::new(row_bytes / line_bytes as u64),
+            bank_div: FastDiv::new(banks as u64),
         }
     }
 
     /// Maps a byte address.
     pub fn map(&self, addr: u64) -> DramCoord {
-        let line = addr / self.line_bytes as u64;
-        let channel = (line % self.channels as u64) as u32;
-        let channel_line = line / self.channels as u64;
-        let row_seq = channel_line / self.row_lines;
-        let bank = (row_seq % self.banks as u64) as u32;
-        let row = row_seq / self.banks as u64;
-        DramCoord { channel, bank, row }
+        let line = self.line_div.div(addr);
+        let (channel_line, channel) = self.channel_div.div_rem(line);
+        let row_seq = self.row_div.div(channel_line);
+        let (row, bank) = self.bank_div.div_rem(row_seq);
+        DramCoord {
+            channel: channel as u32,
+            bank: bank as u32,
+            row,
+        }
     }
 
     /// Number of channels.
     #[inline]
     pub fn channels(&self) -> u32 {
-        self.channels
+        self.channel_div.divisor() as u32
     }
 
     /// Banks per channel.
     #[inline]
     pub fn banks(&self) -> u32 {
-        self.banks
+        self.bank_div.divisor() as u32
     }
 }
 

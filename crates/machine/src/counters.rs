@@ -45,6 +45,11 @@ pub struct Counters {
     /// Hardware-prefetch requests issued (0 unless a prefetch degree is
     /// configured).
     pub prefetch_requests: u64,
+    /// Discrete events the simulator's main loop processed — not a
+    /// hardware counter; the denominator of the perf harness's events/s
+    /// throughput metric (`perfstat`). Excluded from every experiment
+    /// artefact.
+    pub sim_events: u64,
 }
 
 /// Per-window LLC-miss sampler (the paper's 5 µs fine-grained profiler,

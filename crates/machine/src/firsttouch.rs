@@ -8,15 +8,20 @@
 //! access to the page is served there, paying interconnect hops when the
 //! accessor sits elsewhere.
 
-use std::collections::HashMap;
-
+use offchip_simcore::FxHashMap;
 use offchip_topology::McId;
 
 /// The page → home-controller table.
+///
+/// `homes` is probed once per off-chip access under the first-touch
+/// policy, so it uses the fixed-seed Fx hasher. The only place the map is
+/// *iterated* is [`FirstTouch::pages_per_mc`], which folds into a vector
+/// indexed by controller id — a sum per controller, independent of
+/// iteration order — so the hasher cannot influence any artefact.
 #[derive(Debug, Clone)]
 pub struct FirstTouch {
     page_shift: u32,
-    homes: HashMap<u64, McId>,
+    homes: FxHashMap<u64, McId>,
 }
 
 impl FirstTouch {
@@ -31,7 +36,7 @@ impl FirstTouch {
         );
         FirstTouch {
             page_shift: page_bytes.trailing_zeros(),
-            homes: HashMap::new(),
+            homes: FxHashMap::default(),
         }
     }
 

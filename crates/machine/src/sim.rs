@@ -20,8 +20,6 @@
 //!   barrier yield the core, which is what makes oversubscribed barrier
 //!   programs live.
 
-use std::collections::HashMap;
-
 use offchip_cache::{cache::AccessKind, mshr::MshrOutcome, Hierarchy, MshrFile};
 use offchip_dram::fcfs::McConfig;
 use offchip_dram::{
@@ -72,6 +70,41 @@ enum StallKind {
     Drain,
 }
 
+/// In-flight fill waiters, indexed by the sequential `RequestId`.
+///
+/// Request ids come from a per-run counter, so the table is a lazily
+/// grown vector instead of a hash map: registration and the commit-path
+/// lookup are one bounds check and an array write, with no hashing on the
+/// per-request path. It only grows when a deferred-scheduling controller
+/// actually registers a waiter (FR-FCFS runs); under the default
+/// reservation-style FCFS it stays empty. Peak footprint is 8 bytes per
+/// issued read of the run — transient, freed with the `Sim`.
+struct WaiterTable {
+    slots: Vec<(u32, u32)>,
+}
+
+impl WaiterTable {
+    const VACANT: (u32, u32) = (u32::MAX, u32::MAX);
+
+    fn new() -> WaiterTable {
+        WaiterTable { slots: Vec::new() }
+    }
+
+    fn insert(&mut self, id: RequestId, core: usize, thread: usize) {
+        let idx = id as usize;
+        if self.slots.len() <= idx {
+            self.slots.resize(idx + 1, Self::VACANT);
+        }
+        self.slots[idx] = (core as u32, thread as u32);
+    }
+
+    fn remove(&mut self, id: RequestId) -> Option<(usize, usize)> {
+        let e = self.slots.get_mut(id as usize)?;
+        let (core, thread) = std::mem::replace(e, Self::VACANT);
+        (core != u32::MAX).then_some((core as usize, thread as usize))
+    }
+}
+
 struct ThreadCtx {
     program: Box<dyn ProgramIter>,
     state: ThreadState,
@@ -114,7 +147,7 @@ struct Sim<'w> {
     /// from a requester's controller to a home controller can carry the
     /// next line — the QPI/HT bandwidth bound.
     link_free: Vec<Vec<SimTime>>,
-    waiters: HashMap<RequestId, (usize, usize)>,
+    waiters: WaiterTable,
     /// Per-core-slot stream detector: last line accessed at the LLC level
     /// (the prefetcher sits beside the LLC) and how far ahead it has run.
     stream_last: Vec<u64>,
@@ -233,7 +266,7 @@ pub fn try_run(workload: &dyn Workload, cfg: &SimConfig) -> Result<RunReport, Co
         active_mcs,
         page_shift: cfg.page_bytes.trailing_zeros(),
         link_free: vec![vec![SimTime::ZERO; n_mcs]; n_mcs],
-        waiters: HashMap::new(),
+        waiters: WaiterTable::new(),
         next_req_id: 0,
         barrier_waiting: 0,
         done_threads: 0,
@@ -248,6 +281,7 @@ pub fn try_run(workload: &dyn Workload, cfg: &SimConfig) -> Result<RunReport, Co
     }
 
     while let Some((t, ev)) = sim.queue.pop() {
+        sim.counters.sim_events += 1;
         match ev {
             Event::Resume(slot) => {
                 if t < sim.cores[slot].busy_until {
@@ -259,10 +293,24 @@ pub fn try_run(workload: &dyn Workload, cfg: &SimConfig) -> Result<RunReport, Co
                 sim.on_fill(core, thread, line, t);
             }
             Event::McWake(mc) => {
-                if sim.mc_wake_at[mc] == Some(t) {
-                    sim.mc_wake_at[mc] = None;
+                match sim.mc_wake_at[mc] {
+                    // The live registration: consume it and wake.
+                    Some(s) if s == t => {
+                        sim.mc_wake_at[mc] = None;
+                        sim.mc_wake(mc, t);
+                    }
+                    // A registration one cycle out may have raced a
+                    // same-cycle enqueue/serve that left work servable at
+                    // `t`; waking is the only locally safe call, matching
+                    // the historical unconditional-wake behaviour.
+                    Some(s) if s == t + 1 => sim.mc_wake(mc, t),
+                    // Registered strictly later, or nothing registered:
+                    // the controller's earliest opportunity is provably
+                    // past `t` (registrations never trail a mutation by
+                    // more than one cycle), so the wake would be a no-op —
+                    // skip it and the redundant re-registration probe.
+                    other => debug_assert!(other.is_none_or(|s| s > t + 1)),
                 }
-                sim.mc_wake(mc, t);
             }
             Event::PrefetchFill { core, line } => {
                 let core_id = sim.cores[core].id;
@@ -348,7 +396,7 @@ impl<'w> Sim<'w> {
     fn mc_wake(&mut self, mc: usize, now: SimTime) {
         let result = self.mcs[mc].wake(now);
         for (req, completion) in result.committed {
-            if let Some((core, thread)) = self.waiters.remove(&req.id) {
+            if let Some((core, thread)) = self.waiters.remove(req.id) {
                 self.queue.schedule_at(
                     completion.max(now),
                     Event::Fill {
@@ -470,7 +518,7 @@ impl<'w> Sim<'w> {
                 );
             }
             EnqueueResult::Deferred(wake) => {
-                self.waiters.insert(id, (slot, thread));
+                self.waiters.insert(id, slot, thread);
                 if let Some(w) = wake {
                     self.maybe_schedule_wake(home.index(), w);
                 }
@@ -613,13 +661,21 @@ impl<'w> Sim<'w> {
                 },
             };
 
-            let segment_start = t;
+            let mut segment_start = t;
             loop {
                 if t.since(segment_start) >= self.cfg.sync_quantum {
-                    // Re-synchronise with the global clock.
-                    self.cores[slot].busy_until = t;
-                    self.queue.schedule_at(t, Event::Resume(slot));
-                    return;
+                    // Re-synchronise with the global clock — but only by
+                    // yielding to the event queue when something is due at
+                    // or before `t`. Otherwise the Resume we would push
+                    // here would pop next with nothing in between; start
+                    // the next segment in place and skip the heap
+                    // round-trip.
+                    if self.queue.peek_time().is_some_and(|due| due <= t) {
+                        self.cores[slot].busy_until = t;
+                        self.queue.schedule_at(t, Event::Resume(slot));
+                        return;
+                    }
+                    segment_start = t;
                 }
                 let Some(op) = self.pull(cur) else {
                     // End of program: drain outstanding fills first (the

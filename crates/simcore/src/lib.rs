@@ -14,16 +14,24 @@
 //!   the backbone of the machine simulator.
 //! * [`traffic`] — arrival-process generators: Poisson and Pareto-ON/OFF
 //!   sources used by synthetic workloads and by the burstiness ablation.
+//! * [`hashing`] — a fixed-seed Fx-style hasher for per-access hot-path
+//!   tables where SipHash dominates the profile.
+//! * [`fastdiv`] — exact strength-reduced division by runtime constants
+//!   (cache set counts, DRAM geometry) for the per-access address math.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod events;
+pub mod fastdiv;
+pub mod hashing;
 pub mod rng;
 pub mod time;
 pub mod traffic;
 
 pub use events::EventQueue;
+pub use fastdiv::FastDiv;
+pub use hashing::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use rng::Rng;
 pub use time::{Frequency, SimTime};
 pub use traffic::{OnOffPareto, Poisson};

@@ -25,8 +25,8 @@
 
 use offchip_bench::report::timing_line;
 use offchip_bench::{
-    build_workload, jobs, run_sweep_timed, seeds, write_json, ExperimentResult, ProgramSpec,
-    SweepResult, SweepTiming,
+    build_workload, jobs, seeds, write_json, Campaign, CampaignOptions, ExperimentResult,
+    ProgramSpec, SweepResult, SweepTiming,
 };
 use offchip_machine::{run, McScheduler, MemoryPolicy, Op, ProgramIter, SimConfig, Workload};
 use offchip_model::mg1::compare_disciplines;
@@ -91,6 +91,8 @@ fn fit_error_of(
 }
 
 fn main() {
+    let opts = CampaignOptions::from_cli_or_exit("ablations");
+    let campaign = Campaign::start("ablations", &opts).expect("open campaign journal");
     let seeds = seeds();
     let jobs = jobs().expect("OFFCHIP_JOBS");
     let mut total_timing = SweepTiming::zero(jobs);
@@ -101,7 +103,10 @@ fn main() {
     let numa = machines::intel_numa_24().scaled(DEFAULT_EXPERIMENT_SCALE);
     let w = build_workload(ProgramSpec::Cg(ProblemClass::C), numa.total_cores());
     let ns: Vec<usize> = (1..=numa.total_cores()).collect();
-    let (sweep, timing) = run_sweep_timed(&numa, w.as_ref(), &ns, &seeds, jobs).expect("sweep");
+    let (sweep, timing) = campaign
+        .run_sweep(&numa, w.as_ref(), &ns, &seeds, jobs)
+        .expect("sweep")
+        .expect_complete();
     total_timing.absorb(&timing);
     for proto in [
         FitProtocol::intel_numa_three_point(),
@@ -121,7 +126,10 @@ fn main() {
     let mut ns = ns;
     ns.sort_unstable();
     ns.dedup();
-    let (sweep, timing) = run_sweep_timed(&amd, w.as_ref(), &ns, &seeds, jobs).expect("sweep");
+    let (sweep, timing) = campaign
+        .run_sweep(&amd, w.as_ref(), &ns, &seeds, jobs)
+        .expect("sweep")
+        .expect_complete();
     total_timing.absorb(&timing);
     for proto in [FitProtocol::amd_numa(), FitProtocol::amd_numa_homogeneous()] {
         let err = fit_error_of(&proto, &sweep, false);
@@ -160,7 +168,10 @@ fn main() {
             bursty,
         };
         let ns: Vec<usize> = (1..=8).collect();
-        let (sweep, timing) = run_sweep_timed(&uma, &w, &ns, &seeds, jobs).expect("sweep");
+        let (sweep, timing) = campaign
+            .run_sweep(&uma, &w, &ns, &seeds, jobs)
+            .expect("sweep")
+            .expect_complete();
         total_timing.absorb(&timing);
         let r2 = sweep
             .cycles_sweep()
@@ -200,7 +211,10 @@ fn main() {
     println!("\nAblation 6 — service discipline of the queueing model (Intel UMA, CG.C)");
     let w = build_workload(ProgramSpec::Cg(ProblemClass::C), uma.total_cores());
     let ns: Vec<usize> = (1..=4).collect();
-    let (sweep, timing) = run_sweep_timed(&uma, w.as_ref(), &ns, &seeds, jobs).expect("sweep");
+    let (sweep, timing) = campaign
+        .run_sweep(&uma, w.as_ref(), &ns, &seeds, jobs)
+        .expect("sweep")
+        .expect_complete();
     total_timing.absorb(&timing);
     let r = sweep.mean_misses().expect("finite misses");
     match compare_disciplines(&sweep.cycles_sweep_f64(), r) {
@@ -261,6 +275,7 @@ fn main() {
     }
 
     println!("\n{}", timing_line("ablations", &total_timing));
+    println!("{}", campaign.status_line());
     let path = write_json(&ExperimentResult {
         id: "ablations".into(),
         paper_artifact: "Design-choice ablations (DESIGN.md section 5)".into(),

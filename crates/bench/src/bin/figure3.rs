@@ -9,13 +9,15 @@
 
 use offchip_bench::report::timing_line;
 use offchip_bench::{
-    build_workload, jobs, run_sweep_timed, seeds, write_json, ExperimentResult, ProgramSpec,
-    SweepTiming,
+    build_workload, jobs, seeds, write_json, Campaign, CampaignOptions, ExperimentResult,
+    ProgramSpec, SweepTiming,
 };
 use offchip_npb::classes::ProblemClass;
 use offchip_topology::machines::{self, DEFAULT_EXPERIMENT_SCALE};
 
 fn main() {
+    let opts = CampaignOptions::from_cli_or_exit("figure3");
+    let campaign = Campaign::start("figure3", &opts).expect("open campaign journal");
     let seeds = seeds();
     let jobs = jobs().expect("OFFCHIP_JOBS");
     let mut total_timing = SweepTiming::zero(jobs);
@@ -35,8 +37,10 @@ fn main() {
             ns.push(total);
         }
         let w = build_workload(ProgramSpec::Cg(ProblemClass::C), total);
-        let (sweep, timing) =
-            run_sweep_timed(machine, w.as_ref(), &ns, &seeds, jobs).expect("sweep");
+        let (sweep, timing) = campaign
+            .run_sweep(machine, w.as_ref(), &ns, &seeds, jobs)
+            .expect("sweep")
+            .expect_complete();
         total_timing.absorb(&timing);
 
         println!("Fig. 3 — CG.C on {}", machine.name);
@@ -55,6 +59,7 @@ fn main() {
     }
 
     println!("{}", timing_line("figure3", &total_timing));
+    println!("{}", campaign.status_line());
     let path = write_json(&ExperimentResult {
         id: "figure3".into(),
         paper_artifact: "Fig. 3: CG.C cycle breakdown vs active cores".into(),

@@ -11,7 +11,8 @@
 use std::time::Instant;
 
 use offchip_bench::{
-    build_workload, jobs, sweep::run_sampled, write_json, ExperimentResult, ProgramSpec,
+    build_workload, jobs, sweep::run_sampled_bounded, write_json, CampaignOptions,
+    ExperimentResult, ProgramSpec, EXIT_INTERRUPTED,
 };
 use offchip_npb::classes::ProblemClass;
 use offchip_perf::BurstAnalysis;
@@ -39,6 +40,7 @@ impl offchip_json::ToJson for Series {
 }
 
 fn main() {
+    let opts = CampaignOptions::from_cli_or_exit("figure4");
     let machine = machines::intel_numa_24().scaled(DEFAULT_EXPERIMENT_SCALE);
     let n = machine.total_cores();
 
@@ -56,14 +58,31 @@ fn main() {
     // back in program order, so the printed report is deterministic.
     let jobs = jobs().expect("OFFCHIP_JOBS");
     let t0 = Instant::now();
-    let analyses = offchip_pool::scoped_map(jobs, &programs, |_, &spec| {
+    // scoped_try_map + the bounded runner: one panicking or wedged program
+    // costs that program (reported below, exit 6), not the whole figure.
+    let outcomes = offchip_pool::scoped_try_map(jobs, &programs, |_, &spec| {
         let w = build_workload(spec, n);
-        let report = run_sampled(&machine, w.as_ref(), n);
+        let report = run_sampled_bounded(&machine, w.as_ref(), n, opts.deadline, opts.max_events)?;
         let windows = report.miss_windows.expect("sampler enabled");
         let analysis = BurstAnalysis::from_windows(&windows, 50);
-        (spec, windows.len(), analysis)
+        Ok::<_, offchip_machine::RunError>((spec, windows.len(), analysis))
     });
     let wall = t0.elapsed();
+    let mut lost = 0usize;
+    let mut analyses = Vec::new();
+    for (outcome, &spec) in outcomes.into_iter().zip(&programs) {
+        match outcome {
+            Ok(Ok(a)) => analyses.push(a),
+            Ok(Err(e)) => {
+                eprintln!("lost sampled run [{}]: {e}", spec.name());
+                lost += 1;
+            }
+            Err(panic) => {
+                eprintln!("lost sampled run [{}]: {panic}", spec.name());
+                lost += 1;
+            }
+        }
+    }
     let mut series = Vec::new();
     for (spec, n_windows, analysis) in analyses {
         println!(
@@ -124,4 +143,8 @@ fn main() {
     })
     .expect("write figure4.json");
     eprintln!("wrote {}", path.display());
+    if lost > 0 {
+        eprintln!("figure4 interrupted: {lost} sampled run(s) lost — rerun to complete");
+        std::process::exit(i32::from(EXIT_INTERRUPTED));
+    }
 }

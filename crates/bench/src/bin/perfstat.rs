@@ -181,7 +181,8 @@ fn main() {
         "norm_events_per_iter" => norm,
         "configs" => configs,
     };
-    std::fs::write(&out_path, doc.to_pretty_string()).expect("write benchmark file");
+    offchip_json::write_atomic(std::path::Path::new(&out_path), &doc.to_pretty_string())
+        .expect("write benchmark file");
     eprintln!("wrote {out_path}");
 
     if let Some(baseline_path) = check_path {

@@ -9,8 +9,8 @@
 
 use offchip_bench::report::timing_line;
 use offchip_bench::{
-    build_workload, jobs, run_sweep_timed, seeds, write_json, ExperimentResult, ProgramSpec,
-    SweepTiming,
+    build_workload, jobs, seeds, write_json, Campaign, CampaignOptions, ExperimentResult,
+    ProgramSpec, SweepTiming,
 };
 use offchip_model::omega::normalized_increase;
 use offchip_npb::classes::ProblemClass;
@@ -37,6 +37,8 @@ impl offchip_json::ToJson for Row {
 }
 
 fn main() {
+    let opts = CampaignOptions::from_cli_or_exit("table2");
+    let campaign = Campaign::start("table2", &opts).expect("open campaign journal");
     let seeds = seeds();
     let jobs = jobs().expect("OFFCHIP_JOBS");
     let mut total_timing = SweepTiming::zero(jobs);
@@ -65,10 +67,12 @@ fn main() {
                 let total = machine.total_cores();
                 let w = build_workload(spec, total);
                 // One three-point sweep, its (n, seed) grid fanned across
-                // the worker pool.
-                let (sweep, timing) =
-                    run_sweep_timed(machine, w.as_ref(), &[1, total / 2, total], &seeds, jobs)
-                        .expect("sweep");
+                // the worker pool; completed runs land in the campaign
+                // journal, so an interrupted table resumes where it died.
+                let (sweep, timing) = campaign
+                    .run_sweep(machine, w.as_ref(), &[1, total / 2, total], &seeds, jobs)
+                    .expect("sweep")
+                    .expect_complete();
                 total_timing.absorb(&timing);
                 let c1 = sweep.points[0].total_cycles;
                 let half = sweep.points[1].total_cycles;
@@ -102,6 +106,7 @@ fn main() {
     }
 
     println!("{}", timing_line("table2", &total_timing));
+    println!("{}", campaign.status_line());
     let path = write_json(&ExperimentResult {
         id: "table2".into(),
         paper_artifact: "Table II: normalised increase in number of cycles".into(),

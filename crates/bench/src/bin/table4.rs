@@ -9,8 +9,8 @@
 
 use offchip_bench::report::timing_line;
 use offchip_bench::{
-    build_workload, jobs, run_sweep_timed, seeds, write_json, ExperimentResult, ProgramSpec,
-    SweepTiming,
+    build_workload, jobs, seeds, write_json, Campaign, CampaignOptions, ExperimentResult,
+    ProgramSpec, SweepTiming,
 };
 use offchip_model::validation::colinearity_r2;
 use offchip_npb::classes::ProblemClass;
@@ -33,6 +33,8 @@ impl offchip_json::ToJson for Cell {
 }
 
 fn main() {
+    let opts = CampaignOptions::from_cli_or_exit("table4");
+    let campaign = Campaign::start("table4", &opts).expect("open campaign journal");
     let seeds = seeds();
     let jobs = jobs().expect("OFFCHIP_JOBS");
     let mut total_timing = SweepTiming::zero(jobs);
@@ -66,8 +68,10 @@ fn main() {
         print!("{:<14}", machine.name.split(':').next().unwrap_or(""));
         for &p in &programs {
             let w = build_workload(p, machine.total_cores());
-            let (sweep, timing) =
-                run_sweep_timed(machine, w.as_ref(), &ns, &seeds, jobs).expect("sweep");
+            let (sweep, timing) = campaign
+                .run_sweep(machine, w.as_ref(), &ns, &seeds, jobs)
+                .expect("sweep")
+                .expect_complete();
             total_timing.absorb(&timing);
             let r2 = sweep
                 .cycles_sweep()
@@ -85,6 +89,7 @@ fn main() {
     }
 
     println!("{}", timing_line("table4", &total_timing));
+    println!("{}", campaign.status_line());
     let path = write_json(&ExperimentResult {
         id: "table4".into(),
         paper_artifact: "Table IV: colinearity goodness-of-fit".into(),

@@ -1,0 +1,996 @@
+//! Crash-safe measurement campaigns: journaled checkpoint/resume, panic
+//! isolation per sweep point, wall-clock deadlines, event budgets and
+//! bounded deterministic retry.
+//!
+//! A campaign is a named sequence of sweeps whose every completed
+//! `(config, n, seed)` run is appended — durably, one self-describing
+//! JSONL record per run — to `results/<campaign>.journal`. Killing the
+//! process at any instant therefore loses at most the points in flight;
+//! restarting with `--resume` replays the journal, skips completed
+//! points, and produces **byte-identical** final JSON artefacts to an
+//! uninterrupted run. The identity holds because a journal record stores
+//! the raw `u64` counters each [`crate::sweep::SweepPoint`] mean is
+//! folded from: every counter is < 2^53, so `u64 → f64` is exact and the
+//! resumed fold consumes bit-identical samples in the same grid order.
+//!
+//! Failure containment, per point:
+//!
+//! * a **panic** in the simulator or workload is caught per attempt
+//!   ([`PointError::Panicked`]) — one poisoned point costs that point,
+//!   never the `std::thread::scope` (and with it the whole grid);
+//! * a **wedged run** is cut off by the wall-clock deadline or event
+//!   budget ([`PointError::DeadlineExceeded`] /
+//!   [`PointError::EventBudgetExceeded`]) with partial-counter context;
+//! * failed attempts get up to `--retries` re-runs with deterministic,
+//!   seed-derived backoff jitter, so retried artefacts stay reproducible.
+//!
+//! A binary whose campaign still has lost points exits with
+//! [`EXIT_INTERRUPTED`] (6): "interrupted but journaled — rerun with
+//! `--resume`".
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use offchip_json::{json_obj, Json};
+use offchip_machine::{McScheduler, MemoryPolicy, RunError, Workload};
+use offchip_pool::PanicPayload;
+use offchip_simcore::FxHasher;
+use offchip_topology::MachineSpec;
+
+use crate::sweep::{point_from_samples, sample_bounded, RunSample, SweepError, SweepResult, SweepTiming};
+
+/// Exit code of a binary whose campaign lost points but journaled every
+/// completed one: rerun with `--resume` to finish the grid.
+pub const EXIT_INTERRUPTED: u8 = 6;
+
+/// Journal record schema version, bumped on incompatible layout changes
+/// (records with a different schema are ignored on resume).
+const JOURNAL_SCHEMA: u64 = 1;
+
+/// Why one sweep point could not be measured. One lost point costs
+/// exactly that point: the rest of the grid completes and is journaled.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PointError {
+    /// The run panicked (workload or simulator bug); caught per attempt
+    /// so the campaign survives.
+    Panicked {
+        /// The panic message.
+        payload: String,
+        /// The point's active-core count.
+        n: usize,
+        /// The point's seed.
+        seed: u64,
+    },
+    /// The run exceeded its wall-clock deadline.
+    DeadlineExceeded {
+        /// The point's active-core count.
+        n: usize,
+        /// The point's seed.
+        seed: u64,
+        /// The configured deadline.
+        deadline: Duration,
+        /// Wall clock actually spent before the guard fired.
+        elapsed: Duration,
+        /// Events processed before the abort (partial-progress context).
+        events: u64,
+    },
+    /// The run exceeded its simulator event budget.
+    EventBudgetExceeded {
+        /// The point's active-core count.
+        n: usize,
+        /// The point's seed.
+        seed: u64,
+        /// The configured cap.
+        limit: u64,
+        /// Events processed when the cap was hit.
+        events: u64,
+    },
+    /// The simulation configuration for this point was rejected.
+    InvalidConfig {
+        /// The point's active-core count.
+        n: usize,
+        /// The point's seed.
+        seed: u64,
+        /// The typed configuration error, rendered.
+        error: String,
+    },
+}
+
+impl std::fmt::Display for PointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PointError::Panicked { payload, n, seed } => {
+                write!(f, "point (n = {n}, seed = {seed}) panicked: {payload}")
+            }
+            PointError::DeadlineExceeded {
+                n,
+                seed,
+                deadline,
+                elapsed,
+                events,
+            } => write!(
+                f,
+                "point (n = {n}, seed = {seed}) exceeded its deadline: {:.3} s elapsed \
+                 (deadline {:.3} s, {events} events processed)",
+                elapsed.as_secs_f64(),
+                deadline.as_secs_f64()
+            ),
+            PointError::EventBudgetExceeded {
+                n,
+                seed,
+                limit,
+                events,
+            } => write!(
+                f,
+                "point (n = {n}, seed = {seed}) exceeded its event budget: \
+                 {events} events (cap {limit})"
+            ),
+            PointError::InvalidConfig { n, seed, error } => {
+                write!(f, "point (n = {n}, seed = {seed}) rejected: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PointError {}
+
+/// Campaign knobs, normally parsed from a binary's command line
+/// (`--resume`, `--deadline SECS`, `--retries N`, `--max-events N`,
+/// `--journal-dir DIR`).
+#[derive(Debug, Clone, Default)]
+pub struct CampaignOptions {
+    /// Replay the journal and skip completed points instead of starting
+    /// the campaign from scratch (which truncates the journal).
+    pub resume: bool,
+    /// Per-point wall-clock deadline.
+    pub deadline: Option<Duration>,
+    /// Re-runs granted to a failed point (panic, deadline, budget).
+    pub retries: u32,
+    /// Per-point simulator event budget.
+    pub max_events: Option<u64>,
+    /// Journal directory (default `results/`). Tests point this at a
+    /// scratch directory; `OFFCHIP_JOURNAL_DIR` overrides the default.
+    pub journal_dir: Option<PathBuf>,
+}
+
+/// Usage text for the campaign flags every experiment binary accepts.
+pub const CAMPAIGN_USAGE: &str = "\
+campaign options:
+  --resume             skip points already in results/<campaign>.journal
+  --deadline SECS      per-point wall-clock deadline (fractional ok)
+  --retries N          re-runs granted to a failed point (default 0)
+  --max-events N       per-point simulator event budget
+  --journal-dir DIR    journal directory (default results/)";
+
+impl CampaignOptions {
+    /// Parses the campaign flags from `args`; unknown flags are an error
+    /// (the experiment binaries accept nothing else).
+    pub fn parse(args: &[String]) -> Result<CampaignOptions, String> {
+        let mut opts = CampaignOptions::default();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = || {
+                it.next()
+                    .ok_or_else(|| format!("{flag} needs a value"))
+                    .cloned()
+            };
+            match flag.as_str() {
+                "--resume" => opts.resume = true,
+                "--deadline" => {
+                    let secs: f64 = value()?
+                        .parse()
+                        .map_err(|e| format!("--deadline: {e}"))?;
+                    if !secs.is_finite() || secs <= 0.0 {
+                        return Err("--deadline must be a positive number of seconds".into());
+                    }
+                    opts.deadline = Some(Duration::from_secs_f64(secs));
+                }
+                "--retries" => {
+                    opts.retries = value()?.parse().map_err(|e| format!("--retries: {e}"))?
+                }
+                "--max-events" => {
+                    opts.max_events =
+                        Some(value()?.parse().map_err(|e| format!("--max-events: {e}"))?)
+                }
+                "--journal-dir" => opts.journal_dir = Some(PathBuf::from(value()?)),
+                other => return Err(format!("unknown option {other:?}")),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// Parses the process's own arguments, exiting 2 with usage on error
+    /// — the standard prologue of every experiment binary.
+    pub fn from_cli_or_exit(binary: &str) -> CampaignOptions {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match CampaignOptions::parse(&args) {
+            Ok(opts) => opts,
+            Err(e) => {
+                eprintln!("{binary}: {e}");
+                eprintln!("usage: {binary} [--resume] [--deadline SECS] [--retries N] [--max-events N] [--journal-dir DIR]");
+                eprintln!("{CAMPAIGN_USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    fn journal_dir(&self) -> PathBuf {
+        if let Some(dir) = &self.journal_dir {
+            return dir.clone();
+        }
+        std::env::var("OFFCHIP_JOURNAL_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("results"))
+    }
+}
+
+/// The per-point simulation tuning a campaign sweep runs under; part of
+/// the journal's config hash, so points from differently tuned sweeps
+/// can never be confused on resume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PointConfig {
+    /// Memory-controller scheduler.
+    pub scheduler: McScheduler,
+    /// NUMA page placement.
+    pub memory_policy: MemoryPolicy,
+    /// Stream-prefetcher degree.
+    pub prefetch_degree: usize,
+}
+
+impl Default for PointConfig {
+    /// Matches `SimConfig::new`'s defaults, which is what the plain
+    /// sweep entry points run under.
+    fn default() -> PointConfig {
+        PointConfig {
+            scheduler: McScheduler::Fcfs,
+            memory_policy: MemoryPolicy::InterleaveActive,
+            prefetch_degree: 0,
+        }
+    }
+}
+
+/// One journal record: the raw `u64` counters of a completed run, exactly
+/// what a [`RunSample`] is reconstructed from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct JournalRecord {
+    total_cycles: u64,
+    work_cycles: u64,
+    stall_cycles: u64,
+    llc_misses: u64,
+    makespan: u64,
+    sim_events: u64,
+    wall_ns: u64,
+}
+
+impl JournalRecord {
+    fn from_sample(s: &RunSample) -> JournalRecord {
+        // Every sweep-feeding field of RunSample is an exact f64 image of
+        // a u64 counter, so the cast back is lossless.
+        JournalRecord {
+            total_cycles: s.total_cycles as u64,
+            work_cycles: s.work_cycles as u64,
+            stall_cycles: s.stall_cycles as u64,
+            llc_misses: s.llc_misses as u64,
+            makespan: s.makespan as u64,
+            sim_events: s.sim_events,
+            wall_ns: s.elapsed.as_nanos().min(u64::MAX as u128) as u64,
+        }
+    }
+
+    fn to_sample(self) -> RunSample {
+        RunSample {
+            total_cycles: self.total_cycles as f64,
+            work_cycles: self.work_cycles as f64,
+            stall_cycles: self.stall_cycles as f64,
+            llc_misses: self.llc_misses as f64,
+            makespan: self.makespan as f64,
+            elapsed: Duration::from_nanos(self.wall_ns),
+            sim_events: self.sim_events,
+        }
+    }
+
+    fn to_line(self, config: u64, n: usize, seed: u64) -> String {
+        json_obj! {
+            "schema" => JOURNAL_SCHEMA,
+            "config" => format!("{config:016x}"),
+            "n" => n,
+            "seed" => seed,
+            "total_cycles" => self.total_cycles,
+            "work_cycles" => self.work_cycles,
+            "stall_cycles" => self.stall_cycles,
+            "llc_misses" => self.llc_misses,
+            "makespan" => self.makespan,
+            "sim_events" => self.sim_events,
+            "wall_ns" => self.wall_ns,
+        }
+        .to_compact_string()
+    }
+
+    /// Parses one journal line into `((config, n, seed), record)`.
+    /// `None` for anything unreadable — a torn trailing line from a kill
+    /// mid-append, or a foreign schema.
+    fn parse_line(line: &str) -> Option<((u64, usize, u64), JournalRecord)> {
+        let doc = Json::parse(line).ok()?;
+        if doc.get("schema").and_then(Json::as_u64) != Some(JOURNAL_SCHEMA) {
+            return None;
+        }
+        let config = u64::from_str_radix(doc.get("config").and_then(Json::as_str)?, 16).ok()?;
+        let n = doc.get("n").and_then(Json::as_u64)? as usize;
+        let seed = doc.get("seed").and_then(Json::as_u64)?;
+        let field = |k: &str| doc.get(k).and_then(Json::as_u64);
+        let rec = JournalRecord {
+            total_cycles: field("total_cycles")?,
+            work_cycles: field("work_cycles")?,
+            stall_cycles: field("stall_cycles")?,
+            llc_misses: field("llc_misses")?,
+            makespan: field("makespan")?,
+            sim_events: field("sim_events")?,
+            wall_ns: field("wall_ns")?,
+        };
+        Some(((config, n, seed), rec))
+    }
+}
+
+/// Identifies the sweep a journal record belongs to: a hash of the full
+/// machine spec, the program name and the point tuning. Stable across
+/// runs of the same build (the hasher is fixed-seed Fx), which is the
+/// resume contract; journals do not survive semantic changes to the
+/// simulator any more than golden artefacts do.
+fn config_hash(machine: &MachineSpec, program: &str, tune: &PointConfig) -> u64 {
+    use std::hash::Hasher as _;
+    let mut h = FxHasher::default();
+    h.write(format!("{machine:?}|{program}|{tune:?}").as_bytes());
+    h.finish()
+}
+
+/// Deterministic retry backoff: exponential base with seed-derived
+/// jitter, so a retried campaign is reproducible run-to-run.
+fn backoff(seed: u64, attempt: u32) -> Duration {
+    let base_ms = 10u64.saturating_mul(1 << attempt.min(6));
+    let jitter_ms = (seed ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15)) % 25;
+    Duration::from_millis(base_ms + jitter_ms)
+}
+
+type PointKey = (u64, usize, u64);
+
+struct CampaignState {
+    done: HashMap<PointKey, JournalRecord>,
+    file: std::fs::File,
+    executed: usize,
+    resumed: usize,
+}
+
+/// A named crash-safe campaign (see the module docs).
+pub struct Campaign {
+    name: String,
+    opts: CampaignOptions,
+    path: PathBuf,
+    state: Mutex<CampaignState>,
+}
+
+/// One sweep's outcome under a campaign: the completed points, the lost
+/// ones as typed errors, and the executed/resumed split.
+pub struct CampaignSweep {
+    /// The sweep with every fully measured point, in `ns` order. Points
+    /// with any lost `(n, seed)` run are omitted — graceful degradation;
+    /// the robust fitting layer tolerates missing points and reports the
+    /// loss in its `FitQuality` ledger.
+    pub sweep: SweepResult,
+    /// Timing over the whole grid (resumed points contribute their
+    /// journaled busy time and events, not re-simulation).
+    pub timing: SweepTiming,
+    /// One typed error per lost `(n, seed)` run, grid order.
+    pub errors: Vec<PointError>,
+    /// Runs actually simulated by this process.
+    pub executed: usize,
+    /// Runs replayed from the journal.
+    pub resumed: usize,
+}
+
+impl CampaignSweep {
+    /// Unwraps a sweep that must be complete: prints every lost point and
+    /// exits [`EXIT_INTERRUPTED`] if any — the journal retains all
+    /// completed points, so rerunning with `--resume` finishes the grid
+    /// without repeating them.
+    pub fn expect_complete(self) -> (SweepResult, SweepTiming) {
+        if self.errors.is_empty() {
+            return (self.sweep, self.timing);
+        }
+        for e in &self.errors {
+            eprintln!("lost sweep point [{}/{}]: {e}", self.sweep.machine, self.sweep.program);
+        }
+        eprintln!(
+            "campaign interrupted: {} point(s) lost, {} completed runs journaled — \
+             rerun with --resume to finish without repeating them",
+            self.errors.len(),
+            self.executed + self.resumed
+        );
+        std::process::exit(i32::from(EXIT_INTERRUPTED));
+    }
+}
+
+impl Campaign {
+    /// Opens (or, without `resume`, restarts) the journal of campaign
+    /// `name` and loads the completed-point index.
+    pub fn start(name: &str, opts: &CampaignOptions) -> std::io::Result<Campaign> {
+        let path = opts.journal_dir().join(format!("{name}.journal"));
+        if !opts.resume {
+            match std::fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let mut done = HashMap::new();
+        if opts.resume {
+            if let Ok(body) = std::fs::read_to_string(&path) {
+                let mut intact = Vec::new();
+                for (i, line) in body.lines().enumerate() {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    match JournalRecord::parse_line(line) {
+                        Some((key, rec)) => {
+                            done.insert(key, rec);
+                            intact.push(line);
+                        }
+                        None => {
+                            // A torn trailing line is the expected residue
+                            // of a kill mid-append; anything else is worth
+                            // a warning but never fatal — the point is
+                            // simply re-run.
+                            eprintln!(
+                                "{}: skipping unreadable journal record at line {} \
+                                 (torn append or foreign schema)",
+                                path.display(),
+                                i + 1
+                            );
+                        }
+                    }
+                }
+                // Compact away torn or foreign residue before reopening
+                // for append — a torn unterminated tail would otherwise
+                // corrupt the first record appended after it. The rewrite
+                // is atomic, so a kill here is just another torn state.
+                let dropped_residue = intact.len() != body.lines().count()
+                    || (!body.is_empty() && !body.ends_with('\n'));
+                if dropped_residue {
+                    let mut healed = intact.join("\n");
+                    if !healed.is_empty() {
+                        healed.push('\n');
+                    }
+                    offchip_json::write_atomic(&path, &healed)?;
+                }
+            }
+        }
+        let file = offchip_json::atomic::open_append(&path)?;
+        Ok(Campaign {
+            name: name.to_string(),
+            opts: opts.clone(),
+            path,
+            state: Mutex::new(CampaignState {
+                done,
+                file,
+                executed: 0,
+                resumed: 0,
+            }),
+        })
+    }
+
+    /// The campaign's journal path.
+    pub fn journal_path(&self) -> &std::path::Path {
+        &self.path
+    }
+
+    /// Runs a sweep under the campaign with the default point tuning.
+    pub fn run_sweep(
+        &self,
+        machine: &MachineSpec,
+        workload: &dyn Workload,
+        ns: &[usize],
+        seeds: &[u64],
+        jobs: usize,
+    ) -> Result<CampaignSweep, SweepError> {
+        self.run_sweep_with(machine, workload, ns, seeds, jobs, &PointConfig::default())
+    }
+
+    /// Runs a sweep under the campaign: journaled points are replayed,
+    /// the rest are simulated (fanned across `jobs` workers) with panic
+    /// isolation, budget guards and bounded retry per point. The fold is
+    /// in grid order, so output is byte-identical to
+    /// [`crate::sweep::run_sweep`] whenever no point is lost — resumed or
+    /// not.
+    pub fn run_sweep_with(
+        &self,
+        machine: &MachineSpec,
+        workload: &dyn Workload,
+        ns: &[usize],
+        seeds: &[u64],
+        jobs: usize,
+        tune: &PointConfig,
+    ) -> Result<CampaignSweep, SweepError> {
+        if seeds.is_empty() {
+            return Err(SweepError::NoSeeds);
+        }
+        let program = workload.name();
+        let cfg_hash = config_hash(machine, &program, tune);
+        let grid: Vec<(usize, u64)> = ns
+            .iter()
+            .flat_map(|&n| seeds.iter().map(move |&s| (n, s)))
+            .collect();
+
+        let t0 = Instant::now();
+        let outcomes = offchip_pool::scoped_map(jobs, &grid, |_, &(n, seed)| {
+            if let Some(rec) = self.lookup(cfg_hash, n, seed) {
+                return Ok((rec.to_sample(), true));
+            }
+            let mut last = None;
+            for attempt in 0..=self.opts.retries {
+                if attempt > 0 {
+                    std::thread::sleep(backoff(seed, attempt));
+                }
+                match self.guarded_sample(machine, workload, n, seed, tune) {
+                    Ok(s) => {
+                        self.record(cfg_hash, n, seed, &s);
+                        return Ok((s, false));
+                    }
+                    Err(e) => last = Some(e),
+                }
+            }
+            Err(last.expect("at least one attempt ran"))
+        });
+        let wall = t0.elapsed();
+
+        let mut points = Vec::new();
+        let mut errors = Vec::new();
+        let (mut executed, mut resumed) = (0usize, 0usize);
+        let (mut busy, mut events) = (Duration::ZERO, 0u64);
+        for (i, &n) in ns.iter().enumerate() {
+            let chunk = &outcomes[i * seeds.len()..(i + 1) * seeds.len()];
+            let mut samples = Vec::with_capacity(seeds.len());
+            for outcome in chunk {
+                match outcome {
+                    Ok((s, was_resumed)) => {
+                        busy += s.elapsed;
+                        events += s.sim_events;
+                        if *was_resumed {
+                            resumed += 1;
+                        } else {
+                            executed += 1;
+                        }
+                        samples.push(*s);
+                    }
+                    Err(e) => errors.push(e.clone()),
+                }
+            }
+            // A point's mean is only defined over the full seed set; a
+            // partially measured point is a lost point, reported above.
+            if samples.len() == seeds.len() {
+                points.push(point_from_samples(n, &samples));
+            }
+        }
+        let timing = SweepTiming {
+            runs: grid.len(),
+            jobs,
+            wall,
+            busy,
+            events,
+        };
+        Ok(CampaignSweep {
+            sweep: SweepResult {
+                machine: machine.name.clone(),
+                program,
+                points,
+            },
+            timing,
+            errors,
+            executed,
+            resumed,
+        })
+    }
+
+    /// One line summarising the campaign so far, for the end of a
+    /// binary's report.
+    pub fn status_line(&self) -> String {
+        let st = self.state.lock().expect("campaign state poisoned");
+        format!(
+            "campaign [{}]: {} runs executed, {} resumed from {}",
+            self.name,
+            st.executed,
+            st.resumed,
+            self.path.display()
+        )
+    }
+
+    fn lookup(&self, cfg: u64, n: usize, seed: u64) -> Option<JournalRecord> {
+        let mut st = self.state.lock().expect("campaign state poisoned");
+        let rec = st.done.get(&(cfg, n, seed)).copied();
+        if rec.is_some() {
+            st.resumed += 1;
+        }
+        rec
+    }
+
+    fn record(&self, cfg: u64, n: usize, seed: u64, sample: &RunSample) {
+        let rec = JournalRecord::from_sample(sample);
+        let line = rec.to_line(cfg, n, seed);
+        let mut st = self.state.lock().expect("campaign state poisoned");
+        st.executed += 1;
+        st.done.insert((cfg, n, seed), rec);
+        if let Err(e) = offchip_json::atomic::append_line(&mut st.file, &line) {
+            // A dead journal must not kill the measurement: the sweep
+            // still completes, only resumability degrades.
+            eprintln!(
+                "warning: journal append to {} failed ({e}); this run will not be resumable",
+                self.path.display()
+            );
+        }
+    }
+
+    fn guarded_sample(
+        &self,
+        machine: &MachineSpec,
+        workload: &dyn Workload,
+        n: usize,
+        seed: u64,
+        tune: &PointConfig,
+    ) -> Result<RunSample, PointError> {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            sample_bounded(
+                machine,
+                workload,
+                n,
+                seed,
+                tune,
+                self.opts.deadline,
+                self.opts.max_events,
+            )
+        }));
+        match caught {
+            Ok(Ok(s)) => Ok(s),
+            Ok(Err(RunError::DeadlineExceeded {
+                deadline,
+                elapsed,
+                events,
+                ..
+            })) => Err(PointError::DeadlineExceeded {
+                n,
+                seed,
+                deadline,
+                elapsed,
+                events,
+            }),
+            Ok(Err(RunError::EventBudgetExceeded { limit, events, .. })) => {
+                Err(PointError::EventBudgetExceeded {
+                    n,
+                    seed,
+                    limit,
+                    events,
+                })
+            }
+            Ok(Err(RunError::Config(e))) => Err(PointError::InvalidConfig {
+                n,
+                seed,
+                error: e.to_string(),
+            }),
+            Err(payload) => Err(PointError::Panicked {
+                payload: PanicPayload::from_any(payload).message,
+                n,
+                seed,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::run_sweep;
+    use crate::workloads::{build_workload, ProgramSpec};
+    use offchip_json::ToJson;
+    use offchip_machine::{Op, ProgramIter, Workload};
+    use offchip_npb::classes::ProblemClass;
+    use offchip_topology::machines;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn scratch(name: &str) -> CampaignOptions {
+        let dir = std::env::temp_dir().join(format!(
+            "offchip-campaign-{name}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        CampaignOptions {
+            journal_dir: Some(dir),
+            ..CampaignOptions::default()
+        }
+    }
+
+    fn small_machine() -> offchip_topology::MachineSpec {
+        machines::intel_uma_8().scaled(1.0 / 64.0)
+    }
+
+    /// A workload that panics on its k-th `thread_program` construction
+    /// (counted across the whole process run, so under `jobs = 1` the
+    /// grid order makes the poisoned point deterministic).
+    struct Poisoned {
+        inner: Box<dyn Workload>,
+        calls: AtomicUsize,
+        panic_on: Vec<usize>,
+    }
+
+    impl Workload for Poisoned {
+        fn name(&self) -> String {
+            self.inner.name()
+        }
+        fn n_threads(&self) -> usize {
+            self.inner.n_threads()
+        }
+        fn thread_program(&self, thread: usize, seed: u64) -> Box<dyn ProgramIter> {
+            if thread == 0 {
+                let k = self.calls.fetch_add(1, Ordering::SeqCst);
+                if self.panic_on.contains(&k) {
+                    panic!("injected poison at sample {k}");
+                }
+            }
+            self.inner.thread_program(thread, seed)
+        }
+    }
+
+    #[test]
+    fn journal_record_roundtrips_exactly() {
+        let rec = JournalRecord {
+            total_cycles: 123_456_789_012,
+            work_cycles: 987_654_321,
+            stall_cycles: 11,
+            llc_misses: 0,
+            makespan: 42_000_000_000,
+            sim_events: 7_777_777,
+            wall_ns: 1_234_567_890,
+        };
+        let line = rec.to_line(0xDEAD_BEEF_CAFE_F00D, 24, 42);
+        let ((cfg, n, seed), parsed) = JournalRecord::parse_line(&line).unwrap();
+        assert_eq!(cfg, 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!((n, seed), (24, 42));
+        assert_eq!(parsed, rec);
+        // Torn lines (any prefix short of the full record) never parse.
+        for cut in 1..line.len() {
+            assert!(JournalRecord::parse_line(&line[..cut]).is_none(), "cut = {cut}");
+        }
+    }
+
+    #[test]
+    fn campaign_sweep_matches_plain_sweep_bit_for_bit() {
+        let machine = small_machine();
+        let w = build_workload(ProgramSpec::Cg(ProblemClass::S), 8);
+        let ns = [1, 2, 4];
+        let seeds = [3, 11];
+        let serial = run_sweep(&machine, w.as_ref(), &ns, &seeds).unwrap();
+        let opts = scratch("bitident");
+        for jobs in [1usize, 4] {
+            let c = Campaign::start("t", &opts).unwrap();
+            let cs = c.run_sweep(&machine, w.as_ref(), &ns, &seeds, jobs).unwrap();
+            assert!(cs.errors.is_empty());
+            assert_eq!(cs.executed, 6);
+            assert_eq!(cs.resumed, 0);
+            assert_eq!(
+                serial.to_json().to_pretty_string(),
+                cs.sweep.to_json().to_pretty_string(),
+                "jobs = {jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn resume_replays_the_journal_bit_for_bit() {
+        let machine = small_machine();
+        let w = build_workload(ProgramSpec::Is(ProblemClass::S), 8);
+        let ns = [1, 4];
+        let seeds = [5, 9];
+        let opts = scratch("resume");
+
+        let first = Campaign::start("r", &opts).unwrap();
+        let full = first.run_sweep(&machine, w.as_ref(), &ns, &seeds, 2).unwrap();
+        let golden = full.sweep.to_json().to_pretty_string();
+        let journal = std::fs::read_to_string(first.journal_path()).unwrap();
+        assert_eq!(journal.lines().count(), 4);
+
+        // Truncate to one surviving record plus a torn half-record — the
+        // on-disk state of a SIGKILL mid-append.
+        let lines: Vec<&str> = journal.lines().collect();
+        let torn = format!("{}\n{}", lines[0], &lines[1][..lines[1].len() / 2]);
+        std::fs::write(first.journal_path(), &torn).unwrap();
+
+        let mut ropts = opts.clone();
+        ropts.resume = true;
+        let second = Campaign::start("r", &ropts).unwrap();
+        let resumed = second.run_sweep(&machine, w.as_ref(), &ns, &seeds, 2).unwrap();
+        assert_eq!(resumed.resumed, 1, "one intact journal record replayed");
+        assert_eq!(resumed.executed, 3, "the torn and missing points re-ran");
+        assert_eq!(resumed.sweep.to_json().to_pretty_string(), golden);
+        // The journal is whole again after the resumed run.
+        let healed = std::fs::read_to_string(second.journal_path()).unwrap();
+        assert_eq!(
+            healed
+                .lines()
+                .filter(|l| JournalRecord::parse_line(l).is_some())
+                .count(),
+            4
+        );
+    }
+
+    #[test]
+    fn fresh_start_truncates_a_stale_journal() {
+        let machine = small_machine();
+        let w = build_workload(ProgramSpec::Is(ProblemClass::S), 8);
+        let opts = scratch("truncate");
+        let c1 = Campaign::start("s", &opts).unwrap();
+        c1.run_sweep(&machine, w.as_ref(), &[1], &[1], 1).unwrap();
+        drop(c1);
+        // No --resume: the journal restarts from zero records.
+        let c2 = Campaign::start("s", &opts).unwrap();
+        let cs = c2.run_sweep(&machine, w.as_ref(), &[1], &[1], 1).unwrap();
+        assert_eq!(cs.resumed, 0);
+        assert_eq!(cs.executed, 1);
+        let journal = std::fs::read_to_string(c2.journal_path()).unwrap();
+        assert_eq!(journal.lines().count(), 1);
+    }
+
+    #[test]
+    fn poisoned_point_costs_only_itself() {
+        // Regression for the pre-campaign behaviour: one panicking sweep
+        // point tore down the whole `std::thread::scope`, losing every
+        // completed point with it.
+        let machine = small_machine();
+        let ns = [1, 2];
+        let seeds = [3, 7];
+        let opts = scratch("poison");
+        let c = Campaign::start("p", &opts).unwrap();
+        let w = Poisoned {
+            inner: build_workload(ProgramSpec::Is(ProblemClass::S), 8),
+            calls: AtomicUsize::new(0),
+            // Grid order at jobs = 1: (1,3) (1,7) (2,3) (2,7) — poison the
+            // third sample, i.e. point (n = 2, seed = 3).
+            panic_on: vec![2],
+        };
+        let cs = c.run_sweep(&machine, &w, &ns, &seeds, 1).unwrap();
+        assert_eq!(cs.errors.len(), 1);
+        match &cs.errors[0] {
+            PointError::Panicked { n, seed, payload } => {
+                assert_eq!((*n, *seed), (2, 3));
+                assert!(payload.contains("injected poison"), "{payload}");
+            }
+            other => panic!("expected Panicked, got {other}"),
+        }
+        // The surviving point is complete and journaled.
+        assert_eq!(cs.sweep.points.len(), 1);
+        assert_eq!(cs.sweep.points[0].n, 1);
+        assert_eq!(cs.executed, 3);
+        let journal = std::fs::read_to_string(c.journal_path()).unwrap();
+        assert_eq!(journal.lines().count(), 3, "three good runs journaled");
+    }
+
+    #[test]
+    fn transient_panic_is_retried_deterministically() {
+        let machine = small_machine();
+        let mut opts = scratch("retry");
+        opts.retries = 1;
+        let c = Campaign::start("retry", &opts).unwrap();
+        let w = Poisoned {
+            inner: build_workload(ProgramSpec::Is(ProblemClass::S), 8),
+            calls: AtomicUsize::new(0),
+            panic_on: vec![0], // first attempt fails, the retry succeeds
+        };
+        let cs = c.run_sweep(&machine, &w, &[1], &[5], 1).unwrap();
+        assert!(cs.errors.is_empty(), "retry should have healed the point");
+        assert_eq!(cs.sweep.points.len(), 1);
+        // Backoff is a pure function of (seed, attempt).
+        assert_eq!(backoff(5, 1), backoff(5, 1));
+        assert_ne!(backoff(5, 1), backoff(6, 1), "jitter is seed-derived");
+    }
+
+    /// A single-thread workload long enough (200k ops) to cross the
+    /// simulator's ~65k-event deadline poll granularity.
+    fn long_workload() -> offchip_machine::ops::VecWorkload {
+        let ops = (0..200_000u64)
+            .map(|i| {
+                if i % 2 == 0 {
+                    Op::Access {
+                        addr: (i / 2) * 64,
+                        write: false,
+                        dependent: false,
+                    }
+                } else {
+                    Op::Compute {
+                        cycles: 50,
+                        instructions: 50,
+                    }
+                }
+            })
+            .collect();
+        offchip_machine::ops::VecWorkload {
+            name: "LONG".into(),
+            threads: vec![ops],
+        }
+    }
+
+    #[test]
+    fn deadline_surfaces_as_typed_point_error() {
+        let machine = small_machine();
+        let w = long_workload();
+        let mut opts = scratch("deadline");
+        opts.deadline = Some(Duration::ZERO);
+        let c = Campaign::start("d", &opts).unwrap();
+        let cs = c.run_sweep(&machine, &w, &[1], &[1], 1).unwrap();
+        assert_eq!(cs.errors.len(), 1);
+        assert!(matches!(
+            cs.errors[0],
+            PointError::DeadlineExceeded { n: 1, seed: 1, .. }
+        ));
+        assert!(cs.sweep.points.is_empty());
+    }
+
+    #[test]
+    fn event_budget_surfaces_as_typed_point_error() {
+        let machine = small_machine();
+        let w = build_workload(ProgramSpec::Cg(ProblemClass::S), 8);
+        let mut opts = scratch("budget");
+        opts.max_events = Some(100);
+        let c = Campaign::start("b", &opts).unwrap();
+        let cs = c.run_sweep(&machine, w.as_ref(), &[1], &[1], 1).unwrap();
+        assert!(matches!(
+            cs.errors[0],
+            PointError::EventBudgetExceeded { limit: 100, .. }
+        ));
+    }
+
+    #[test]
+    fn options_parse_contract() {
+        let sv = |parts: &[&str]| -> Vec<String> {
+            parts.iter().map(|s| s.to_string()).collect()
+        };
+        let o = CampaignOptions::parse(&sv(&[
+            "--resume",
+            "--deadline",
+            "2.5",
+            "--retries",
+            "3",
+            "--max-events",
+            "1000000",
+            "--journal-dir",
+            "/tmp/j",
+        ]))
+        .unwrap();
+        assert!(o.resume);
+        assert_eq!(o.deadline, Some(Duration::from_secs_f64(2.5)));
+        assert_eq!(o.retries, 3);
+        assert_eq!(o.max_events, Some(1_000_000));
+        assert_eq!(o.journal_dir, Some(PathBuf::from("/tmp/j")));
+        assert!(CampaignOptions::parse(&sv(&["--deadline", "-1"])).is_err());
+        assert!(CampaignOptions::parse(&sv(&["--deadline"])).is_err());
+        assert!(CampaignOptions::parse(&sv(&["--bogus"])).is_err());
+        let d = CampaignOptions::parse(&[]).unwrap();
+        assert!(!d.resume);
+        assert_eq!(d.retries, 0);
+    }
+
+    #[test]
+    fn config_hash_separates_tunings_and_machines() {
+        let uma = small_machine();
+        let numa = machines::intel_numa_24().scaled(1.0 / 64.0);
+        let base = PointConfig::default();
+        let frfcfs = PointConfig {
+            scheduler: McScheduler::FrFcfs,
+            ..base
+        };
+        let h = |m: &offchip_topology::MachineSpec, p: &str, t: &PointConfig| {
+            config_hash(m, p, t)
+        };
+        assert_eq!(h(&uma, "CG.S", &base), h(&uma, "CG.S", &base));
+        assert_ne!(h(&uma, "CG.S", &base), h(&numa, "CG.S", &base));
+        assert_ne!(h(&uma, "CG.S", &base), h(&uma, "IS.S", &base));
+        assert_ne!(h(&uma, "CG.S", &base), h(&uma, "CG.S", &frfcfs));
+    }
+}

@@ -20,12 +20,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod model_figure;
 pub mod plot;
 pub mod report;
 pub mod sweep;
 pub mod workloads;
 
+pub use campaign::{
+    Campaign, CampaignOptions, CampaignSweep, PointConfig, PointError, EXIT_INTERRUPTED,
+};
 pub use report::{write_json, ExperimentResult};
 pub use sweep::{
     jobs, run_point, run_point_parallel, run_sweep, run_sweep_parallel, run_sweep_timed, seeds,

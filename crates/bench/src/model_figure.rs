@@ -5,7 +5,10 @@
 
 use crate::report::timing_line;
 use crate::sweep::SweepTiming;
-use crate::{build_workload, jobs, run_sweep_timed, seeds, write_json, ExperimentResult, ProgramSpec};
+use crate::{
+    build_workload, jobs, seeds, write_json, Campaign, CampaignOptions, ExperimentResult,
+    ProgramSpec,
+};
 use offchip_model::{fit_robust_from_sweep, validate, FitProtocol, RobustOptions};
 use offchip_topology::machines::{self, DEFAULT_EXPERIMENT_SCALE};
 
@@ -33,7 +36,12 @@ impl offchip_json::ToJson for FigureSeries {
 }
 
 /// Runs the figure for `program`, printing and persisting the series.
+/// Parses the campaign flags (`--resume`, `--deadline`, ...) from the
+/// process's own command line, so the figure binaries get crash-safe
+/// journaling for free.
 pub fn run_figure(program: ProgramSpec, figure_id: &str, artifact: &str) {
+    let opts = CampaignOptions::from_cli_or_exit(figure_id);
+    let campaign = Campaign::start(figure_id, &opts).expect("open campaign journal");
     let seeds = seeds();
     let jobs = jobs().expect("OFFCHIP_JOBS");
     let mut total_timing = SweepTiming::zero(jobs);
@@ -72,8 +80,10 @@ pub fn run_figure(program: ProgramSpec, figure_id: &str, artifact: &str) {
         ns.dedup();
 
         let w = build_workload(program, total);
-        let (sweep, timing) =
-            run_sweep_timed(machine, w.as_ref(), &ns, &seeds, jobs).expect("sweep");
+        let (sweep, timing) = campaign
+            .run_sweep(machine, w.as_ref(), &ns, &seeds, jobs)
+            .expect("sweep")
+            .expect_complete();
         total_timing.absorb(&timing);
         let r = match sweep.mean_misses() {
             Ok(r) => r,
@@ -160,6 +170,7 @@ pub fn run_figure(program: ProgramSpec, figure_id: &str, artifact: &str) {
     }
 
     println!("{}", timing_line(figure_id, &total_timing));
+    println!("{}", campaign.status_line());
     let path = write_json(&ExperimentResult {
         id: figure_id.into(),
         paper_artifact: artifact.into(),

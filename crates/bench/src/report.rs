@@ -1,6 +1,5 @@
 //! Result rendering and persistence.
 
-use std::io::Write as _;
 use std::path::PathBuf;
 
 use offchip_json::{json_obj, ToJson};
@@ -35,14 +34,11 @@ pub fn experiments_dir() -> PathBuf {
 
 /// Writes the result as pretty JSON; returns the path. Errors are
 /// propagated so a harness binary fails loudly rather than silently
-/// dropping data.
+/// dropping data. The write is atomic (tmp + rename), so a crash never
+/// leaves a half-written artefact where a complete one stood.
 pub fn write_json<T: ToJson>(result: &ExperimentResult<T>) -> std::io::Result<PathBuf> {
-    let dir = experiments_dir();
-    std::fs::create_dir_all(&dir)?;
-    let path = dir.join(format!("{}.json", result.id));
-    let mut f = std::fs::File::create(&path)?;
-    let body = result.to_json().to_pretty_string();
-    f.write_all(body.as_bytes())?;
+    let path = experiments_dir().join(format!("{}.json", result.id));
+    offchip_json::write_atomic(&path, &result.to_json().to_pretty_string())?;
     Ok(path)
 }
 

@@ -13,8 +13,10 @@
 use std::time::{Duration, Instant};
 
 use offchip_json::{json_obj, Json, ToJson};
-use offchip_machine::{run, RunReport, SimConfig, Workload};
+use offchip_machine::{run, try_run_bounded, RunError, RunReport, SimConfig, Workload};
 use offchip_topology::MachineSpec;
+
+use crate::campaign::PointConfig;
 
 /// Why a sweep could not answer a question about itself.
 ///
@@ -220,18 +222,36 @@ pub fn jobs() -> Result<usize, offchip_pool::JobsError> {
 
 /// One run's counter readings, kept in `f64` exactly as the serial
 /// accumulation consumed them (so parallel refolds bit-identically).
+///
+/// Every field that feeds a sweep point is an exact `f64` image of a
+/// `u64` counter (< 2^53), which is what lets the campaign journal store
+/// the `u64`s and reconstruct a sample bit-identically on `--resume`.
 #[derive(Debug, Clone, Copy)]
-struct RunSample {
-    total_cycles: f64,
-    work_cycles: f64,
-    stall_cycles: f64,
-    llc_misses: f64,
-    makespan: f64,
-    elapsed: Duration,
+pub(crate) struct RunSample {
+    pub(crate) total_cycles: f64,
+    pub(crate) work_cycles: f64,
+    pub(crate) stall_cycles: f64,
+    pub(crate) llc_misses: f64,
+    pub(crate) makespan: f64,
+    pub(crate) elapsed: Duration,
     /// Discrete events the simulator processed, for throughput accounting
     /// (events/s is the host-load-independent denominator `perfstat`
     /// trends; it never feeds a sweep point).
-    sim_events: u64,
+    pub(crate) sim_events: u64,
+}
+
+impl RunSample {
+    pub(crate) fn from_report(r: &RunReport, elapsed: Duration) -> RunSample {
+        RunSample {
+            total_cycles: r.counters.total_cycles as f64,
+            work_cycles: r.counters.work_cycles as f64,
+            stall_cycles: r.counters.stall_cycles as f64,
+            llc_misses: r.counters.llc_misses as f64,
+            makespan: r.makespan.cycles() as f64,
+            elapsed,
+            sim_events: r.counters.sim_events,
+        }
+    }
 }
 
 fn sample(machine: &MachineSpec, workload: &dyn Workload, n: usize, seed: u64) -> RunSample {
@@ -239,21 +259,37 @@ fn sample(machine: &MachineSpec, workload: &dyn Workload, n: usize, seed: u64) -
     let mut cfg = SimConfig::new(machine.clone(), n);
     cfg.seed = seed;
     let r = run(workload, &cfg);
-    RunSample {
-        total_cycles: r.counters.total_cycles as f64,
-        work_cycles: r.counters.work_cycles as f64,
-        stall_cycles: r.counters.stall_cycles as f64,
-        llc_misses: r.counters.llc_misses as f64,
-        makespan: r.makespan.cycles() as f64,
-        elapsed: t0.elapsed(),
-        sim_events: r.counters.sim_events,
-    }
+    RunSample::from_report(&r, t0.elapsed())
+}
+
+/// [`sample`] with the per-point tuning and budget guards of a campaign:
+/// the same configuration surface, plus deadline/event-cap enforcement
+/// reported as typed errors instead of a hung or panicking run.
+pub(crate) fn sample_bounded(
+    machine: &MachineSpec,
+    workload: &dyn Workload,
+    n: usize,
+    seed: u64,
+    tune: &PointConfig,
+    deadline: Option<Duration>,
+    max_events: Option<u64>,
+) -> Result<RunSample, RunError> {
+    let t0 = Instant::now();
+    let mut cfg = SimConfig::new(machine.clone(), n);
+    cfg.seed = seed;
+    cfg.scheduler = tune.scheduler;
+    cfg.memory_policy = tune.memory_policy;
+    cfg.prefetch_degree = tune.prefetch_degree;
+    cfg.deadline = deadline;
+    cfg.max_events = max_events;
+    let r = try_run_bounded(workload, &cfg)?;
+    Ok(RunSample::from_report(&r, t0.elapsed()))
 }
 
 /// Folds one point's per-seed samples (in seed order) into the mean.
 /// Both the serial and the parallel path call this with samples in the
 /// same order, which is what makes their f64 sums identical.
-fn point_from_samples(n: usize, samples: &[RunSample]) -> SweepPoint {
+pub(crate) fn point_from_samples(n: usize, samples: &[RunSample]) -> SweepPoint {
     let mut acc = SweepPoint {
         n,
         total_cycles: 0.0,
@@ -460,6 +496,22 @@ pub fn run_sweep_timed(
 pub fn run_sampled(machine: &MachineSpec, workload: &dyn Workload, n: usize) -> RunReport {
     let cfg = SimConfig::new(machine.clone(), n).with_sampler_5us_scaled();
     run(workload, &cfg)
+}
+
+/// [`run_sampled`] with the campaign budget guards in force: a wedged
+/// sampled run surfaces as a typed [`RunError`] with partial counters
+/// instead of hanging the burstiness analysis.
+pub fn run_sampled_bounded(
+    machine: &MachineSpec,
+    workload: &dyn Workload,
+    n: usize,
+    deadline: Option<Duration>,
+    max_events: Option<u64>,
+) -> Result<RunReport, RunError> {
+    let mut cfg = SimConfig::new(machine.clone(), n).with_sampler_5us_scaled();
+    cfg.deadline = deadline;
+    cfg.max_events = max_events;
+    try_run_bounded(workload, &cfg)
 }
 
 #[cfg(test)]

@@ -34,7 +34,14 @@ options:
                                (also read from OFFCHIP_FAULTS when unset)
   --jobs N                     sweep-engine workers (sweep/fit; default:
                                OFFCHIP_JOBS, else available parallelism)
-  --seed N                     simulation seed";
+  --seed N                     simulation seed
+  --resume                     skip sweep points already journaled under
+                               results/ (sweep/fit); exit 6 means the
+                               campaign was interrupted but journaled
+  --deadline SECS              per-run wall-clock deadline (fractional ok)
+  --retries N                  re-runs granted to a failed sweep point
+  --journal-dir DIR            campaign journal directory (default:
+                               OFFCHIP_JOURNAL_DIR, else results/)";
 
 /// Which machine preset to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,6 +83,15 @@ pub struct RunOptions {
     pub jobs: Option<usize>,
     /// Simulation seed.
     pub seed: u64,
+    /// Resume an interrupted sweep/fit campaign from its journal.
+    pub resume: bool,
+    /// Per-run wall-clock deadline.
+    pub deadline: Option<std::time::Duration>,
+    /// Re-runs granted to a failed sweep point (sweep/fit).
+    pub retries: u32,
+    /// Campaign journal directory (`None`: `OFFCHIP_JOURNAL_DIR`, else
+    /// `results/`).
+    pub journal_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for RunOptions {
@@ -93,6 +109,10 @@ impl Default for RunOptions {
             faults: None,
             jobs: None,
             seed: 0x0FF_C41B,
+            resume: false,
+            deadline: None,
+            retries: 0,
+            journal_dir: None,
         }
     }
 }
@@ -213,6 +233,18 @@ fn parse_options(mut opts: RunOptions, rest: &[String]) -> Result<RunOptions, St
                 opts.jobs = Some(value()?.parse().map_err(|e| format!("--jobs: {e}"))?)
             }
             "--seed" => opts.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--resume" => opts.resume = true,
+            "--deadline" => {
+                let secs: f64 = value()?.parse().map_err(|e| format!("--deadline: {e}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--deadline must be a positive number of seconds".into());
+                }
+                opts.deadline = Some(std::time::Duration::from_secs_f64(secs));
+            }
+            "--retries" => {
+                opts.retries = value()?.parse().map_err(|e| format!("--retries: {e}"))?
+            }
+            "--journal-dir" => opts.journal_dir = Some(std::path::PathBuf::from(value()?)),
             other => return Err(format!("unknown option {other:?}")),
         }
     }
@@ -312,6 +344,25 @@ mod tests {
         assert_eq!(f.seed, 9);
         assert!(parse(&sv(&["fit", "CG.C", "--faults", "drop=2"])).is_err());
         assert!(parse(&sv(&["fit", "CG.C", "--faults", "bogus=1"])).is_err());
+    }
+
+    #[test]
+    fn parses_campaign_flags() {
+        let cmd = parse(&sv(&[
+            "sweep", "CG.C", "--resume", "--deadline", "1.5", "--retries", "2",
+            "--journal-dir", "/tmp/j",
+        ]))
+        .unwrap();
+        let Command::Sweep(o) = cmd else {
+            panic!("wrong command")
+        };
+        assert!(o.resume);
+        assert_eq!(o.deadline, Some(std::time::Duration::from_secs_f64(1.5)));
+        assert_eq!(o.retries, 2);
+        assert_eq!(o.journal_dir.as_deref(), Some(std::path::Path::new("/tmp/j")));
+        assert!(parse(&sv(&["sweep", "CG.C", "--deadline", "0"])).is_err());
+        assert!(parse(&sv(&["sweep", "CG.C", "--deadline", "nan"])).is_err());
+        assert!(parse(&sv(&["sweep", "CG.C", "--retries", "-1"])).is_err());
     }
 
     #[test]

@@ -1,11 +1,9 @@
 //! Command implementations.
 
-use std::time::Instant;
-
 use offchip_bench::build_workload_scaled;
 use offchip_bench::plot::{linear_plot, Series};
-use offchip_bench::{SweepPoint, SweepResult};
-use offchip_machine::{try_run, ConfigError, RunReport, SimConfig, Workload};
+use offchip_bench::{Campaign, CampaignOptions, PointConfig, SweepResult, SweepTiming};
+use offchip_machine::{try_run_bounded, ConfigError, RunError, RunReport, SimConfig, Workload};
 use offchip_pool::JobsError;
 use offchip_model::{fit_robust_from_sweep, validate, FitProtocol, RobustOptions};
 use offchip_perf::papiex::papiex_report_default;
@@ -50,7 +48,13 @@ fn run_one(
     if sampler {
         cfg = cfg.with_sampler_5us_scaled();
     }
-    Ok(try_run(w.as_ref(), &cfg)?)
+    cfg.deadline = opts.deadline;
+    // A single run has nothing journaled, so a blown deadline is a plain
+    // runtime failure (exit 5), not the campaign's "interrupted" (exit 6).
+    try_run_bounded(w.as_ref(), &cfg).map_err(|e| match e {
+        RunError::Config(c) => CliError::Config(c),
+        budget => CliError::Runtime(budget.to_string()),
+    })
 }
 
 /// The sweep-engine worker budget: `--jobs` wins, else `OFFCHIP_JOBS`,
@@ -67,40 +71,53 @@ fn jobs_of(opts: &RunOptions) -> Result<usize, CliError> {
     })
 }
 
-/// Runs one configuration per core count, fanned across `jobs` workers;
-/// reports come back in `ns` order (the pool's determinism contract).
-fn sweep_reports(
+/// Runs the single-seed `(1..=total)` sweep of the `sweep`/`fit` commands
+/// through the crash-safe campaign layer: every completed point is
+/// journaled under `results/<kind>-<program>-<machine>.journal`, `--resume`
+/// replays it, and a lost point (panic, blown `--deadline`) surfaces as
+/// [`CliError::Interrupted`] (exit 6) after the survivors are journaled.
+fn campaign_sweep(
+    kind: &str,
     opts: &RunOptions,
     machine: &MachineSpec,
     ns: &[usize],
     jobs: usize,
-) -> Result<Vec<RunReport>, CliError> {
+) -> Result<(SweepResult, SweepTiming), CliError> {
+    let copts = CampaignOptions {
+        resume: opts.resume,
+        deadline: opts.deadline,
+        retries: opts.retries,
+        max_events: None,
+        journal_dir: opts.journal_dir.clone(),
+    };
+    let tag = match opts.machine {
+        MachineChoice::Uma => "uma",
+        MachineChoice::Numa => "numa",
+        MachineChoice::Amd => "amd",
+    };
+    let name = format!("{kind}-{}-{tag}", opts.program.name());
+    let campaign = Campaign::start(&name, &copts)
+        .map_err(|e| CliError::Runtime(format!("open campaign journal for {name}: {e}")))?;
+    let tune = PointConfig {
+        scheduler: opts.scheduler,
+        memory_policy: opts.placement,
+        prefetch_degree: opts.prefetch,
+    };
     let w = workload_of(opts, machine);
-    offchip_pool::scoped_map(jobs, ns, |_, &n| try_run(w.as_ref(), &config_of(opts, machine, n)))
-        .into_iter()
-        .collect::<Result<Vec<_>, _>>()
-        .map_err(CliError::from)
-}
-
-/// Assembles the single-seed [`SweepResult`] of a CLI sweep from per-`n`
-/// reports, so ω and the baseline come from the typed sweep accessors.
-fn sweep_of(opts: &RunOptions, machine: &MachineSpec, ns: &[usize], reports: &[RunReport]) -> SweepResult {
-    SweepResult {
-        machine: machine.name.clone(),
-        program: opts.program.name(),
-        points: ns
-            .iter()
-            .zip(reports)
-            .map(|(&n, r)| SweepPoint {
-                n,
-                total_cycles: r.counters.total_cycles as f64,
-                work_cycles: r.counters.work_cycles as f64,
-                stall_cycles: r.counters.stall_cycles as f64,
-                llc_misses: r.counters.llc_misses as f64,
-                makespan: r.makespan.cycles() as f64,
-            })
-            .collect(),
+    let cs = campaign.run_sweep_with(machine, w.as_ref(), ns, &[opts.seed], jobs, &tune)?;
+    if !cs.errors.is_empty() {
+        for e in &cs.errors {
+            eprintln!("lost sweep point: {e}");
+        }
+        return Err(CliError::Interrupted {
+            lost: cs.errors.len(),
+            journal: campaign.journal_path().to_path_buf(),
+        });
     }
+    if cs.resumed > 0 {
+        println!("{}", campaign.status_line());
+    }
+    Ok((cs.sweep, cs.timing))
 }
 
 /// The fault spec in force: the `--faults` flag, else `OFFCHIP_FAULTS`.
@@ -141,15 +158,13 @@ pub fn execute(cmd: Command) -> Result<(), CliError> {
                 machine.name
             );
             let ns: Vec<usize> = (1..=total).collect();
-            let t0 = Instant::now();
-            let reports = sweep_reports(&opts, &machine, &ns, jobs)?;
-            let wall = t0.elapsed();
-            let sweep = sweep_of(&opts, &machine, &ns, &reports);
+            let (sweep, timing) = campaign_sweep("sweep", &opts, &machine, &ns, jobs)?;
             let omega = sweep.omega()?;
-            for ((n, om), r) in omega.iter().zip(&reports) {
+            // Single-seed counters round-trip f64 → u64 exactly (< 2^53).
+            for ((n, om), p) in omega.iter().zip(&sweep.points) {
                 println!(
                     "  n={n:>2}  C(n)={:>14}  omega={om:>7.3}  misses={}",
-                    r.counters.total_cycles, r.counters.llc_misses
+                    p.total_cycles as u64, p.llc_misses as u64
                 );
             }
             println!(
@@ -166,9 +181,9 @@ pub fn execute(cmd: Command) -> Result<(), CliError> {
             );
             println!(
                 "sweep timing: {} runs in {:.2} s wall ({:.1} runs/s, jobs={jobs})",
-                reports.len(),
-                wall.as_secs_f64(),
-                reports.len() as f64 / wall.as_secs_f64().max(1e-9),
+                timing.runs,
+                timing.wall.as_secs_f64(),
+                timing.runs_per_sec(),
             );
         }
         Command::Fit(opts) => {
@@ -186,25 +201,20 @@ pub fn execute(cmd: Command) -> Result<(), CliError> {
                 proto.input_cores
             );
             let ns: Vec<usize> = (1..=total).collect();
-            let t0 = Instant::now();
-            let reports = sweep_reports(&opts, &machine, &ns, jobs)?;
-            let wall = t0.elapsed();
-            let sweep: Vec<(usize, u64)> = ns
-                .iter()
-                .zip(&reports)
-                .map(|(&n, r)| (n, r.counters.total_cycles))
-                .collect();
+            let (points, timing) = campaign_sweep("fit", &opts, &machine, &ns, jobs)?;
+            let sweep: Vec<(usize, u64)> = points.cycles_sweep()?;
             // The paper's r: the full-core run's miss count (the last
-            // report, exactly as the serial loop left it behind).
-            let misses = reports
+            // point; single-seed, so its f64 is the counter exactly).
+            let misses = points
+                .points
                 .last()
-                .map(|r| r.counters.llc_misses.max(1) as f64)
+                .map(|p| (p.llc_misses as u64).max(1) as f64)
                 .unwrap_or(1.0);
             println!(
                 "  sweep timing: {} runs in {:.2} s wall ({:.1} runs/s, jobs={jobs})",
-                reports.len(),
-                wall.as_secs_f64(),
-                reports.len() as f64 / wall.as_secs_f64().max(1e-9),
+                timing.runs,
+                timing.wall.as_secs_f64(),
+                timing.runs_per_sec(),
             );
             let mut sweep_f: Vec<(usize, f64)> =
                 sweep.iter().map(|&(n, c)| (n, c as f64)).collect();

@@ -10,6 +10,8 @@
 //! | 3    | configuration rejected (machine/simulation)    |
 //! | 4    | model fit failed (typed `FitError` diagnosis)  |
 //! | 5    | runtime failure inside an otherwise valid run  |
+//! | 6    | campaign interrupted but journaled — completed |
+//! |      | points are on disk; rerun with `--resume`      |
 
 use offchip_bench::SweepError;
 use offchip_machine::ConfigError;
@@ -31,6 +33,15 @@ pub enum CliError {
     Fit(FitError),
     /// A run produced something the command could not consume.
     Runtime(String),
+    /// A sweep campaign lost points (panic, deadline, budget) but every
+    /// completed run is journaled; rerunning with `--resume` finishes the
+    /// grid without repeating them.
+    Interrupted {
+        /// Lost `(n, seed)` runs.
+        lost: usize,
+        /// Journal path holding the completed runs.
+        journal: std::path::PathBuf,
+    },
 }
 
 impl CliError {
@@ -40,6 +51,7 @@ impl CliError {
             CliError::Config(_) | CliError::Sweep(_) => 3,
             CliError::Fit(_) => 4,
             CliError::Runtime(_) => 5,
+            CliError::Interrupted { .. } => offchip_bench::EXIT_INTERRUPTED,
         }
     }
 }
@@ -51,6 +63,12 @@ impl std::fmt::Display for CliError {
             CliError::Sweep(e) => write!(f, "sweep rejected: {e}"),
             CliError::Fit(e) => write!(f, "model fit failed: {e}"),
             CliError::Runtime(e) => write!(f, "{e}"),
+            CliError::Interrupted { lost, journal } => write!(
+                f,
+                "campaign interrupted: {lost} point(s) lost; completed runs are journaled \
+                 in {} — rerun with --resume to finish without repeating them",
+                journal.display()
+            ),
         }
     }
 }

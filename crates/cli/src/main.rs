@@ -15,10 +15,14 @@
 //! `--scheduler fcfs|frfcfs`, `--placement interleave|firsttouch`,
 //! `--protocol paper|extended` (fit only), `--faults drop=…,jitter=…`
 //! (fit only; also read from `OFFCHIP_FAULTS`), `--jobs N` (sweep/fit
-//! worker count; also read from `OFFCHIP_JOBS`, default: all cores).
+//! worker count; also read from `OFFCHIP_JOBS`, default: all cores),
+//! `--resume` / `--deadline SECS` / `--retries N` / `--journal-dir DIR`
+//! (crash-safe campaign layer; sweep/fit journal completed points under
+//! `results/`).
 //!
 //! Exit codes: 0 success, 2 usage, 3 invalid configuration, 4 model fit
-//! failure, 5 runtime failure.
+//! failure, 5 runtime failure, 6 campaign interrupted but journaled
+//! (rerun with `--resume`).
 
 use std::process::ExitCode;
 

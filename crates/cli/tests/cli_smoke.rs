@@ -3,7 +3,13 @@
 use std::process::Command;
 
 fn offchip() -> Command {
-    Command::new(env!("CARGO_BIN_EXE_offchip"))
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_offchip"));
+    // Keep sweep/fit campaign journals out of the working tree.
+    cmd.env(
+        "OFFCHIP_JOURNAL_DIR",
+        std::env::temp_dir().join("offchip-cli-smoke-journals"),
+    );
+    cmd
 }
 
 fn run_ok(args: &[&str]) -> String {
@@ -142,6 +148,44 @@ fn sweep_accepts_jobs_flag_and_prints_timing() {
     assert!(out.contains("jobs=2"), "timing names the worker count: {out}");
     assert!(out.contains("sweep timing:"), "timing line present: {out}");
     assert!(out.contains("runs/s"), "throughput reported: {out}");
+}
+
+#[test]
+fn sweep_resume_replays_the_journal() {
+    // An uninterrupted sweep, then the same sweep with --resume: every run
+    // must replay from the journal (0 executed) and the omega table must
+    // come out identical, which is the byte-identity contract end to end.
+    let dir = std::env::temp_dir().join(format!("offchip-cli-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let run = |resume: bool| {
+        let mut cmd = offchip();
+        cmd.args(["sweep", "IS.S", "--machine", "uma", "--scale", "128", "--jobs", "2"])
+            .env("OFFCHIP_JOURNAL_DIR", &dir);
+        if resume {
+            cmd.arg("--resume");
+        }
+        let out = cmd.output().expect("spawn offchip");
+        assert!(
+            out.status.success(),
+            "sweep (resume={resume}) failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).expect("utf8 stdout")
+    };
+    let first = run(false);
+    let second = run(true);
+    assert!(
+        second.contains("0 runs executed, 8 resumed"),
+        "resume replays all 8 points: {second}"
+    );
+    let omega_table = |s: &str| {
+        s.lines()
+            .filter(|l| l.trim_start().starts_with("n="))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(omega_table(&first), omega_table(&second));
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

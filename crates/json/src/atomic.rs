@@ -1,0 +1,123 @@
+//! Crash-safe file persistence for experiment artefacts and journals.
+//!
+//! Two durability idioms, for two failure models:
+//!
+//! * [`write_atomic`] — whole-file artefacts (`results/*.json`,
+//!   `BENCH_sim.json`, recordings). The contents go to a temporary file in
+//!   the *same directory*, are fsynced, and the file is renamed over the
+//!   destination. A kill at any instant leaves either the old bytes or the
+//!   new bytes at the destination path — never a truncated mixture.
+//! * [`append_line`] — journals. One full line (record + `\n`) is written
+//!   with a single `write_all` to a file opened in append mode, then
+//!   fsynced. A kill can tear at most the *trailing* line, which journal
+//!   readers must tolerate (skip) — every earlier record is intact because
+//!   appends never rewrite old bytes.
+
+use std::io::Write as _;
+use std::path::Path;
+
+/// Writes `contents` to `path` atomically: temp file in the same
+/// directory → fsync → rename. The destination is never observable in a
+/// partially written state.
+pub fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    if let Some(dir) = dir {
+        std::fs::create_dir_all(dir)?;
+    }
+    // Name the temp file after the destination plus a pid suffix so
+    // concurrent writers of *different* artefacts never collide, and a
+    // leftover from a kill is recognisable and harmless.
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::other("write_atomic: path has no file name"))?;
+    let tmp = path.with_file_name(format!(
+        ".{}.tmp.{}",
+        file_name.to_string_lossy(),
+        std::process::id()
+    ));
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(contents.as_bytes())?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)?;
+    // Durability of the rename itself requires the directory entry to be
+    // flushed; best-effort — some platforms refuse to fsync a directory.
+    if let Some(dir) = dir {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Appends `line` (a newline is added) to `file` with one write followed
+/// by an fsync, so a kill tears at most this line and never an earlier
+/// one.
+pub fn append_line(file: &mut std::fs::File, line: &str) -> std::io::Result<()> {
+    let mut buf = String::with_capacity(line.len() + 1);
+    buf.push_str(line);
+    buf.push('\n');
+    file.write_all(buf.as_bytes())?;
+    file.sync_all()
+}
+
+/// Opens `path` for durable appends (creating parent directories), for
+/// use with [`append_line`].
+pub fn open_append(path: &Path) -> std::io::Result<std::fs::File> {
+    if let Some(dir) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::OpenOptions::new().create(true).append(true).open(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("offchip-json-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn atomic_write_replaces_previous_contents() {
+        let dir = tmp_dir("atomic");
+        let path = dir.join("artefact.json");
+        write_atomic(&path, "{\"v\":1}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\":1}");
+        write_atomic(&path, "{\"v\":2}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\":2}");
+        // No temp litter left behind on the success path.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left: {leftovers:?}");
+    }
+
+    #[test]
+    fn atomic_write_creates_parent_directories() {
+        let dir = tmp_dir("mkdirs").join("a/b");
+        let path = dir.join("deep.json");
+        write_atomic(&path, "[]").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "[]");
+    }
+
+    #[test]
+    fn append_line_accumulates_whole_lines() {
+        let dir = tmp_dir("append");
+        let path = dir.join("x.journal");
+        let _ = std::fs::remove_file(&path);
+        let mut f = open_append(&path).unwrap();
+        append_line(&mut f, "{\"n\":1}").unwrap();
+        append_line(&mut f, "{\"n\":2}").unwrap();
+        drop(f);
+        // Reopening appends, never truncates.
+        let mut f = open_append(&path).unwrap();
+        append_line(&mut f, "{\"n\":3}").unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "{\"n\":1}\n{\"n\":2}\n{\"n\":3}\n");
+    }
+}

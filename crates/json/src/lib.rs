@@ -17,6 +17,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod atomic;
+
+pub use atomic::write_atomic;
+
 use std::collections::BTreeMap;
 use std::fmt;
 

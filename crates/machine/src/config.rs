@@ -142,6 +142,17 @@ pub struct SimConfig {
     /// machines gained little from it on the contended workloads; see the
     /// prefetcher ablation).
     pub prefetch_degree: usize,
+    /// Hard cap on discrete events the run may process; `None` (the
+    /// default) is unbounded. A wedged simulation (e.g. a workload bug
+    /// spinning the event queue) then surfaces as a typed
+    /// [`crate::sim::RunError::EventBudgetExceeded`] with the counters
+    /// accumulated so far, instead of hanging the campaign.
+    pub max_events: Option<u64>,
+    /// Per-run wall-clock deadline; `None` (the default) is unbounded.
+    /// Checked coarsely (every ~65k events) on the hot path so the
+    /// guard costs nothing measurable; exceeding it surfaces as
+    /// [`crate::sim::RunError::DeadlineExceeded`].
+    pub deadline: Option<std::time::Duration>,
 }
 
 impl SimConfig {
@@ -162,6 +173,8 @@ impl SimConfig {
             memory_policy: MemoryPolicy::InterleaveActive,
             replacement: ReplacementPolicy::Lru,
             prefetch_degree: 0,
+            max_events: None,
+            deadline: None,
         }
     }
 

@@ -33,6 +33,76 @@ use crate::counters::{Counters, RunReport, WindowSampler};
 use crate::firsttouch::FirstTouch;
 use crate::ops::{Op, ProgramIter, Workload};
 
+/// Why a bounded run could not complete.
+///
+/// The budget variants carry the counters accumulated up to the abort
+/// point: a wedged run's partial readings are diagnostic data (how far
+/// did it get? was it making progress?), not garbage.
+#[derive(Debug, Clone)]
+pub enum RunError {
+    /// The configuration was rejected before the run started.
+    Config(ConfigError),
+    /// The run processed `events` discrete events, reaching the
+    /// configured [`SimConfig::max_events`] cap.
+    EventBudgetExceeded {
+        /// The configured cap.
+        limit: u64,
+        /// Events processed when the run was aborted (== `limit`).
+        events: u64,
+        /// Counters accumulated up to the abort.
+        counters: Box<Counters>,
+    },
+    /// The run exceeded the configured [`SimConfig::deadline`].
+    DeadlineExceeded {
+        /// The configured wall-clock deadline.
+        deadline: std::time::Duration,
+        /// Wall clock actually elapsed when the guard fired.
+        elapsed: std::time::Duration,
+        /// Events processed when the run was aborted.
+        events: u64,
+        /// Counters accumulated up to the abort.
+        counters: Box<Counters>,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Config(e) => write!(f, "invalid simulation configuration: {e}"),
+            RunError::EventBudgetExceeded { limit, events, .. } => write!(
+                f,
+                "event budget exceeded: {events} events processed (cap {limit})"
+            ),
+            RunError::DeadlineExceeded {
+                deadline,
+                elapsed,
+                events,
+                ..
+            } => write!(
+                f,
+                "deadline exceeded: {:.3} s elapsed (deadline {:.3} s, {events} events processed)",
+                elapsed.as_secs_f64(),
+                deadline.as_secs_f64()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<ConfigError> for RunError {
+    fn from(e: ConfigError) -> RunError {
+        RunError::Config(e)
+    }
+}
+
+/// How often (in events) the wall-clock deadline is polled: reading the
+/// OS clock per event would dominate the hot path, so the guard fires on
+/// event counts masked to this granularity (65k events ≈ a millisecond
+/// of host time — far finer than any useful deadline, and about one
+/// clock read per 65k events of work).
+const DEADLINE_POLL_MASK: u64 = (1 << 16) - 1;
+
 #[derive(Debug, Clone, Copy)]
 enum Event {
     /// The core should (re)enter execution.
@@ -177,8 +247,26 @@ pub fn run(workload: &dyn Workload, cfg: &SimConfig) -> RunReport {
 ///
 /// # Panics
 /// Panics if the workload has no threads (a workload-construction bug,
-/// not a configuration issue).
+/// not a configuration issue), or if a budget guard fires — callers that
+/// set [`SimConfig::max_events`] or [`SimConfig::deadline`] must use
+/// [`try_run_bounded`], which reports those as typed errors.
 pub fn try_run(workload: &dyn Workload, cfg: &SimConfig) -> Result<RunReport, ConfigError> {
+    try_run_bounded(workload, cfg).map_err(|e| match e {
+        RunError::Config(c) => c,
+        budget => panic!("budget guard fired under try_run (use try_run_bounded): {budget}"),
+    })
+}
+
+/// Runs `workload` under `cfg` with the configured event-budget and
+/// wall-clock-deadline guards in force, reporting a fired guard as a
+/// typed [`RunError`] carrying the partial counters — the entry point
+/// for crash-safe campaigns that must turn a wedged simulation into one
+/// lost sweep point rather than a hung process.
+///
+/// # Panics
+/// Panics if the workload has no threads (a workload-construction bug,
+/// not a configuration issue).
+pub fn try_run_bounded(workload: &dyn Workload, cfg: &SimConfig) -> Result<RunReport, RunError> {
     cfg.validate()?;
     let n_threads = workload.n_threads();
     assert!(n_threads > 0, "workload has no threads");
@@ -280,8 +368,36 @@ pub fn try_run(workload: &dyn Workload, cfg: &SimConfig) -> Result<RunReport, Co
         sim.queue.schedule_at(SimTime::ZERO, Event::Resume(slot));
     }
 
+    // Budget guards. The event cap is one compare per event against a
+    // register-resident constant (`u64::MAX` when unset — unreachable);
+    // the deadline polls the OS clock only every `DEADLINE_POLL_MASK + 1`
+    // events, so neither is measurable on the hot path (the perfstat
+    // regression gate pins this).
+    let event_limit = cfg.max_events.unwrap_or(u64::MAX);
+    let started = cfg.deadline.map(|dl| (dl, std::time::Instant::now()));
+
     while let Some((t, ev)) = sim.queue.pop() {
         sim.counters.sim_events += 1;
+        if sim.counters.sim_events >= event_limit {
+            return Err(RunError::EventBudgetExceeded {
+                limit: event_limit,
+                events: sim.counters.sim_events,
+                counters: Box::new(sim.counters.clone()),
+            });
+        }
+        if sim.counters.sim_events & DEADLINE_POLL_MASK == 0 {
+            if let Some((dl, t0)) = started {
+                let elapsed = t0.elapsed();
+                if elapsed >= dl {
+                    return Err(RunError::DeadlineExceeded {
+                        deadline: dl,
+                        elapsed,
+                        events: sim.counters.sim_events,
+                        counters: Box::new(sim.counters.clone()),
+                    });
+                }
+            }
+        }
         match ev {
             Event::Resume(slot) => {
                 if t < sim.cores[slot].busy_until {
@@ -1263,5 +1379,93 @@ mod tests {
             r16.makespan, r2.makespan,
             "service-bound stream must not speed up with more MSHRs"
         );
+    }
+
+    /// A workload big enough to cross the deadline poll granularity
+    /// (`DEADLINE_POLL_MASK + 1` events) within a fraction of a second.
+    fn long_workload() -> VecWorkload {
+        VecWorkload {
+            name: "long".into(),
+            threads: vec![(0..200_000u64)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        read_indep((i / 2) * 64)
+                    } else {
+                        compute(50)
+                    }
+                })
+                .collect()],
+        }
+    }
+
+    #[test]
+    fn event_budget_guard_aborts_with_partial_counters() {
+        let mut cfg = SimConfig::new(small_machine(), 1);
+        cfg.max_events = Some(10_000);
+        let w = long_workload();
+        match try_run_bounded(&w, &cfg) {
+            Err(RunError::EventBudgetExceeded {
+                limit,
+                events,
+                counters,
+            }) => {
+                assert_eq!(limit, 10_000);
+                assert_eq!(events, 10_000);
+                assert_eq!(counters.sim_events, 10_000);
+                // The run was making progress when aborted: the partial
+                // counters are real diagnostic context, not zeroes.
+                assert!(counters.work_cycles > 0, "partial counters empty");
+            }
+            other => panic!("expected EventBudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_guard_aborts_a_wedged_run() {
+        let mut cfg = SimConfig::new(small_machine(), 1);
+        cfg.deadline = Some(std::time::Duration::ZERO);
+        let w = long_workload();
+        match try_run_bounded(&w, &cfg) {
+            Err(RunError::DeadlineExceeded {
+                deadline, events, ..
+            }) => {
+                assert_eq!(deadline, std::time::Duration::ZERO);
+                // The guard polls every DEADLINE_POLL_MASK + 1 events.
+                assert_eq!(events & DEADLINE_POLL_MASK, 0);
+            }
+            Ok(r) => panic!(
+                "run of {} events finished under a zero deadline — workload \
+                 too small to cross the poll granularity?",
+                r.counters.sim_events
+            ),
+            Err(other) => panic!("expected DeadlineExceeded, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unset_budgets_change_nothing() {
+        // The guards must be inert by default: identical report with and
+        // without an unreachable budget.
+        let w = VecWorkload {
+            name: "tiny".into(),
+            threads: vec![vec![compute(100), read(0), compute(100)]],
+        };
+        let plain = run(&w, &SimConfig::new(small_machine(), 1));
+        let mut cfg = SimConfig::new(small_machine(), 1);
+        cfg.max_events = Some(u64::MAX);
+        cfg.deadline = Some(std::time::Duration::from_secs(3600));
+        let bounded = try_run_bounded(&w, &cfg).expect("budgets unreachable");
+        assert_eq!(plain.counters, bounded.counters);
+        assert_eq!(plain.makespan, bounded.makespan);
+    }
+
+    #[test]
+    fn bounded_run_reports_config_errors() {
+        let w = long_workload();
+        let cfg = SimConfig::new(small_machine(), 9); // only 8 cores
+        match try_run_bounded(&w, &cfg) {
+            Err(RunError::Config(ConfigError::CoresOutOfRange { n_cores: 9, .. })) => {}
+            other => panic!("expected Config error, got {other:?}"),
+        }
     }
 }

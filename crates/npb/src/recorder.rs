@@ -214,7 +214,7 @@ impl RecordedWorkload {
             "name" => self.name,
             "threads" => Json::Arr(threads),
         };
-        std::fs::write(path, doc.to_compact_string())
+        offchip_json::write_atomic(path, &doc.to_compact_string())
     }
 
     /// Loads a recording saved by [`RecordedWorkload::save`].

@@ -24,8 +24,51 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
+
+/// What a worker task panicked with, rendered to a string.
+///
+/// [`scoped_try_map`] catches per-item panics so one poisoned item cannot
+/// tear down the whole `std::thread::scope` (which would discard every
+/// *completed* item's result along with it). The original payload is a
+/// `Box<dyn Any>`; the common `&str`/`String` payloads are preserved
+/// verbatim, anything else becomes a placeholder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PanicPayload {
+    /// The panic message.
+    pub message: String,
+}
+
+impl PanicPayload {
+    /// Renders a payload caught with `std::panic::catch_unwind` — for
+    /// callers that place their own catch points (e.g. per-attempt retry
+    /// loops) but want the same message semantics as [`scoped_try_map`].
+    pub fn from_any(payload: Box<dyn std::any::Any + Send>) -> PanicPayload {
+        PanicPayload {
+            message: payload_message(payload),
+        }
+    }
+}
+
+impl std::fmt::Display for PanicPayload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker task panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for PanicPayload {}
+
+fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "<non-string panic payload>".to_string(),
+        },
+    }
+}
 
 /// Why a requested job count cannot be used.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -169,35 +212,57 @@ fn count_end() {
 ///
 /// `f` receives `(index, &item)`. Work is pulled from a shared counter,
 /// so long and short items balance across workers. A panic in `f`
-/// propagates to the caller once all workers stop.
+/// propagates to the caller once all workers stop; use
+/// [`scoped_try_map`] when one poisoned item must not cost the rest.
 pub fn scoped_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    scoped_try_map(jobs, items, f)
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => v,
+            Err(p) => panic!("{p}"),
+        })
+        .collect()
+}
+
+/// Like [`scoped_map`], but a panic in `f` is caught *per item* and
+/// surfaces as `Err(PanicPayload)` in that item's slot instead of tearing
+/// down the scope: every other item still completes and returns its
+/// result, which is what lets a measurement campaign lose exactly one
+/// sweep point to a bug instead of the whole grid.
+pub fn scoped_try_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<Result<R, PanicPayload>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let run_one = |i: usize, t: &T| -> Result<R, PanicPayload> {
+        count_start();
+        let r = catch_unwind(AssertUnwindSafe(|| f(i, t)));
+        count_end();
+        r.map_err(|payload| PanicPayload {
+            message: payload_message(payload),
+        })
+    };
+
     let n = items.len();
     if n == 0 {
         return Vec::new();
     }
     let workers = jobs.max(1).min(n);
     if workers == 1 {
-        return items
-            .iter()
-            .enumerate()
-            .map(|(i, t)| {
-                count_start();
-                let r = f(i, t);
-                count_end();
-                r
-            })
-            .collect();
+        return items.iter().enumerate().map(|(i, t)| run_one(i, t)).collect();
     }
 
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<R, PanicPayload>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
-        let (next, slots, f) = (&next, &slots, &f);
+        let (next, slots, run_one) = (&next, &slots, &run_one);
         for w in 0..workers {
             s.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
@@ -208,9 +273,7 @@ where
                 // map always progresses even when other sweeps hold every
                 // permit; followers queue on the shared semaphore.
                 let _permit = (w != 0).then(|| shared().1.acquire());
-                count_start();
-                let r = f(i, &items[i]);
-                count_end();
+                let r = run_one(i, &items[i]);
                 *slots[i].lock().expect("pool slot poisoned") = Some(r);
             });
         }
@@ -272,6 +335,54 @@ mod tests {
         assert_eq!(resolve_jobs(Some(0)), Err(JobsError::Zero));
         assert!(default_jobs() >= 1);
         assert!(shared_limit() >= 1);
+    }
+
+    #[test]
+    fn try_map_isolates_a_panicking_item() {
+        // Regression: a panic used to propagate through the thread scope
+        // and discard every completed item's result with it.
+        let items: Vec<usize> = (0..32).collect();
+        for jobs in [1, 4] {
+            let out = scoped_try_map(jobs, &items, |_, &x| {
+                if x == 13 {
+                    panic!("poisoned item {x}");
+                }
+                x * 2
+            });
+            assert_eq!(out.len(), 32, "jobs = {jobs}");
+            for (i, r) in out.iter().enumerate() {
+                if i == 13 {
+                    let p = r.as_ref().unwrap_err();
+                    assert_eq!(p.message, "poisoned item 13");
+                    assert!(p.to_string().contains("panicked"));
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i * 2, "jobs = {jobs}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_map_preserves_str_and_reports_opaque_payloads() {
+        let out = scoped_try_map(2, &[0u8, 1], |_, &x| {
+            if x == 0 {
+                std::panic::panic_any(42i32); // not a string payload
+            }
+            panic!("plain &str payload");
+        });
+        assert_eq!(out[0].as_ref().unwrap_err().message, "<non-string panic payload>");
+        assert_eq!(out[1].as_ref().unwrap_err().message, "plain &str payload");
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn plain_map_still_propagates_panics() {
+        scoped_map(2, &[1, 2, 3], |_, &x: &i32| {
+            if x == 2 {
+                panic!("boom");
+            }
+            x
+        });
     }
 
     #[test]

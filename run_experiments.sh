@@ -1,10 +1,25 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Regenerates every table and figure of the paper into results/.
-set -e
+#
+# Extra arguments are forwarded to every campaign-aware binary, so an
+# interrupted run picks up where it died:
+#
+#   ./run_experiments.sh --resume
+#
+# (also --deadline SECS, --retries N, --max-events N, --journal-dir DIR).
+# A failing experiment aborts the script with its exit code — exit 6
+# means "interrupted but journaled": rerun with --resume.
+set -euo pipefail
 cd "$(dirname "$0")"
 BIN=target/release
-for exp in table1 table3 figure1 table2 table4 figure3 figure4 figure5 figure6 ablations; do
+# table1/table3/figure1 are closed-form (no simulation campaign) and take
+# no flags; the rest journal every completed sweep point.
+for exp in table1 table3 figure1; do
   echo "== $exp =="
-  "$BIN/$exp" > "results/$exp.txt" 2> "results/$exp.log" || echo "$exp FAILED"
+  "$BIN/$exp" > "results/$exp.txt" 2> "results/$exp.log"
+done
+for exp in table2 table4 figure3 figure4 figure5 figure6 ablations; do
+  echo "== $exp =="
+  "$BIN/$exp" "$@" > "results/$exp.txt" 2> "results/$exp.log"
 done
 echo "all experiments written to results/"

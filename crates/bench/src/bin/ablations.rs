@@ -274,8 +274,8 @@ fn main() {
         summary.replacement_misses.push((name.to_string(), misses));
     }
 
-    println!("\n{}", timing_line("ablations", &total_timing));
-    println!("{}", campaign.status_line());
+    offchip_obs::info!("{}", timing_line("ablations", &total_timing));
+    offchip_obs::info!("{}", campaign.status_line());
     let path = write_json(&ExperimentResult {
         id: "ablations".into(),
         paper_artifact: "Design-choice ablations (DESIGN.md section 5)".into(),

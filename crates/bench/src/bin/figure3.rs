@@ -58,8 +58,8 @@ fn main() {
         all.push(sweep);
     }
 
-    println!("{}", timing_line("figure3", &total_timing));
-    println!("{}", campaign.status_line());
+    offchip_obs::info!("{}", timing_line("figure3", &total_timing));
+    offchip_obs::info!("{}", campaign.status_line());
     let path = write_json(&ExperimentResult {
         id: "figure3".into(),
         paper_artifact: "Fig. 3: CG.C cycle breakdown vs active cores".into(),

@@ -74,11 +74,11 @@ fn main() {
         match outcome {
             Ok(Ok(a)) => analyses.push(a),
             Ok(Err(e)) => {
-                eprintln!("lost sampled run [{}]: {e}", spec.name());
+                offchip_obs::warn!("lost sampled run program={}: {e}", spec.name());
                 lost += 1;
             }
             Err(panic) => {
-                eprintln!("lost sampled run [{}]: {panic}", spec.name());
+                offchip_obs::warn!("lost sampled run program={}: {panic}", spec.name());
                 lost += 1;
             }
         }
@@ -130,7 +130,7 @@ fn main() {
         offchip_bench::plot::loglog_plot(&plot_series, 70, 20)
     );
 
-    println!(
+    offchip_obs::info!(
         "sweep timing [figure4]: {} sampled runs in {:.2} s wall ({:.1} runs/s, jobs={jobs})",
         plot_series.len(),
         wall.as_secs_f64(),
@@ -144,7 +144,7 @@ fn main() {
     .expect("write figure4.json");
     eprintln!("wrote {}", path.display());
     if lost > 0 {
-        eprintln!("figure4 interrupted: {lost} sampled run(s) lost — rerun to complete");
+        offchip_obs::error!("figure4 interrupted: {lost} sampled run(s) lost — rerun to complete");
         std::process::exit(i32::from(EXIT_INTERRUPTED));
     }
 }

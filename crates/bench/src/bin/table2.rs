@@ -105,8 +105,8 @@ fn main() {
         println!();
     }
 
-    println!("{}", timing_line("table2", &total_timing));
-    println!("{}", campaign.status_line());
+    offchip_obs::info!("{}", timing_line("table2", &total_timing));
+    offchip_obs::info!("{}", campaign.status_line());
     let path = write_json(&ExperimentResult {
         id: "table2".into(),
         paper_artifact: "Table II: normalised increase in number of cycles".into(),

@@ -88,8 +88,8 @@ fn main() {
         println!();
     }
 
-    println!("{}", timing_line("table4", &total_timing));
-    println!("{}", campaign.status_line());
+    offchip_obs::info!("{}", timing_line("table4", &total_timing));
+    offchip_obs::info!("{}", campaign.status_line());
     let path = write_json(&ExperimentResult {
         id: "table4".into(),
         paper_artifact: "Table IV: colinearity goodness-of-fit".into(),

@@ -137,6 +137,35 @@ impl std::fmt::Display for PointError {
 
 impl std::error::Error for PointError {}
 
+impl PointError {
+    /// Short stable tag of the error variant, the aggregation key of
+    /// [`loss_summary`].
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PointError::Panicked { .. } => "panicked",
+            PointError::DeadlineExceeded { .. } => "deadline-exceeded",
+            PointError::EventBudgetExceeded { .. } => "event-budget-exceeded",
+            PointError::InvalidConfig { .. } => "invalid-config",
+        }
+    }
+}
+
+/// Aggregates lost points into one `kind=count` line fragment, sorted by
+/// kind — e.g. `deadline-exceeded=3 panicked=1` — so a large grid's losses
+/// print as one line instead of hundreds.
+pub fn loss_summary(errors: &[PointError]) -> String {
+    let mut counts: std::collections::BTreeMap<&'static str, usize> =
+        std::collections::BTreeMap::new();
+    for e in errors {
+        *counts.entry(e.kind()).or_insert(0) += 1;
+    }
+    let parts: Vec<String> = counts
+        .into_iter()
+        .map(|(k, c)| format!("{k}={c}"))
+        .collect();
+    parts.join(" ")
+}
+
 /// Campaign knobs, normally parsed from a binary's command line
 /// (`--resume`, `--deadline SECS`, `--retries N`, `--max-events N`,
 /// `--journal-dir DIR`).
@@ -399,10 +428,26 @@ impl CampaignSweep {
         if self.errors.is_empty() {
             return (self.sweep, self.timing);
         }
-        for e in &self.errors {
-            eprintln!("lost sweep point [{}/{}]: {e}", self.sweep.machine, self.sweep.program);
+        // Per-point detail is useful for a handful of losses; on a large
+        // grid it floods the terminal, so aggregate per error kind.
+        const DETAIL_LIMIT: usize = 5;
+        if self.errors.len() <= DETAIL_LIMIT {
+            for e in &self.errors {
+                offchip_obs::error!(
+                    "lost sweep point sweep={}/{}: {e}",
+                    self.sweep.machine,
+                    self.sweep.program
+                );
+            }
+        } else {
+            offchip_obs::error!(
+                "lost sweep points sweep={}/{} losses: {}",
+                self.sweep.machine,
+                self.sweep.program,
+                loss_summary(&self.errors)
+            );
         }
-        eprintln!(
+        offchip_obs::error!(
             "campaign interrupted: {} point(s) lost, {} completed runs journaled — \
              rerun with --resume to finish without repeating them",
             self.errors.len(),
@@ -442,8 +487,8 @@ impl Campaign {
                             // of a kill mid-append; anything else is worth
                             // a warning but never fatal — the point is
                             // simply re-run.
-                            eprintln!(
-                                "{}: skipping unreadable journal record at line {} \
+                            offchip_obs::warn!(
+                                "journal={} skipping unreadable record at line {} \
                                  (torn append or foreign schema)",
                                 path.display(),
                                 i + 1
@@ -523,24 +568,44 @@ impl Campaign {
             .collect();
 
         let t0 = Instant::now();
+        let total = grid.len();
+        let done = std::sync::atomic::AtomicUsize::new(0);
+        // Heartbeat cadence: ~10 progress lines per sweep regardless of
+        // grid size (and always one at completion).
+        let heartbeat_every = (total / 10).max(1);
         let outcomes = offchip_pool::scoped_map(jobs, &grid, |_, &(n, seed)| {
-            if let Some(rec) = self.lookup(cfg_hash, n, seed) {
-                return Ok((rec.to_sample(), true));
-            }
-            let mut last = None;
-            for attempt in 0..=self.opts.retries {
-                if attempt > 0 {
-                    std::thread::sleep(backoff(seed, attempt));
+            let outcome = (|| {
+                if let Some(rec) = self.lookup(cfg_hash, n, seed) {
+                    return Ok((rec.to_sample(), true));
                 }
-                match self.guarded_sample(machine, workload, n, seed, tune) {
-                    Ok(s) => {
-                        self.record(cfg_hash, n, seed, &s);
-                        return Ok((s, false));
+                let mut last = None;
+                for attempt in 0..=self.opts.retries {
+                    if attempt > 0 {
+                        std::thread::sleep(backoff(seed, attempt));
                     }
-                    Err(e) => last = Some(e),
+                    match self.guarded_sample(machine, workload, n, seed, tune) {
+                        Ok(s) => {
+                            self.record(cfg_hash, n, seed, &s);
+                            return Ok((s, false));
+                        }
+                        Err(e) => last = Some(e),
+                    }
                 }
+                Err(last.expect("at least one attempt ran"))
+            })();
+            let d = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+            if d.is_multiple_of(heartbeat_every) || d == total {
+                let secs = t0.elapsed().as_secs_f64().max(1e-9);
+                let rate = d as f64 / secs;
+                let eta = (total - d) as f64 / rate;
+                offchip_obs::info!(
+                    "campaign={} sweep={}/{} done={d}/{total} rate={rate:.1}/s eta={eta:.0}s",
+                    self.name,
+                    machine.name,
+                    program
+                );
             }
-            Err(last.expect("at least one attempt ran"))
+            outcome
         });
         let wall = t0.elapsed();
 
@@ -992,5 +1057,24 @@ mod tests {
         assert_ne!(h(&uma, "CG.S", &base), h(&numa, "CG.S", &base));
         assert_ne!(h(&uma, "CG.S", &base), h(&uma, "IS.S", &base));
         assert_ne!(h(&uma, "CG.S", &base), h(&uma, "CG.S", &frfcfs));
+    }
+
+    #[test]
+    fn loss_summary_aggregates_by_kind() {
+        let panicked = |n| PointError::Panicked {
+            payload: "boom".into(),
+            n,
+            seed: 1,
+        };
+        let deadline = PointError::DeadlineExceeded {
+            n: 4,
+            seed: 1,
+            deadline: Duration::from_secs(1),
+            elapsed: Duration::from_secs(2),
+            events: 10,
+        };
+        let errors = vec![panicked(1), deadline, panicked(2), panicked(3)];
+        assert_eq!(loss_summary(&errors), "deadline-exceeded=1 panicked=3");
+        assert_eq!(loss_summary(&[]), "");
     }
 }

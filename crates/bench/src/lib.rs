@@ -28,7 +28,8 @@ pub mod sweep;
 pub mod workloads;
 
 pub use campaign::{
-    Campaign, CampaignOptions, CampaignSweep, PointConfig, PointError, EXIT_INTERRUPTED,
+    loss_summary, Campaign, CampaignOptions, CampaignSweep, PointConfig, PointError,
+    EXIT_INTERRUPTED,
 };
 pub use report::{write_json, ExperimentResult};
 pub use sweep::{

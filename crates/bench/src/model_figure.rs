@@ -169,8 +169,8 @@ pub fn run_figure(program: ProgramSpec, figure_id: &str, artifact: &str) {
         }
     }
 
-    println!("{}", timing_line(figure_id, &total_timing));
-    println!("{}", campaign.status_line());
+    offchip_obs::info!("{}", timing_line(figure_id, &total_timing));
+    offchip_obs::info!("{}", campaign.status_line());
     let path = write_json(&ExperimentResult {
         id: figure_id.into(),
         paper_artifact: artifact.into(),

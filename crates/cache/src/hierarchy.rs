@@ -193,6 +193,30 @@ impl Hierarchy {
         self.llc.len()
     }
 
+    /// Machine-wide `(level, accesses, misses)` totals, private levels
+    /// first then the LLC — the feed for the observability registry's
+    /// per-level hit/miss counters.
+    pub fn level_totals(&self) -> Vec<(u8, u64, u64)> {
+        let mut out = Vec::with_capacity(self.private_levels.len() + 1);
+        for (i, &lvl) in self.private_levels.iter().enumerate() {
+            let (mut acc, mut miss) = (0u64, 0u64);
+            for per_core in &self.private {
+                let s = per_core[i].stats();
+                acc += s.accesses();
+                miss += s.misses;
+            }
+            out.push((lvl, acc, miss));
+        }
+        let (mut acc, mut miss) = (0u64, 0u64);
+        for c in &self.llc {
+            let s = c.stats();
+            acc += s.accesses();
+            miss += s.misses;
+        }
+        out.push((self.llc_level, acc, miss));
+        out
+    }
+
     /// Resets all statistics (contents preserved), to exclude warm-up.
     pub fn reset_stats(&mut self) {
         for per_core in &mut self.private {
@@ -220,6 +244,24 @@ mod tests {
         let o2 = h.access(CoreId(0), 0x1000, AccessKind::Read);
         assert_eq!(o2.hit_level, Some(1));
         assert_eq!(o2.lookup_cycles, 4, "X5650 L1 latency");
+    }
+
+    #[test]
+    fn level_totals_cover_every_level_and_count_accesses() {
+        let m = machines::intel_numa_24().scaled(1.0 / 64.0);
+        let mut h = Hierarchy::new(&m);
+        h.access(CoreId(0), 0x1000, AccessKind::Read); // cold: misses all levels
+        h.access(CoreId(0), 0x1000, AccessKind::Read); // L1 hit
+        let totals = h.level_totals();
+        // X5650: L1 + L2 private, L3 shared.
+        assert_eq!(totals.len(), 3);
+        assert_eq!(totals[0].0, 1);
+        assert_eq!(totals.last().unwrap().0, 3);
+        let (_, l1_acc, l1_miss) = totals[0];
+        assert_eq!(l1_acc, 2);
+        assert_eq!(l1_miss, 1);
+        let (_, llc_acc, llc_miss) = *totals.last().unwrap();
+        assert_eq!((llc_acc, llc_miss), (1, 1), "only the cold access reached the LLC");
     }
 
     #[test]

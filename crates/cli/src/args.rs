@@ -41,7 +41,14 @@ options:
   --deadline SECS              per-run wall-clock deadline (fractional ok)
   --retries N                  re-runs granted to a failed sweep point
   --journal-dir DIR            campaign journal directory (default:
-                               OFFCHIP_JOURNAL_DIR, else results/)";
+                               OFFCHIP_JOURNAL_DIR, else results/)
+  --obs off|metrics|trace      observability level (default: OFFCHIP_OBS,
+                               else off; --trace/--metrics imply it)
+  --trace PATH                 write a Chrome trace_event JSON of the run(s)
+  --metrics PATH               write the metrics-registry snapshot as CSV
+  --log-level error|warn|info|debug
+                               stderr log threshold (default: OFFCHIP_LOG,
+                               else info)";
 
 /// Which machine preset to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,6 +99,15 @@ pub struct RunOptions {
     /// Campaign journal directory (`None`: `OFFCHIP_JOURNAL_DIR`, else
     /// `results/`).
     pub journal_dir: Option<std::path::PathBuf>,
+    /// Observability level (`None`: `OFFCHIP_OBS`, raised as needed by
+    /// `--trace`/`--metrics`).
+    pub obs: Option<offchip_obs::ObsLevel>,
+    /// Chrome trace_event JSON output path (implies at least trace level).
+    pub trace_out: Option<std::path::PathBuf>,
+    /// Metrics-snapshot CSV output path (implies at least metrics level).
+    pub metrics_out: Option<std::path::PathBuf>,
+    /// stderr log threshold (`None`: `OFFCHIP_LOG`, else info).
+    pub log_level: Option<offchip_obs::LogLevel>,
 }
 
 impl Default for RunOptions {
@@ -113,6 +129,10 @@ impl Default for RunOptions {
             deadline: None,
             retries: 0,
             journal_dir: None,
+            obs: None,
+            trace_out: None,
+            metrics_out: None,
+            log_level: None,
         }
     }
 }
@@ -245,6 +265,21 @@ fn parse_options(mut opts: RunOptions, rest: &[String]) -> Result<RunOptions, St
                 opts.retries = value()?.parse().map_err(|e| format!("--retries: {e}"))?
             }
             "--journal-dir" => opts.journal_dir = Some(std::path::PathBuf::from(value()?)),
+            "--obs" => {
+                let v = value()?;
+                opts.obs = Some(
+                    offchip_obs::ObsLevel::parse(&v)
+                        .ok_or_else(|| format!("unknown obs level {v:?} (off|metrics|trace)"))?,
+                );
+            }
+            "--trace" => opts.trace_out = Some(std::path::PathBuf::from(value()?)),
+            "--metrics" => opts.metrics_out = Some(std::path::PathBuf::from(value()?)),
+            "--log-level" => {
+                let v = value()?;
+                opts.log_level = Some(offchip_obs::LogLevel::parse(&v).ok_or_else(|| {
+                    format!("unknown log level {v:?} (error|warn|info|debug)")
+                })?);
+            }
             other => return Err(format!("unknown option {other:?}")),
         }
     }
@@ -363,6 +398,24 @@ mod tests {
         assert!(parse(&sv(&["sweep", "CG.C", "--deadline", "0"])).is_err());
         assert!(parse(&sv(&["sweep", "CG.C", "--deadline", "nan"])).is_err());
         assert!(parse(&sv(&["sweep", "CG.C", "--retries", "-1"])).is_err());
+    }
+
+    #[test]
+    fn parses_obs_flags() {
+        let cmd = parse(&sv(&[
+            "sweep", "CG.A", "--obs", "metrics", "--trace", "/tmp/t.json", "--metrics",
+            "/tmp/m.csv", "--log-level", "debug",
+        ]))
+        .unwrap();
+        let Command::Sweep(o) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(o.obs, Some(offchip_obs::ObsLevel::Metrics));
+        assert_eq!(o.trace_out.as_deref(), Some(std::path::Path::new("/tmp/t.json")));
+        assert_eq!(o.metrics_out.as_deref(), Some(std::path::Path::new("/tmp/m.csv")));
+        assert_eq!(o.log_level, Some(offchip_obs::LogLevel::Debug));
+        assert!(parse(&sv(&["run", "CG.A", "--obs", "verbose"])).is_err());
+        assert!(parse(&sv(&["run", "CG.A", "--log-level", "chatty"])).is_err());
     }
 
     #[test]

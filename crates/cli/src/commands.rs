@@ -106,8 +106,17 @@ fn campaign_sweep(
     let w = workload_of(opts, machine);
     let cs = campaign.run_sweep_with(machine, w.as_ref(), ns, &[opts.seed], jobs, &tune)?;
     if !cs.errors.is_empty() {
-        for e in &cs.errors {
-            eprintln!("lost sweep point: {e}");
+        // A handful of losses print in full; a flood aggregates per kind.
+        const DETAIL_LIMIT: usize = 5;
+        if cs.errors.len() <= DETAIL_LIMIT {
+            for e in &cs.errors {
+                offchip_obs::error!("lost sweep point: {e}");
+            }
+        } else {
+            offchip_obs::error!(
+                "lost sweep points: {}",
+                offchip_bench::loss_summary(&cs.errors)
+            );
         }
         return Err(CliError::Interrupted {
             lost: cs.errors.len(),
@@ -115,7 +124,7 @@ fn campaign_sweep(
         });
     }
     if cs.resumed > 0 {
-        println!("{}", campaign.status_line());
+        offchip_obs::info!("{}", campaign.status_line());
     }
     Ok((cs.sweep, cs.timing))
 }
@@ -129,8 +138,79 @@ fn faults_in_force(opts: &RunOptions) -> Result<Option<FaultSpec>, CliError> {
     }
 }
 
+/// Applies the observability options before a command runs: `--log-level`
+/// beats `OFFCHIP_LOG`; the obs level is the strongest of `--obs` and what
+/// `--trace`/`--metrics` imply, else the `OFFCHIP_OBS` environment stands.
+/// Clears the trace ring so `--trace` captures only this command's runs.
+fn init_obs(opts: &RunOptions) {
+    if let Some(l) = opts.log_level {
+        offchip_obs::set_log_level(l);
+    }
+    let implied = if opts.trace_out.is_some() {
+        Some(offchip_obs::ObsLevel::Trace)
+    } else if opts.metrics_out.is_some() {
+        Some(offchip_obs::ObsLevel::Metrics)
+    } else {
+        None
+    };
+    let level = match (opts.obs, implied) {
+        (Some(l), Some(i)) => Some(if (l as u8) < (i as u8) { i } else { l }),
+        (l, i) => l.or(i),
+    };
+    if let Some(l) = level {
+        offchip_obs::set_level(l);
+    }
+    if offchip_obs::level().at_least(offchip_obs::ObsLevel::Trace) {
+        offchip_obs::reset_trace();
+    }
+}
+
+/// Writes the requested observability artefacts after a command ran.
+fn finish_obs(
+    trace_out: Option<&std::path::Path>,
+    metrics_out: Option<&std::path::Path>,
+) -> Result<(), CliError> {
+    if let Some(path) = metrics_out {
+        let snap = offchip_obs::registry().snapshot();
+        std::fs::write(path, snap.to_csv())
+            .map_err(|e| CliError::Runtime(format!("write {}: {e}", path.display())))?;
+        offchip_obs::info!("wrote metrics csv={}", path.display());
+    }
+    if let Some(path) = trace_out {
+        let spans = offchip_obs::take_spans();
+        std::fs::write(path, offchip_obs::chrome_trace_json(&spans))
+            .map_err(|e| CliError::Runtime(format!("write {}: {e}", path.display())))?;
+        let dropped = offchip_obs::trace_dropped();
+        if dropped > 0 {
+            offchip_obs::warn!(
+                "trace ring overflowed: {dropped} later span(s) dropped"
+            );
+        }
+        offchip_obs::info!("wrote trace json={}", path.display());
+    }
+    Ok(())
+}
+
 /// Executes a parsed command.
 pub fn execute(cmd: Command) -> Result<(), CliError> {
+    let obs_outputs = match &cmd {
+        Command::Topology(_) => None,
+        Command::Run(o) | Command::Sweep(o) | Command::Fit(o) | Command::Burst(o) => {
+            init_obs(o);
+            Some((o.trace_out.clone(), o.metrics_out.clone()))
+        }
+    };
+    let result = execute_inner(cmd);
+    // Artefacts are written even when the command failed: a partial trace
+    // of an interrupted sweep is exactly what one debugs with.
+    let finish = match obs_outputs {
+        Some((trace, metrics)) => finish_obs(trace.as_deref(), metrics.as_deref()),
+        None => Ok(()),
+    };
+    result.and(finish)
+}
+
+fn execute_inner(cmd: Command) -> Result<(), CliError> {
     match cmd {
         Command::Topology(choice) => {
             let targets = match choice {
@@ -179,7 +259,7 @@ pub fn execute(cmd: Command) -> Result<(), CliError> {
                     14,
                 )
             );
-            println!(
+            offchip_obs::info!(
                 "sweep timing: {} runs in {:.2} s wall ({:.1} runs/s, jobs={jobs})",
                 timing.runs,
                 timing.wall.as_secs_f64(),
@@ -210,8 +290,8 @@ pub fn execute(cmd: Command) -> Result<(), CliError> {
                 .last()
                 .map(|p| (p.llc_misses as u64).max(1) as f64)
                 .unwrap_or(1.0);
-            println!(
-                "  sweep timing: {} runs in {:.2} s wall ({:.1} runs/s, jobs={jobs})",
+            offchip_obs::info!(
+                "sweep timing: {} runs in {:.2} s wall ({:.1} runs/s, jobs={jobs})",
                 timing.runs,
                 timing.wall.as_secs_f64(),
                 timing.runs_per_sec(),
@@ -222,8 +302,8 @@ pub fn execute(cmd: Command) -> Result<(), CliError> {
                 if spec.is_active() {
                     let before = sweep_f.len();
                     sweep_f = spec.injector().corrupt_sweep(&sweep_f);
-                    println!(
-                        "  injected faults ({spec:?}): {} of {before} sweep \
+                    offchip_obs::warn!(
+                        "injected faults ({spec:?}): {} of {before} sweep \
                          points survive",
                         sweep_f.len()
                     );

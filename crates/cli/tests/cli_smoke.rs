@@ -141,13 +141,26 @@ fn alternate_knobs_accepted() {
 }
 
 #[test]
-fn sweep_accepts_jobs_flag_and_prints_timing() {
-    let out = run_ok(&[
-        "sweep", "EP.S", "--machine", "uma", "--scale", "128", "--jobs", "2",
-    ]);
-    assert!(out.contains("jobs=2"), "timing names the worker count: {out}");
-    assert!(out.contains("sweep timing:"), "timing line present: {out}");
-    assert!(out.contains("runs/s"), "throughput reported: {out}");
+fn sweep_accepts_jobs_flag_and_logs_timing_to_stderr() {
+    // Diagnostics (timing, heartbeats) go to stderr so piped stdout stays
+    // a clean report; the omega table itself stays on stdout.
+    let out = offchip()
+        .args(["sweep", "EP.S", "--machine", "uma", "--scale", "128", "--jobs", "2"])
+        .output()
+        .expect("spawn offchip");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stdout.contains("omega"), "report on stdout: {stdout}");
+    assert!(
+        !stdout.contains("sweep timing:"),
+        "no diagnostics on stdout: {stdout}"
+    );
+    assert!(
+        stderr.contains("sweep timing:") && stderr.contains("jobs=2"),
+        "timing line on stderr names the worker count: {stderr}"
+    );
+    assert!(stderr.contains("runs/s"), "throughput reported: {stderr}");
 }
 
 #[test]
@@ -170,13 +183,16 @@ fn sweep_resume_replays_the_journal() {
             "sweep (resume={resume}) failed:\n{}",
             String::from_utf8_lossy(&out.stderr)
         );
-        String::from_utf8(out.stdout).expect("utf8 stdout")
+        (
+            String::from_utf8(out.stdout).expect("utf8 stdout"),
+            String::from_utf8(out.stderr).expect("utf8 stderr"),
+        )
     };
-    let first = run(false);
-    let second = run(true);
+    let (first, _) = run(false);
+    let (second, second_err) = run(true);
     assert!(
-        second.contains("0 runs executed, 8 resumed"),
-        "resume replays all 8 points: {second}"
+        second_err.contains("0 runs executed, 8 resumed"),
+        "resume status logged to stderr: {second_err}"
     );
     let omega_table = |s: &str| {
         s.lines()
@@ -185,6 +201,37 @@ fn sweep_resume_replays_the_journal() {
             .join("\n")
     };
     assert_eq!(omega_table(&first), omega_table(&second));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trace_and_metrics_flags_write_artefacts() {
+    let dir = std::env::temp_dir().join(format!("offchip-cli-obs-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let trace = dir.join("trace.json");
+    let metrics = dir.join("metrics.csv");
+    let out = offchip()
+        .args([
+            "sweep", "IS.S", "--machine", "uma", "--scale", "128", "--jobs", "2",
+        ])
+        .arg("--trace")
+        .arg(&trace)
+        .arg("--metrics")
+        .arg(&metrics)
+        .output()
+        .expect("spawn offchip");
+    assert!(
+        out.status.success(),
+        "traced sweep failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let tj = std::fs::read_to_string(&trace).expect("trace written");
+    assert!(tj.starts_with("{\"traceEvents\":["), "chrome shape: {}", &tj[..60.min(tj.len())]);
+    assert!(tj.contains("\"ph\":\"X\""), "complete events present");
+    assert!(tj.contains("\"cat\":\"dram\""), "DRAM service spans present");
+    let mc = std::fs::read_to_string(&metrics).expect("metrics written");
+    assert!(mc.starts_with("kind,name,value"), "csv header: {mc}");
+    assert!(mc.contains("dram.queue_wait_cycles"), "queue-wait histogram: {mc}");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -73,6 +73,9 @@ pub struct FcfsController {
     /// `bus_free[channel]`: when the data bus can begin a new transfer.
     bus_free: Vec<SimTime>,
     stats: McStats,
+    /// Per-run telemetry observer; `None` at `ObsLevel::Off`, so the hot
+    /// path pays one predictable branch.
+    obs: Option<Box<offchip_obs::McObs>>,
 }
 
 impl FcfsController {
@@ -86,6 +89,7 @@ impl FcfsController {
             open_row: vec![vec![None; banks]; ch],
             bus_free: vec![SimTime::ZERO; ch],
             stats: McStats::default(),
+            obs: None,
         }
     }
 
@@ -117,6 +121,9 @@ impl McModel for FcfsController {
             self.stats.total_queueing_cycles += transfer_start - arrival;
             self.stats.bus_busy_cycles += self.cfg.transfer_cycles;
             self.stats.last_completion = self.stats.last_completion.max(completion);
+            if let Some(obs) = &mut self.obs {
+                obs.record(arrival.0, arrival.0, transfer_start - arrival, completion.0);
+            }
             return EnqueueResult::Completed(completion + req.network_latency);
         }
 
@@ -154,6 +161,10 @@ impl McModel for FcfsController {
         self.stats.bus_busy_cycles += self.cfg.transfer_cycles;
         self.stats.last_completion = self.stats.last_completion.max(completion);
 
+        if let Some(obs) = &mut self.obs {
+            obs.record(arrival.0, arrival.0, bank_start - arrival, completion.0);
+        }
+
         // Response crosses the network back to the requester.
         EnqueueResult::Completed(completion + req.network_latency)
     }
@@ -168,6 +179,14 @@ impl McModel for FcfsController {
 
     fn pending(&self) -> usize {
         0
+    }
+
+    fn attach_obs(&mut self, obs: Box<offchip_obs::McObs>) {
+        self.obs = Some(obs);
+    }
+
+    fn take_obs(&mut self) -> Option<Box<offchip_obs::McObs>> {
+        self.obs.take()
     }
 }
 

@@ -167,6 +167,8 @@ pub struct FrFcfsController {
     /// absolute priority.
     starvation_cap: u32,
     stats: McStats,
+    /// Per-run telemetry observer; `None` at `ObsLevel::Off`.
+    obs: Option<Box<offchip_obs::McObs>>,
 }
 
 impl FrFcfsController {
@@ -200,6 +202,7 @@ impl FrFcfsController {
             channels,
             starvation_cap,
             stats: McStats::default(),
+            obs: None,
         }
     }
 }
@@ -258,6 +261,9 @@ impl McModel for FrFcfsController {
                 self.stats.total_queueing_cycles += now - p.arrival;
                 self.stats.bus_busy_cycles += self.cfg.transfer_cycles;
                 self.stats.last_completion = self.stats.last_completion.max(completion);
+                if let Some(obs) = &mut self.obs {
+                    obs.record(p.arrival.0, now.0, now - p.arrival, completion.0);
+                }
                 committed.push((p.req, completion + p.req.network_latency));
                 continue;
             }
@@ -288,6 +294,10 @@ impl McModel for FrFcfsController {
             self.stats.bus_busy_cycles += self.cfg.transfer_cycles;
             self.stats.last_completion = self.stats.last_completion.max(completion);
 
+            if let Some(obs) = &mut self.obs {
+                obs.record(p.arrival.0, now.0, now - p.arrival, completion.0);
+            }
+
             committed.push((p.req, completion + p.req.network_latency));
         }
         // Next wake: the earliest opportunity over all channels.
@@ -310,6 +320,14 @@ impl McModel for FrFcfsController {
 
     fn pending(&self) -> usize {
         self.channels.iter().map(|c| c.pending as usize).sum()
+    }
+
+    fn attach_obs(&mut self, obs: Box<offchip_obs::McObs>) {
+        self.obs = Some(obs);
+    }
+
+    fn take_obs(&mut self) -> Option<Box<offchip_obs::McObs>> {
+        self.obs.take()
     }
 }
 

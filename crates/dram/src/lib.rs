@@ -92,4 +92,19 @@ pub trait McModel {
     /// Number of requests accepted but not yet committed to a completion
     /// time (always 0 for reservation-style schedulers).
     fn pending(&self) -> usize;
+
+    /// Attaches a per-run telemetry observer ([`offchip_obs::McObs`]):
+    /// the controller records every serviced request's queueing wait,
+    /// queue depth and completion into it. The default implementation
+    /// drops the observer — a model without instrumentation hooks simply
+    /// reports nothing, it does not fail.
+    fn attach_obs(&mut self, obs: Box<offchip_obs::McObs>) {
+        let _ = obs;
+    }
+
+    /// Detaches the observer attached with [`McModel::attach_obs`], if
+    /// any, so the issuer can drain it at end of run.
+    fn take_obs(&mut self) -> Option<Box<offchip_obs::McObs>> {
+        None
+    }
 }

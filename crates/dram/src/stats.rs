@@ -3,7 +3,7 @@
 use offchip_simcore::SimTime;
 
 /// Aggregate statistics of one memory controller.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct McStats {
     /// Requests accepted.
     pub requests: u64,

@@ -1,6 +1,7 @@
 //! Simulation configuration.
 
 use offchip_cache::ReplacementPolicy;
+use offchip_obs::ObsLevel;
 use offchip_topology::{AllocationPolicy, MachineSpec, SpecError};
 
 /// Why a [`SimConfig`] cannot be simulated.
@@ -153,6 +154,18 @@ pub struct SimConfig {
     /// guard costs nothing measurable; exceeding it surfaces as
     /// [`crate::sim::RunError::DeadlineExceeded`].
     pub deadline: Option<std::time::Duration>,
+    /// Observation level of this run. Captured from the process-wide
+    /// [`offchip_obs::level`] (`--obs` / `OFFCHIP_OBS`) at construction,
+    /// so every sweep/campaign path inherits it without plumbing. At
+    /// [`ObsLevel::Off`] (the default) no observer objects exist and the
+    /// hot paths pay one predictable branch; counters — and therefore
+    /// every experiment artefact — are identical at every level.
+    pub obs: ObsLevel,
+    /// Telemetry time-series window in cycles, used when `obs` is at
+    /// least [`ObsLevel::Metrics`]. `None` (the default) derives the
+    /// paper's 5 µs window at this machine's clock and geometric scale
+    /// (cf. [`SimConfig::with_sampler_5us_scaled`]).
+    pub telemetry_window: Option<u64>,
 }
 
 impl SimConfig {
@@ -175,7 +188,19 @@ impl SimConfig {
             prefetch_degree: 0,
             max_events: None,
             deadline: None,
+            obs: offchip_obs::level(),
+            telemetry_window: None,
         }
+    }
+
+    /// The telemetry window in force when observation is enabled: the
+    /// explicit [`SimConfig::telemetry_window`], else the 5 µs window at
+    /// this machine's clock and scale.
+    pub fn effective_telemetry_window(&self) -> u64 {
+        self.telemetry_window.unwrap_or_else(|| {
+            let cycles = (self.machine.freq_ghz * 5_000.0 * self.machine.scale).round() as u64;
+            cycles.max(1)
+        })
     }
 
     /// Enables the fine-grained miss sampler with the paper's 5 µs window
@@ -226,6 +251,9 @@ impl SimConfig {
                 return Err(ConfigError::ZeroSamplerWindow);
             }
         }
+        if self.telemetry_window == Some(0) {
+            return Err(ConfigError::ZeroSamplerWindow);
+        }
         Ok(())
     }
 }
@@ -246,6 +274,15 @@ mod tests {
         let cfg = SimConfig::new(machines::intel_numa_24(), 1).with_sampler_5us();
         // 2.66 GHz × 5 µs = 13,300 cycles.
         assert_eq!(cfg.sampler_window, Some(13_300));
+    }
+
+    #[test]
+    fn telemetry_window_defaults_to_scaled_5us() {
+        let mut cfg = SimConfig::new(machines::intel_numa_24().scaled(1.0 / 64.0), 1);
+        // 2.66 GHz × 5 µs × 1/64 ≈ 208 cycles.
+        assert_eq!(cfg.effective_telemetry_window(), 208);
+        cfg.telemetry_window = Some(500);
+        assert_eq!(cfg.effective_telemetry_window(), 500);
     }
 
     #[test]
@@ -271,6 +308,9 @@ mod tests {
         cfg.quantum_cycles = 0;
         assert_eq!(cfg.validate().unwrap_err(), ConfigError::ZeroQuantum);
         cfg.quantum_cycles = 50_000;
+        cfg.telemetry_window = Some(0);
+        assert_eq!(cfg.validate().unwrap_err(), ConfigError::ZeroSamplerWindow);
+        cfg.telemetry_window = None;
         let jobs = ConfigError::BadJobs { value: "zero".into() };
         assert!(jobs.to_string().contains("OFFCHIP_JOBS"));
         cfg.machine.sockets = 0;

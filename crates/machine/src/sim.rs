@@ -25,6 +25,7 @@ use offchip_dram::fcfs::McConfig;
 use offchip_dram::{
     EnqueueResult, FcfsController, FrFcfsController, McModel, Request, RequestId,
 };
+use offchip_obs::{Histogram, McObs, ObsLevel, Span};
 use offchip_simcore::{EventQueue, SimTime};
 use offchip_topology::{allocation, CoreId, McId};
 
@@ -102,6 +103,52 @@ impl From<ConfigError> for RunError {
 /// of host time — far finer than any useful deadline, and about one
 /// clock read per 65k events of work).
 const DEADLINE_POLL_MASK: u64 = (1 << 16) - 1;
+
+/// Hard cap on machine-layer trace spans per run (compute quanta are the
+/// dominant producer); overflow is silently dropped rather than growing
+/// without bound.
+const MAX_SIM_SPANS: usize = 1 << 19;
+
+/// Per-run machine-layer observer; `None` at [`ObsLevel::Off`], so every
+/// hot-path hook is one predictable branch on an absent `Option`.
+struct SimObs {
+    /// Whether span tracing is on ([`ObsLevel::Trace`]).
+    trace: bool,
+    /// Cycles threads spent blocked on off-chip fills, one sample per
+    /// stall episode.
+    mem_stall: Histogram,
+    /// One-way network latency of remote requests, one sample per remote
+    /// request (interconnect hop latency including link queueing).
+    hop_latency: Histogram,
+    spans: Vec<Span>,
+}
+
+impl SimObs {
+    fn new(trace: bool) -> SimObs {
+        SimObs {
+            trace,
+            mem_stall: Histogram::new(),
+            hop_latency: Histogram::new(),
+            spans: Vec::new(),
+        }
+    }
+
+    /// Records one `"sim"`-category span when tracing; the run lane
+    /// (`pid`) is assigned at flush time.
+    #[inline]
+    fn push_span(&mut self, name: &'static str, ts: SimTime, dur: u64, tid: u32) {
+        if self.trace && self.spans.len() < MAX_SIM_SPANS {
+            self.spans.push(Span {
+                name,
+                cat: "sim",
+                ts: ts.cycles(),
+                dur,
+                pid: 0,
+                tid,
+            });
+        }
+    }
+}
 
 #[derive(Debug, Clone, Copy)]
 enum Event {
@@ -229,6 +276,7 @@ struct Sim<'w> {
     counters: Counters,
     sampler: Option<WindowSampler>,
     max_end: SimTime,
+    obs: Option<Box<SimObs>>,
 }
 
 /// Runs `workload` under `cfg` and returns the full report.
@@ -307,7 +355,7 @@ pub fn try_run_bounded(workload: &dyn Workload, cfg: &SimConfig) -> Result<RunRe
     }
 
     let mc_cfg = McConfig::from_spec(&cfg.machine.dram, cfg.machine.line_bytes());
-    let mcs: Vec<Box<dyn McModel>> = (0..cfg.machine.total_mcs())
+    let mut mcs: Vec<Box<dyn McModel>> = (0..cfg.machine.total_mcs())
         .map(|_| -> Box<dyn McModel> {
             match cfg.scheduler {
                 McScheduler::Fcfs => Box::new(FcfsController::new(mc_cfg)),
@@ -315,6 +363,13 @@ pub fn try_run_bounded(workload: &dyn Workload, cfg: &SimConfig) -> Result<RunRe
             }
         })
         .collect();
+    if cfg.obs.at_least(ObsLevel::Metrics) {
+        let window = cfg.effective_telemetry_window();
+        let trace = cfg.obs.at_least(ObsLevel::Trace);
+        for (i, mc) in mcs.iter_mut().enumerate() {
+            mc.attach_obs(Box::new(McObs::new(i, window, trace)));
+        }
+    }
     let n_mcs = mcs.len();
 
     let mut active_mcs: Vec<McId> = {
@@ -362,6 +417,10 @@ pub fn try_run_bounded(workload: &dyn Workload, cfg: &SimConfig) -> Result<RunRe
         counters: Counters::default(),
         sampler: cfg.sampler_window.map(WindowSampler::new),
         max_end: SimTime::ZERO,
+        obs: cfg
+            .obs
+            .at_least(ObsLevel::Metrics)
+            .then(|| Box::new(SimObs::new(cfg.obs.at_least(ObsLevel::Trace)))),
     };
 
     for slot in 0..sim.cores.len() {
@@ -459,6 +518,8 @@ pub fn try_run_bounded(workload: &dyn Workload, cfg: &SimConfig) -> Result<RunRe
     sim.counters.llc_misses = sim.hierarchy.total_llc_misses();
     sim.counters.llc_accesses = sim.hierarchy.total_llc_accesses();
 
+    let telemetry = flush_obs(&mut sim, makespan);
+
     Ok(RunReport {
         program: workload.name(),
         machine: cfg.machine.name.clone(),
@@ -472,6 +533,70 @@ pub fn try_run_bounded(workload: &dyn Workload, cfg: &SimConfig) -> Result<RunRe
             .collect(),
         miss_windows: sim.sampler.map(|s| s.finish(makespan)),
         placement,
+        telemetry,
+    })
+}
+
+/// Drains every per-run observer into the process-global metrics registry
+/// and trace ring and assembles the report's telemetry section. A no-op
+/// returning `None` below [`ObsLevel::Metrics`], so runs at
+/// [`ObsLevel::Off`] touch no global state at all.
+fn flush_obs(sim: &mut Sim<'_>, makespan: SimTime) -> Option<offchip_obs::Telemetry> {
+    if !sim.cfg.obs.at_least(ObsLevel::Metrics) {
+        return None;
+    }
+    let reg = offchip_obs::registry();
+
+    let mut mshr_peak = 0u64;
+    for th in &sim.threads {
+        mshr_peak = mshr_peak.max(th.mshr.peak() as u64);
+    }
+    reg.gauge_max("machine.mshr_occupancy_peak", mshr_peak);
+    reg.gauge_max("machine.event_queue_peak", sim.queue.max_len() as u64);
+
+    for (level, accesses, misses) in sim.hierarchy.level_totals() {
+        reg.add(&format!("cache.l{level}.accesses"), accesses);
+        reg.add(&format!("cache.l{level}.misses"), misses);
+    }
+
+    let (mut row_hits, mut row_conflicts) = (0u64, 0u64);
+    for mc in &sim.mcs {
+        let st = mc.stats();
+        row_hits += st.row_hits;
+        row_conflicts += st.row_misses;
+    }
+    reg.add("dram.row_hits", row_hits);
+    reg.add("dram.row_conflicts", row_conflicts);
+
+    let window = sim.cfg.effective_telemetry_window();
+    let mut per_mc = Vec::with_capacity(sim.mcs.len());
+    let mut spans = Vec::new();
+    for mc in sim.mcs.iter_mut() {
+        if let Some(mut obs) = mc.take_obs() {
+            reg.merge_histogram("dram.queue_wait_cycles", obs.queue_wait());
+            reg.merge_histogram("dram.queue_depth", obs.queue_depth());
+            per_mc.push(obs.series(makespan.cycles()));
+            spans.extend(obs.take_spans());
+        }
+    }
+    if let Some(mut o) = sim.obs.take() {
+        reg.merge_histogram("machine.mem_stall_cycles", &o.mem_stall);
+        reg.merge_histogram("net.hop_latency_cycles", &o.hop_latency);
+        spans.append(&mut o.spans);
+    }
+    if !spans.is_empty() {
+        // One Chrome-trace "process" lane per run, so overlapping sweep
+        // points stay visually separate in Perfetto.
+        let pid = offchip_obs::next_trace_pid();
+        for s in &mut spans {
+            s.pid = pid;
+        }
+        offchip_obs::push_spans(&mut spans);
+    }
+
+    Some(offchip_obs::Telemetry {
+        window_cycles: window,
+        per_mc,
     })
 }
 
@@ -543,7 +668,13 @@ impl<'w> Sim<'w> {
             return;
         }
         self.threads[thread].state = ThreadState::Runnable;
-        self.counters.mem_stall_cycles += t.since(self.threads[thread].stall_started);
+        let stalled_for = t.since(self.threads[thread].stall_started);
+        self.counters.mem_stall_cycles += stalled_for;
+        if let Some(o) = &mut self.obs {
+            o.mem_stall.record(stalled_for);
+            let started = self.threads[thread].stall_started;
+            o.push_span("mem_stall", started, stalled_for, thread as u32);
+        }
         if self.cores[core].current == Some(thread) {
             // Fills can arrive "before" the thread's run-ahead clock;
             // never let a resume move its local time backwards.
@@ -590,7 +721,11 @@ impl<'w> Sim<'w> {
         let start = (*slot).max(t);
         let queue_delay = start.since(t);
         *slot = start + occupancy;
-        base + queue_delay + occupancy
+        let latency = base + queue_delay + occupancy;
+        if let Some(o) = &mut self.obs {
+            o.hop_latency.record(latency);
+        }
+        latency
     }
 
     /// Issues the off-chip request for a missing line at time `t`; returns
@@ -734,9 +869,13 @@ impl<'w> Sim<'w> {
         let live = self.n_threads - self.done_threads;
         if live > 0 && self.barrier_waiting == live {
             self.barrier_waiting = 0;
-            for th in &mut self.threads {
-                if th.state == ThreadState::AtBarrier {
-                    th.state = ThreadState::Runnable;
+            for i in 0..self.threads.len() {
+                if self.threads[i].state == ThreadState::AtBarrier {
+                    self.threads[i].state = ThreadState::Runnable;
+                    if let Some(o) = &mut self.obs {
+                        let started = self.threads[i].stall_started;
+                        o.push_span("barrier", started, t.since(started), i as u32);
+                    }
                 }
             }
             for slot in 0..self.cores.len() {
@@ -812,6 +951,9 @@ impl<'w> Sim<'w> {
                         cycles,
                         instructions,
                     } => {
+                        if let Some(o) = &mut self.obs {
+                            o.push_span("compute", t, cycles, cur as u32);
+                        }
                         t += cycles;
                         self.counters.work_cycles += cycles;
                         self.counters.instructions += instructions;
@@ -892,6 +1034,7 @@ impl<'w> Sim<'w> {
                             return;
                         }
                         self.threads[cur].state = ThreadState::AtBarrier;
+                        self.threads[cur].stall_started = t;
                         self.barrier_waiting += 1;
                         self.cores[slot].current = None;
                         self.release_barrier_if_complete(t);
@@ -1467,5 +1610,61 @@ mod tests {
             Err(RunError::Config(ConfigError::CoresOutOfRange { n_cores: 9, .. })) => {}
             other => panic!("expected Config error, got {other:?}"),
         }
+    }
+
+    /// A workload that exercises every span producer: compute, off-chip
+    /// misses (mem stalls + DRAM service) and a barrier.
+    fn obs_workload() -> VecWorkload {
+        VecWorkload {
+            name: "obs".into(),
+            threads: (0..2)
+                .map(|t| {
+                    let mut ops = vec![compute(200)];
+                    for i in 0..32u64 {
+                        ops.push(read((1 << 20) + (t as u64 * 1 << 16) + i * 4096));
+                    }
+                    ops.push(Op::Barrier);
+                    ops.push(compute(100));
+                    ops
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn observation_never_perturbs_the_simulation() {
+        let w = obs_workload();
+        let mut cfg = SimConfig::new(small_machine(), 2);
+        cfg.obs = offchip_obs::ObsLevel::Off;
+        let off = run(&w, &cfg);
+        cfg.obs = offchip_obs::ObsLevel::Trace;
+        let on = run(&w, &cfg);
+        assert_eq!(off.counters, on.counters, "counters must be obs-invariant");
+        assert_eq!(off.makespan, on.makespan);
+        assert_eq!(off.mc_stats, on.mc_stats);
+        assert!(off.telemetry.is_none(), "no telemetry at ObsLevel::Off");
+        assert!(on.telemetry.is_some(), "telemetry present at ObsLevel::Trace");
+    }
+
+    #[test]
+    fn telemetry_series_cover_the_run() {
+        let w = obs_workload();
+        let mut cfg = SimConfig::new(small_machine(), 2);
+        cfg.obs = offchip_obs::ObsLevel::Metrics;
+        cfg.telemetry_window = Some(100);
+        let r = run(&w, &cfg);
+        let tel = r.telemetry.expect("metrics level produces telemetry");
+        assert_eq!(tel.window_cycles, 100);
+        assert_eq!(tel.per_mc.len(), cfg.machine.total_mcs());
+        let expect_windows = (r.makespan.cycles() / 100 + 1) as usize;
+        for mc in &tel.per_mc {
+            assert_eq!(mc.windows.len(), expect_windows, "series padded to makespan");
+        }
+        assert_eq!(
+            tel.total_requests(),
+            r.counters.read_requests + r.counters.write_requests + r.counters.prefetch_requests,
+            "every off-chip request lands in exactly one window"
+        );
+        assert!(tel.total_requests() > 0, "the workload misses off-chip");
     }
 }

@@ -1,0 +1,45 @@
+//! Zero-overhead-when-off instrumentation for the offchip stack.
+//!
+//! Four independent pieces, all dependency-free:
+//!
+//! - [`level`]: the process-wide [`ObsLevel`] (`Off`/`Metrics`/`Trace`),
+//!   resolved once per run from `--obs`/`OFFCHIP_OBS`. Every producer
+//!   captures it at construction time, so the hot-path cost when off is a
+//!   single well-predicted branch on an `Option` that is `None`.
+//! - [`metrics`]: a process-global registry of counters, gauges and
+//!   log2-bucketed [`Histogram`]s with p50/p95/p99/max. Hot paths never
+//!   touch the registry; they record into plain per-run structs and merge
+//!   once at end of run.
+//! - [`telemetry`]: the per-memory-controller time-series sampler
+//!   generalising the 5 µs burst windows ([`McObs`], [`Telemetry`]), plus
+//!   queue-wait/queue-depth histograms fed from the DRAM service paths.
+//! - [`trace`]: a bounded ring of [`Span`]s rendered as Chrome
+//!   `trace_event` JSON, loadable in `chrome://tracing` / Perfetto.
+//! - [`log`]: a leveled `key=value` logger on stderr (`--log-level`,
+//!   `OFFCHIP_LOG`) with [`error!`]/[`warn!`]/[`info!`]/[`debug!`] macros.
+//!
+//! # The zero-cost contract
+//!
+//! Nothing in this crate allocates, locks, or formats unless the
+//! corresponding level is enabled: at `ObsLevel::Off` the simulator
+//! constructs no observer objects, experiment artefacts are byte-identical
+//! to an uninstrumented build, and the perfstat gate bounds the residual
+//! branch cost below 5 % normalised throughput.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod level;
+pub mod log;
+pub mod metrics;
+pub mod telemetry;
+pub mod trace;
+
+pub use level::{level, set_level, ObsLevel};
+pub use log::{log_emit, log_enabled, log_level, set_log_level, LogLevel};
+pub use metrics::{registry, Counter, Gauge, Histogram, MetricsSnapshot, Registry};
+pub use telemetry::{McObs, McSeries, Telemetry, TelemetryWindow};
+pub use trace::{
+    chrome_trace_json, next_trace_pid, push_spans, reset_trace, take_spans, trace_dropped, Span,
+    TRACE_CAPACITY,
+};

@@ -1,0 +1,185 @@
+//! Leveled structured logging on stderr.
+//!
+//! One line per record, `key=value` style, always on **stderr** so piped
+//! JSON/CSV on stdout stays clean:
+//!
+//! ```text
+//! level=info campaign=table2-quick done=12/36 rate=3.1/s eta=8s
+//! ```
+//!
+//! The threshold comes from `--log-level`, else `OFFCHIP_LOG`, else
+//! `info`. Call sites use the [`error!`](crate::error!) /
+//! [`warn!`](crate::warn!) / [`info!`](crate::info!) /
+//! [`debug!`](crate::debug!) macros, which skip all formatting when the
+//! record is below threshold.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Severity of a log record; also the reporting threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum LogLevel {
+    /// Unrecoverable or data-losing conditions.
+    Error = 0,
+    /// Degraded-but-continuing conditions (lost points, journal damage).
+    Warn = 1,
+    /// Progress: sweep timings, campaign heartbeats, resume status.
+    Info = 2,
+    /// Per-point detail useful when debugging a campaign.
+    Debug = 3,
+}
+
+impl LogLevel {
+    /// Parses `error`/`warn`/`info`/`debug` (ASCII case-insensitive).
+    pub fn parse(s: &str) -> Option<LogLevel> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Some(LogLevel::Error),
+            "warn" | "warning" => Some(LogLevel::Warn),
+            "info" => Some(LogLevel::Info),
+            "debug" => Some(LogLevel::Debug),
+            _ => None,
+        }
+    }
+
+    /// The flag/env spelling of this level.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LogLevel::Error => "error",
+            LogLevel::Warn => "warn",
+            LogLevel::Info => "info",
+            LogLevel::Debug => "debug",
+        }
+    }
+
+    fn from_u8(v: u8) -> LogLevel {
+        match v {
+            0 => LogLevel::Error,
+            1 => LogLevel::Warn,
+            3 => LogLevel::Debug,
+            _ => LogLevel::Info,
+        }
+    }
+}
+
+impl std::fmt::Display for LogLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Sentinel meaning "not yet resolved from the environment".
+const UNSET: u8 = u8::MAX;
+
+static THRESHOLD: AtomicU8 = AtomicU8::new(UNSET);
+
+/// The active log threshold. First call resolves `OFFCHIP_LOG` (unset or
+/// unparseable → `Info`); later calls are one relaxed load.
+pub fn log_level() -> LogLevel {
+    let raw = THRESHOLD.load(Ordering::Relaxed);
+    if raw != UNSET {
+        return LogLevel::from_u8(raw);
+    }
+    let resolved = std::env::var("OFFCHIP_LOG")
+        .ok()
+        .and_then(|v| LogLevel::parse(&v))
+        .unwrap_or(LogLevel::Info);
+    THRESHOLD.store(resolved as u8, Ordering::Relaxed);
+    resolved
+}
+
+/// Forces the log threshold (CLI flags beat the environment).
+pub fn set_log_level(l: LogLevel) {
+    THRESHOLD.store(l as u8, Ordering::Relaxed);
+}
+
+/// True when records at `level` should be emitted. The macros call this
+/// before doing any formatting work.
+#[inline]
+pub fn log_enabled(level: LogLevel) -> bool {
+    level <= log_level()
+}
+
+/// Writes one record to stderr. Use the macros instead of calling this
+/// directly so disabled levels cost only the threshold check.
+pub fn log_emit(level: LogLevel, args: std::fmt::Arguments<'_>) {
+    eprintln!("level={} {}", level.as_str(), args);
+}
+
+/// Logs at `Error` level.
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => {
+        if $crate::log_enabled($crate::LogLevel::Error) {
+            $crate::log_emit($crate::LogLevel::Error, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at `Warn` level.
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        if $crate::log_enabled($crate::LogLevel::Warn) {
+            $crate::log_emit($crate::LogLevel::Warn, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at `Info` level.
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        if $crate::log_enabled($crate::LogLevel::Info) {
+            $crate::log_emit($crate::LogLevel::Info, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at `Debug` level.
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        if $crate::log_enabled($crate::LogLevel::Debug) {
+            $crate::log_emit($crate::LogLevel::Debug, format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        for l in [
+            LogLevel::Error,
+            LogLevel::Warn,
+            LogLevel::Info,
+            LogLevel::Debug,
+        ] {
+            assert_eq!(LogLevel::parse(l.as_str()), Some(l));
+        }
+        assert_eq!(LogLevel::parse("WARNING"), Some(LogLevel::Warn));
+        assert_eq!(LogLevel::parse("verbose"), None);
+    }
+
+    #[test]
+    fn threshold_gates_levels() {
+        set_log_level(LogLevel::Warn);
+        assert!(log_enabled(LogLevel::Error));
+        assert!(log_enabled(LogLevel::Warn));
+        assert!(!log_enabled(LogLevel::Info));
+        set_log_level(LogLevel::Debug);
+        assert!(log_enabled(LogLevel::Debug));
+        set_log_level(LogLevel::Info);
+    }
+
+    #[test]
+    fn macros_compile_with_format_args() {
+        set_log_level(LogLevel::Error);
+        // Below threshold: must not format (and must still compile).
+        crate::info!("k={} v={}", 1, "x");
+        crate::debug!("unused={}", 2);
+        set_log_level(LogLevel::Info);
+    }
+}

@@ -1,0 +1,480 @@
+//! The process-global metrics registry.
+//!
+//! Hot paths never write here. The simulator records into plain per-run
+//! structs ([`Histogram`], local `u64`s) and merges them into the registry
+//! once at end of run; the registry's own primitives ([`Counter`],
+//! [`Gauge`]) are atomics so concurrent sweep workers can merge without a
+//! data race. `snapshot()` renders everything as text or CSV.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, RwLock};
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `delta`.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An atomic gauge with last-write and high-water-mark semantics.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Overwrites the gauge.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if `v` is larger (high-water mark).
+    #[inline]
+    pub fn record_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log2 buckets: bucket 0 holds the value 0, bucket `i ≥ 1`
+/// holds values with `floor(log2(v)) == i - 1`, i.e. `[2^(i-1), 2^i)`.
+const BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples (latencies, depths).
+///
+/// Plain (non-atomic) by design: one lives per run / per controller on
+/// the hot path and is merged into the registry at end of run. Quantiles
+/// come from the bucket CDF, using each bucket's upper bound clamped to
+/// the exact observed maximum — which guarantees `p50 ≤ p95 ≤ p99 ≤ max`
+/// by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Histogram {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Folds `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample seen, 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the bucket
+    /// holding the target rank, clamped to the observed maximum. 0 when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cum += b;
+            if cum >= target {
+                let upper = if i == 0 {
+                    0
+                } else if i >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << i) - 1
+                };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+/// One histogram's rendered summary inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// Sample count.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Exact maximum.
+    pub max: u64,
+}
+
+/// A point-in-time copy of the registry, ready for rendering.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter name → value, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge name → value, name-sorted.
+    pub gauges: Vec<(String, u64)>,
+    /// Histogram name → summary, name-sorted.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl MetricsSnapshot {
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Renders the snapshot as CSV with a uniform header.
+    ///
+    /// Counters and gauges fill only the `value` column; histograms fill
+    /// `value` with their mean plus the count/quantile columns.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kind,name,value,count,p50,p95,p99,max\n");
+        for (name, v) in &self.counters {
+            out.push_str(&format!("counter,{name},{v},,,,,\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("gauge,{name},{v},,,,,\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "hist,{name},{:.3},{},{},{},{},{}\n",
+                h.mean, h.count, h.p50, h.p95, h.p99, h.max
+            ));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (name, v) in &self.counters {
+            writeln!(f, "  {name:<40} {v}")?;
+        }
+        for (name, v) in &self.gauges {
+            writeln!(f, "  {name:<40} {v}")?;
+        }
+        for (name, h) in &self.histograms {
+            writeln!(
+                f,
+                "  {name:<40} n={} mean={:.1} p50={} p95={} p99={} max={}",
+                h.count, h.mean, h.p50, h.p95, h.p99, h.max
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The process-global metrics registry.
+///
+/// Counter/gauge updates take a read lock plus one atomic RMW; histogram
+/// merges serialise on a mutex (they happen once per run, not per event).
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Counter>>,
+    gauges: RwLock<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl Registry {
+    /// Adds `delta` to the named counter, creating it at zero first.
+    pub fn add(&self, name: &str, delta: u64) {
+        if let Some(c) = self.counters.read().unwrap().get(name) {
+            c.add(delta);
+            return;
+        }
+        self.counters
+            .write()
+            .unwrap()
+            .entry(name.to_string())
+            .or_default()
+            .add(delta);
+    }
+
+    /// Raises the named gauge to `v` if larger (high-water mark).
+    pub fn gauge_max(&self, name: &str, v: u64) {
+        if let Some(g) = self.gauges.read().unwrap().get(name) {
+            g.record_max(v);
+            return;
+        }
+        self.gauges
+            .write()
+            .unwrap()
+            .entry(name.to_string())
+            .or_default()
+            .record_max(v);
+    }
+
+    /// Overwrites the named gauge.
+    pub fn gauge_set(&self, name: &str, v: u64) {
+        if let Some(g) = self.gauges.read().unwrap().get(name) {
+            g.set(v);
+            return;
+        }
+        self.gauges
+            .write()
+            .unwrap()
+            .entry(name.to_string())
+            .or_default()
+            .set(v);
+    }
+
+    /// Records one sample into the named histogram.
+    pub fn observe(&self, name: &str, v: u64) {
+        self.histograms
+            .lock()
+            .unwrap()
+            .entry(name.to_string())
+            .or_default()
+            .record(v);
+    }
+
+    /// Merges a per-run histogram into the named registry histogram.
+    pub fn merge_histogram(&self, name: &str, h: &Histogram) {
+        if h.is_empty() {
+            return;
+        }
+        self.histograms
+            .lock()
+            .unwrap()
+            .entry(name.to_string())
+            .or_default()
+            .merge(h);
+    }
+
+    /// Current value of a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .read()
+            .unwrap()
+            .get(name)
+            .map_or(0, Counter::get)
+    }
+
+    /// Current value of a gauge (0 when absent).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.read().unwrap().get(name).map_or(0, Gauge::get)
+    }
+
+    /// A copy of the named histogram, if present.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.histograms.lock().unwrap().get(name).cloned()
+    }
+
+    /// Clears everything (test isolation).
+    pub fn reset(&self) {
+        self.counters.write().unwrap().clear();
+        self.gauges.write().unwrap().clear();
+        self.histograms.lock().unwrap().clear();
+    }
+
+    /// A point-in-time copy of every metric, name-sorted.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    HistogramSummary {
+                        count: h.count(),
+                        mean: h.mean(),
+                        p50: h.p50(),
+                        p95: h.p95(),
+                        p99: h.p99(),
+                        max: h.max(),
+                    },
+                )
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// The process-global registry.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_are_ordered_and_bounded() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 1, 2, 3, 7, 9, 100, 1000, 65_537] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.max(), 65_537);
+        let (p50, p95, p99) = (h.p50(), h.p95(), h.p99());
+        assert!(p50 <= p95 && p95 <= p99 && p99 <= h.max());
+        assert!(p50 >= 3 && p50 <= 7, "p50={p50}");
+    }
+
+    #[test]
+    fn histogram_empty_is_all_zero() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_single_value_quantiles_hit_it() {
+        let mut h = Histogram::new();
+        h.record(42);
+        assert_eq!(h.p50(), 42);
+        assert_eq!(h.p99(), 42);
+        assert_eq!(h.max(), 42);
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(5);
+        b.record(500);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 500);
+        assert_eq!(a.sum(), 505);
+    }
+
+    #[test]
+    fn registry_counters_gauges_histograms() {
+        let r = Registry::default();
+        r.add("x.count", 2);
+        r.add("x.count", 3);
+        assert_eq!(r.counter("x.count"), 5);
+        r.gauge_max("x.peak", 7);
+        r.gauge_max("x.peak", 4);
+        assert_eq!(r.gauge("x.peak"), 7);
+        r.observe("x.lat", 10);
+        r.observe("x.lat", 20);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters.len(), 1);
+        assert_eq!(snap.histograms[0].1.count, 2);
+        let csv = snap.to_csv();
+        assert!(csv.starts_with("kind,name,value"));
+        assert!(csv.contains("counter,x.count,5"));
+        r.reset();
+        assert!(r.snapshot().is_empty());
+    }
+}

@@ -46,6 +46,19 @@ impl BurstAnalysis {
     /// examines "bursts larger than 50 cache lines", and the experiment
     /// harness passes 50.
     pub fn from_windows(windows: &[u64], tail_from: u64) -> BurstAnalysis {
+        if windows.is_empty() {
+            // Degenerate sampler output (zero-length run): every statistic
+            // is undefined, so answer with the typed "can't tell" verdict
+            // instead of letting 0/0 leak NaN into downstream artefacts.
+            return BurstAnalysis {
+                ccdf: Ccdf::from_samples(&[]),
+                tail: None,
+                cv: None,
+                idle_fraction: 0.0,
+                hurst: None,
+                verdict: BurstVerdict::Indeterminate,
+            };
+        }
         let ccdf = Ccdf::from_samples(windows);
         let tail = ccdf.tail_diagnostics(tail_from);
         let as_f64: Vec<f64> = windows.iter().map(|&w| w as f64).collect();
@@ -161,6 +174,46 @@ mod tests {
         assert!(series.iter().all(|&(x, p)| x > 0 && p > 0.0));
         // The maximum (8) has exceedance 0 and is excluded.
         assert!(series.iter().all(|&(x, _)| x != 8));
+    }
+
+    /// Asserts the invariants degenerate inputs must uphold: a typed
+    /// verdict and finite (never NaN) scalar fields.
+    fn assert_no_nan(a: &BurstAnalysis) {
+        assert!(a.idle_fraction.is_finite());
+        if let Some(cv) = a.cv {
+            assert!(cv.is_finite());
+        }
+        if let Some(h) = &a.hurst {
+            assert!(h.h.is_finite());
+        }
+    }
+
+    #[test]
+    fn empty_windows_are_indeterminate() {
+        let a = BurstAnalysis::from_windows(&[], 50);
+        assert_eq!(a.verdict, BurstVerdict::Indeterminate);
+        assert_eq!(a.idle_fraction, 0.0);
+        assert!(a.cv.is_none());
+        assert!(a.tail.is_none());
+        assert!(a.hurst.is_none());
+        assert!(a.plot_series().is_empty());
+        assert_no_nan(&a);
+    }
+
+    #[test]
+    fn single_window_is_indeterminate() {
+        let a = BurstAnalysis::from_windows(&[7], 50);
+        assert_eq!(a.verdict, BurstVerdict::Indeterminate);
+        assert_no_nan(&a);
+    }
+
+    #[test]
+    fn all_zero_windows_are_indeterminate() {
+        let a = BurstAnalysis::from_windows(&vec![0; 1000], 50);
+        assert_eq!(a.verdict, BurstVerdict::Indeterminate);
+        assert_eq!(a.idle_fraction, 1.0);
+        assert!(a.plot_series().is_empty());
+        assert_no_nan(&a);
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
     now: SimTime,
+    max_len: usize,
 }
 
 impl<E> EventQueue<E> {
@@ -53,6 +54,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: SimTime::ZERO,
+            max_len: 0,
         }
     }
 
@@ -77,6 +79,9 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { at, seq, event });
+        if self.heap.len() > self.max_len {
+            self.max_len = self.heap.len();
+        }
     }
 
     /// Schedules `event` `delay` cycles after the current time.
@@ -108,6 +113,13 @@ impl<E> EventQueue<E> {
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// High-water mark of pending events over the queue's lifetime — a
+    /// cheap proxy for how much in-flight work the simulation carried.
+    #[inline]
+    pub fn max_len(&self) -> usize {
+        self.max_len
     }
 }
 
@@ -188,5 +200,17 @@ mod tests {
         assert_eq!(q.len(), 2);
         q.pop();
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn max_len_is_a_high_water_mark() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert_eq!(q.max_len(), 0);
+        q.schedule_at(SimTime(1), 0);
+        q.schedule_at(SimTime(2), 0);
+        q.pop();
+        q.pop();
+        q.schedule_at(SimTime(3), 0);
+        assert_eq!(q.max_len(), 2);
     }
 }

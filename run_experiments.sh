@@ -9,7 +9,16 @@
 # (also --deadline SECS, --retries N, --max-events N, --journal-dir DIR).
 # A failing experiment aborts the script with its exit code — exit 6
 # means "interrupted but journaled": rerun with --resume.
+#
+# Observability (both off by default; artefact bytes are identical either
+# way — see DESIGN.md §10):
+#   OFFCHIP_OBS=metrics|trace  collect simulator metrics/spans per run
+#   OFFCHIP_LOG=error|warn|info|debug
+#                              stderr log threshold (campaign heartbeats
+#                              and sweep timings land in results/*.log)
 set -euo pipefail
+export OFFCHIP_OBS="${OFFCHIP_OBS:-off}"
+export OFFCHIP_LOG="${OFFCHIP_LOG:-info}"
 cd "$(dirname "$0")"
 BIN=target/release
 # table1/table3/figure1 are closed-form (no simulation campaign) and take

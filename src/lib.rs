@@ -55,6 +55,7 @@ pub use offchip_dram as dram;
 pub use offchip_machine as machine;
 pub use offchip_model as model;
 pub use offchip_npb as npb;
+pub use offchip_obs as obs;
 pub use offchip_perf as perf;
 pub use offchip_simcore as simcore;
 pub use offchip_stats as stats;

@@ -71,7 +71,7 @@ fn bench_dram(c: &mut Criterion) {
                 Request {
                     id,
                     line_addr: id * 64 * 5,
-                    is_write: id % 3 == 0,
+                    is_write: id.is_multiple_of(3),
                     network_latency: 40,
                 },
             ))

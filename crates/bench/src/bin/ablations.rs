@@ -25,7 +25,7 @@
 
 use offchip_bench::report::timing_line;
 use offchip_bench::{
-    build_workload, jobs, seeds, write_json, Campaign, CampaignOptions, ExperimentResult,
+    build_workload, jobs, persist_or_exit, seeds, Campaign, CampaignOptions, ExperimentResult,
     ProgramSpec, SweepResult, SweepTiming,
 };
 use offchip_machine::{run, McScheduler, MemoryPolicy, Op, ProgramIter, SimConfig, Workload};
@@ -92,7 +92,7 @@ fn fit_error_of(
 
 fn main() {
     let opts = CampaignOptions::from_cli_or_exit("ablations");
-    let campaign = Campaign::start("ablations", &opts).expect("open campaign journal");
+    let campaign = Campaign::start_or_exit("ablations", &opts);
     let seeds = seeds();
     let jobs = jobs().expect("OFFCHIP_JOBS");
     let mut total_timing = SweepTiming::zero(jobs);
@@ -276,12 +276,14 @@ fn main() {
 
     offchip_obs::info!("{}", timing_line("ablations", &total_timing));
     offchip_obs::info!("{}", campaign.status_line());
-    let path = write_json(&ExperimentResult {
-        id: "ablations".into(),
-        paper_artifact: "Design-choice ablations (DESIGN.md section 5)".into(),
-        data: summary,
-    })
-    .expect("write ablations.json");
+    let path = persist_or_exit(
+        &ExperimentResult {
+            id: "ablations".into(),
+            paper_artifact: "Design-choice ablations (DESIGN.md section 5)".into(),
+            data: summary,
+        },
+        Some(campaign.journal_path()),
+    );
     eprintln!("\nwrote {}", path.display());
 }
 

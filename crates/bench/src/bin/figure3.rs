@@ -9,7 +9,7 @@
 
 use offchip_bench::report::timing_line;
 use offchip_bench::{
-    build_workload, jobs, seeds, write_json, Campaign, CampaignOptions, ExperimentResult,
+    build_workload, jobs, persist_or_exit, seeds, Campaign, CampaignOptions, ExperimentResult,
     ProgramSpec, SweepTiming,
 };
 use offchip_npb::classes::ProblemClass;
@@ -17,7 +17,7 @@ use offchip_topology::machines::{self, DEFAULT_EXPERIMENT_SCALE};
 
 fn main() {
     let opts = CampaignOptions::from_cli_or_exit("figure3");
-    let campaign = Campaign::start("figure3", &opts).expect("open campaign journal");
+    let campaign = Campaign::start_or_exit("figure3", &opts);
     let seeds = seeds();
     let jobs = jobs().expect("OFFCHIP_JOBS");
     let mut total_timing = SweepTiming::zero(jobs);
@@ -60,11 +60,13 @@ fn main() {
 
     offchip_obs::info!("{}", timing_line("figure3", &total_timing));
     offchip_obs::info!("{}", campaign.status_line());
-    let path = write_json(&ExperimentResult {
-        id: "figure3".into(),
-        paper_artifact: "Fig. 3: CG.C cycle breakdown vs active cores".into(),
-        data: all,
-    })
-    .expect("write figure3.json");
+    let path = persist_or_exit(
+        &ExperimentResult {
+            id: "figure3".into(),
+            paper_artifact: "Fig. 3: CG.C cycle breakdown vs active cores".into(),
+            data: all,
+        },
+        Some(campaign.journal_path()),
+    );
     eprintln!("wrote {}", path.display());
 }

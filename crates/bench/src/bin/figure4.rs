@@ -11,7 +11,7 @@
 use std::time::Instant;
 
 use offchip_bench::{
-    build_workload, jobs, sweep::run_sampled_bounded, write_json, CampaignOptions,
+    build_workload, jobs, persist_or_exit, sweep::run_sampled_bounded, CampaignOptions,
     ExperimentResult, ProgramSpec, EXIT_INTERRUPTED,
 };
 use offchip_npb::classes::ProblemClass;
@@ -136,12 +136,16 @@ fn main() {
         wall.as_secs_f64(),
         plot_series.len() as f64 / wall.as_secs_f64().max(1e-9),
     );
-    let path = write_json(&ExperimentResult {
-        id: "figure4".into(),
-        paper_artifact: "Fig. 4: burstiness of off-chip memory traffic".into(),
-        data: series,
-    })
-    .expect("write figure4.json");
+    // figure4 runs no campaign (sampled runs are not journaled), so a
+    // failed artefact write is a plain runtime error: exit 5, no resume.
+    let path = persist_or_exit(
+        &ExperimentResult {
+            id: "figure4".into(),
+            paper_artifact: "Fig. 4: burstiness of off-chip memory traffic".into(),
+            data: series,
+        },
+        None,
+    );
     eprintln!("wrote {}", path.display());
     if lost > 0 {
         offchip_obs::error!("figure4 interrupted: {lost} sampled run(s) lost — rerun to complete");

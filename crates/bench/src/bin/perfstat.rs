@@ -77,6 +77,20 @@ fn calibrate() -> f64 {
     ITERS as f64 / best
 }
 
+/// Bad command line: print the complaint and usage, exit 2.
+fn usage_exit(msg: &str) -> ! {
+    eprintln!("perfstat: {msg}");
+    eprintln!("usage: perfstat [--jobs N] [--out PATH] [--check BASELINE]");
+    std::process::exit(2);
+}
+
+/// Runtime failure (I/O, baseline unreadable): print and exit 5,
+/// matching the CLI exit-code contract.
+fn runtime_exit(msg: &str) -> ! {
+    offchip_obs::error!("perfstat: {msg}");
+    std::process::exit(5);
+}
+
 fn parse_args() -> (Option<usize>, String, Option<String>) {
     let mut jobs_override = None;
     let mut out = "BENCH_sim.json".to_string();
@@ -85,16 +99,22 @@ fn parse_args() -> (Option<usize>, String, Option<String>) {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--jobs" => {
-                let v = args.next().expect("--jobs needs a value");
-                jobs_override = Some(v.parse().expect("--jobs needs an integer"));
+                let v = args.next().unwrap_or_else(|| usage_exit("--jobs needs a value"));
+                jobs_override = Some(
+                    v.parse()
+                        .unwrap_or_else(|e| usage_exit(&format!("--jobs: {e}"))),
+                );
             }
-            "--out" => out = args.next().expect("--out needs a path"),
-            "--check" => check = Some(args.next().expect("--check needs a baseline path")),
-            other => {
-                eprintln!("unknown argument: {other}");
-                eprintln!("usage: perfstat [--jobs N] [--out PATH] [--check BASELINE]");
-                std::process::exit(2);
+            "--out" => {
+                out = args.next().unwrap_or_else(|| usage_exit("--out needs a path"));
             }
+            "--check" => {
+                check = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage_exit("--check needs a baseline path")),
+                );
+            }
+            other => usage_exit(&format!("unknown argument: {other}")),
         }
     }
     (jobs_override, out, check)
@@ -107,6 +127,9 @@ fn normalised_throughput(doc: &Json) -> Option<f64> {
 }
 
 fn main() {
+    if let Err(e) = offchip_chaos::install_from_env() {
+        usage_exit(&e.to_string());
+    }
     let (jobs_override, out_path, check_path) = parse_args();
     let seeds = seeds();
     let jobs = jobs_override.unwrap_or_else(|| jobs().expect("OFFCHIP_JOBS"));
@@ -135,7 +158,13 @@ fn main() {
                 let w = build_workload(spec, total_cores);
                 let ns = [1, total_cores / 2, total_cores];
                 let (_, timing) = run_sweep_timed(machine, w.as_ref(), &ns, &seeds, jobs)
-                    .expect("reference sweep");
+                    .unwrap_or_else(|e| {
+                        runtime_exit(&format!(
+                            "reference sweep {} on {} failed: {e}",
+                            spec.name(),
+                            machine.name
+                        ))
+                    });
                 eprintln!(
                     "{:<12} {:<22} {:6.2} s  {:7.2} Mev/s",
                     spec.name(),
@@ -181,14 +210,20 @@ fn main() {
         "norm_events_per_iter" => norm,
         "configs" => configs,
     };
-    offchip_json::write_atomic(std::path::Path::new(&out_path), &doc.to_pretty_string())
-        .expect("write benchmark file");
+    // No journal behind perfstat (timings are not resumable), so a
+    // failed artefact write is a plain runtime error.
+    if let Err(e) =
+        offchip_json::write_atomic(std::path::Path::new(&out_path), &doc.to_pretty_string())
+    {
+        runtime_exit(&format!("write benchmark file {out_path}: {e}"));
+    }
     eprintln!("wrote {out_path}");
 
     if let Some(baseline_path) = check_path {
-        let text = std::fs::read_to_string(&baseline_path)
-            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
-        let baseline = Json::parse(&text).expect("parse baseline");
+        let text = offchip_json::atomic::read_to_string(std::path::Path::new(&baseline_path))
+            .unwrap_or_else(|e| runtime_exit(&format!("read baseline {baseline_path}: {e}")));
+        let baseline = Json::parse(&text)
+            .unwrap_or_else(|e| runtime_exit(&format!("parse baseline {baseline_path}: {e}")));
         let Some(base_norm) = normalised_throughput(&baseline) else {
             eprintln!("baseline {baseline_path} lacks throughput fields; skipping gate");
             return;

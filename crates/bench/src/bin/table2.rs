@@ -9,7 +9,7 @@
 
 use offchip_bench::report::timing_line;
 use offchip_bench::{
-    build_workload, jobs, seeds, write_json, Campaign, CampaignOptions, ExperimentResult,
+    build_workload, jobs, persist_or_exit, seeds, Campaign, CampaignOptions, ExperimentResult,
     ProgramSpec, SweepTiming,
 };
 use offchip_model::omega::normalized_increase;
@@ -38,7 +38,7 @@ impl offchip_json::ToJson for Row {
 
 fn main() {
     let opts = CampaignOptions::from_cli_or_exit("table2");
-    let campaign = Campaign::start("table2", &opts).expect("open campaign journal");
+    let campaign = Campaign::start_or_exit("table2", &opts);
     let seeds = seeds();
     let jobs = jobs().expect("OFFCHIP_JOBS");
     let mut total_timing = SweepTiming::zero(jobs);
@@ -107,11 +107,13 @@ fn main() {
 
     offchip_obs::info!("{}", timing_line("table2", &total_timing));
     offchip_obs::info!("{}", campaign.status_line());
-    let path = write_json(&ExperimentResult {
-        id: "table2".into(),
-        paper_artifact: "Table II: normalised increase in number of cycles".into(),
-        data: rows,
-    })
-    .expect("write table2.json");
+    let path = persist_or_exit(
+        &ExperimentResult {
+            id: "table2".into(),
+            paper_artifact: "Table II: normalised increase in number of cycles".into(),
+            data: rows,
+        },
+        Some(campaign.journal_path()),
+    );
     eprintln!("wrote {}", path.display());
 }

@@ -9,7 +9,7 @@
 
 use offchip_bench::report::timing_line;
 use offchip_bench::{
-    build_workload, jobs, seeds, write_json, Campaign, CampaignOptions, ExperimentResult,
+    build_workload, jobs, persist_or_exit, seeds, Campaign, CampaignOptions, ExperimentResult,
     ProgramSpec, SweepTiming,
 };
 use offchip_model::validation::colinearity_r2;
@@ -34,7 +34,7 @@ impl offchip_json::ToJson for Cell {
 
 fn main() {
     let opts = CampaignOptions::from_cli_or_exit("table4");
-    let campaign = Campaign::start("table4", &opts).expect("open campaign journal");
+    let campaign = Campaign::start_or_exit("table4", &opts);
     let seeds = seeds();
     let jobs = jobs().expect("OFFCHIP_JOBS");
     let mut total_timing = SweepTiming::zero(jobs);
@@ -90,11 +90,13 @@ fn main() {
 
     offchip_obs::info!("{}", timing_line("table4", &total_timing));
     offchip_obs::info!("{}", campaign.status_line());
-    let path = write_json(&ExperimentResult {
-        id: "table4".into(),
-        paper_artifact: "Table IV: colinearity goodness-of-fit".into(),
-        data: cells,
-    })
-    .expect("write table4.json");
+    let path = persist_or_exit(
+        &ExperimentResult {
+            id: "table4".into(),
+            paper_artifact: "Table IV: colinearity goodness-of-fit".into(),
+            data: cells,
+        },
+        Some(campaign.journal_path()),
+    );
     eprintln!("wrote {}", path.display());
 }

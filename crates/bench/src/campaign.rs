@@ -27,13 +27,33 @@
 //! A binary whose campaign still has lost points exits with
 //! [`EXIT_INTERRUPTED`] (6): "interrupted but journaled — rerun with
 //! `--resume`".
+//!
+//! Durability against the *disk* failing (not just the process dying) is
+//! layered on top:
+//!
+//! * every journal record carries a **CRC32 suffix** (`{...}#xxxxxxxx`),
+//!   so a record torn exactly at a JSON boundary, a bit-rotted byte, or a
+//!   lying fsync's half-truth is recognised and healed like any torn
+//!   append — the point simply re-runs;
+//! * an unreadable journal (EIO, invalid UTF-8) is **quarantined** —
+//!   renamed aside with a typed [`JournalFault`] — instead of failing the
+//!   whole campaign;
+//! * all journal I/O goes through an [`offchip_chaos::Vfs`]
+//!   (per-campaign override or the process global), so `--chaos-io`
+//!   fault schedules exercise these exact paths;
+//! * an optional **wall-clock watchdog** (`--watchdog SECS`) catches a
+//!   point that stops processing events entirely — the one hang the
+//!   in-simulator deadline poll cannot see — and converts it into
+//!   [`EXIT_INTERRUPTED`] while the journal retains every finished run.
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use offchip_chaos::{ChaosSpec, ChaosVfs, Vfs};
 use offchip_json::{json_obj, Json};
 use offchip_machine::{McScheduler, MemoryPolicy, RunError, Workload};
 use offchip_pool::PanicPayload;
@@ -46,9 +66,19 @@ use crate::sweep::{point_from_samples, sample_bounded, RunSample, SweepError, Sw
 /// completed one: rerun with `--resume` to finish the grid.
 pub const EXIT_INTERRUPTED: u8 = 6;
 
+/// Exit code of a binary that measured everything and journaled it, but
+/// could not persist a final artefact: the journal is intact, so rerun
+/// with `--resume` to regenerate the artefact without re-simulating.
+pub const EXIT_ARTEFACT_FAILED: u8 = 7;
+
 /// Journal record schema version, bumped on incompatible layout changes
-/// (records with a different schema are ignored on resume).
-const JOURNAL_SCHEMA: u64 = 1;
+/// (records with a different schema are ignored on resume). Schema 2
+/// appends a `#xxxxxxxx` CRC32 suffix to every record.
+const JOURNAL_SCHEMA: u64 = 2;
+
+/// The checksum-less schema still accepted on replay, so journals written
+/// before the CRC bump resume cleanly.
+const JOURNAL_SCHEMA_LEGACY: u64 = 1;
 
 /// Why one sweep point could not be measured. One lost point costs
 /// exactly that point: the rest of the grid completes and is journaled.
@@ -183,6 +213,18 @@ pub struct CampaignOptions {
     /// Journal directory (default `results/`). Tests point this at a
     /// scratch directory; `OFFCHIP_JOURNAL_DIR` overrides the default.
     pub journal_dir: Option<PathBuf>,
+    /// Wall-clock watchdog limit per in-flight point: a point stuck
+    /// longer than this (not even processing events, so the in-sim
+    /// deadline poll can't fire) aborts the process with
+    /// [`EXIT_INTERRUPTED`], journal intact.
+    pub watchdog: Option<Duration>,
+    /// Fault schedule parsed from `--chaos-io` (installed process-wide
+    /// by [`CampaignOptions::from_cli_or_exit`]).
+    pub chaos: Option<ChaosSpec>,
+    /// Per-campaign Vfs override. Tests use this to inject faults into
+    /// one campaign without racing other tests on the process-global
+    /// Vfs; binaries leave it `None` and inherit the global.
+    pub vfs: Option<Arc<dyn Vfs>>,
 }
 
 /// Usage text for the campaign flags every experiment binary accepts.
@@ -192,7 +234,10 @@ campaign options:
   --deadline SECS      per-point wall-clock deadline (fractional ok)
   --retries N          re-runs granted to a failed point (default 0)
   --max-events N       per-point simulator event budget
-  --journal-dir DIR    journal directory (default results/)";
+  --journal-dir DIR    journal directory (default results/)
+  --watchdog SECS      abort (exit 6, journal intact) if a point hangs this long
+  --chaos-io SPEC      inject filesystem faults (see offchip-chaos DSL;
+                       also via OFFCHIP_CHAOS_IO)";
 
 impl CampaignOptions {
     /// Parses the campaign flags from `args`; unknown flags are an error
@@ -225,6 +270,19 @@ impl CampaignOptions {
                         Some(value()?.parse().map_err(|e| format!("--max-events: {e}"))?)
                 }
                 "--journal-dir" => opts.journal_dir = Some(PathBuf::from(value()?)),
+                "--watchdog" => {
+                    let secs: f64 = value()?
+                        .parse()
+                        .map_err(|e| format!("--watchdog: {e}"))?;
+                    if !secs.is_finite() || secs <= 0.0 {
+                        return Err("--watchdog must be a positive number of seconds".into());
+                    }
+                    opts.watchdog = Some(Duration::from_secs_f64(secs));
+                }
+                "--chaos-io" => {
+                    opts.chaos =
+                        Some(ChaosSpec::parse(&value()?).map_err(|e| format!("--chaos-io: {e}"))?)
+                }
                 other => return Err(format!("unknown option {other:?}")),
             }
         }
@@ -235,15 +293,30 @@ impl CampaignOptions {
     /// — the standard prologue of every experiment binary.
     pub fn from_cli_or_exit(binary: &str) -> CampaignOptions {
         let args: Vec<String> = std::env::args().skip(1).collect();
-        match CampaignOptions::parse(&args) {
+        let usage_exit = |e: String| -> ! {
+            eprintln!("{binary}: {e}");
+            eprintln!(
+                "usage: {binary} [--resume] [--deadline SECS] [--retries N] [--max-events N] \
+                 [--journal-dir DIR] [--watchdog SECS] [--chaos-io SPEC]"
+            );
+            eprintln!("{CAMPAIGN_USAGE}");
+            std::process::exit(2);
+        };
+        let mut opts = match CampaignOptions::parse(&args) {
             Ok(opts) => opts,
-            Err(e) => {
-                eprintln!("{binary}: {e}");
-                eprintln!("usage: {binary} [--resume] [--deadline SECS] [--retries N] [--max-events N] [--journal-dir DIR]");
-                eprintln!("{CAMPAIGN_USAGE}");
-                std::process::exit(2);
-            }
+            Err(e) => usage_exit(e),
+        };
+        if opts.chaos.is_none() {
+            opts.chaos = match offchip_chaos::env_spec() {
+                Ok(spec) => spec,
+                Err(e) => usage_exit(format!("{}: {e}", offchip_chaos::CHAOS_ENV)),
+            };
         }
+        if let Some(spec) = &opts.chaos {
+            offchip_obs::warn!("chaos-io fault schedule active: {spec}");
+            offchip_chaos::install(Arc::new(ChaosVfs::new(spec.clone())));
+        }
+        opts
     }
 
     fn journal_dir(&self) -> PathBuf {
@@ -322,7 +395,7 @@ impl JournalRecord {
     }
 
     fn to_line(self, config: u64, n: usize, seed: u64) -> String {
-        json_obj! {
+        let body = json_obj! {
             "schema" => JOURNAL_SCHEMA,
             "config" => format!("{config:016x}"),
             "n" => n,
@@ -335,15 +408,32 @@ impl JournalRecord {
             "sim_events" => self.sim_events,
             "wall_ns" => self.wall_ns,
         }
-        .to_compact_string()
+        .to_compact_string();
+        // Schema 2: per-record CRC32 suffix. Without it, a record torn
+        // exactly at a JSON boundary (or bit-rotted into another valid
+        // number) would replay as truth; with it, any corruption inside
+        // the line is recognised and healed like a torn append.
+        format!("{body}#{:08x}", offchip_chaos::crc32(body.as_bytes()))
     }
 
     /// Parses one journal line into `((config, n, seed), record)`.
     /// `None` for anything unreadable — a torn trailing line from a kill
-    /// mid-append, or a foreign schema.
+    /// mid-append, a checksum-mismatched (bit-rotted) record, or a
+    /// foreign schema. Checksum-less schema-1 lines are still accepted.
     fn parse_line(line: &str) -> Option<((u64, usize, u64), JournalRecord)> {
-        let doc = Json::parse(line).ok()?;
-        if doc.get("schema").and_then(Json::as_u64) != Some(JOURNAL_SCHEMA) {
+        let (body, schema) = match line.rsplit_once('#') {
+            Some((body, crc)) if crc.len() == 8 && crc.bytes().all(|b| b.is_ascii_hexdigit()) => {
+                if u32::from_str_radix(crc, 16).ok()? != offchip_chaos::crc32(body.as_bytes()) {
+                    return None;
+                }
+                (body, JOURNAL_SCHEMA)
+            }
+            // No checksum suffix: only acceptable as a legacy record (a
+            // schema-2 body whose suffix was torn off must not replay).
+            _ => (line, JOURNAL_SCHEMA_LEGACY),
+        };
+        let doc = Json::parse(body).ok()?;
+        if doc.get("schema").and_then(Json::as_u64) != Some(schema) {
             return None;
         }
         let config = u64::from_str_radix(doc.get("config").and_then(Json::as_str)?, 16).ok()?;
@@ -383,11 +473,186 @@ fn backoff(seed: u64, attempt: u32) -> Duration {
     Duration::from_millis(base_ms + jitter_ms)
 }
 
+/// An unreadable journal encountered on `--resume`, quarantined instead
+/// of failing the campaign: the file is renamed aside (preserving the
+/// evidence for inspection) and the campaign restarts from zero records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalFault {
+    /// The journal that could not be read.
+    pub path: PathBuf,
+    /// Where it was moved (`<path>.quarantined`), if the rename itself
+    /// succeeded.
+    pub quarantined_to: Option<PathBuf>,
+    /// The underlying read error, rendered.
+    pub error: String,
+}
+
+impl std::fmt::Display for JournalFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.quarantined_to {
+            Some(q) => write!(
+                f,
+                "journal {} unreadable ({}); quarantined to {} — campaign restarts from zero records",
+                self.path.display(),
+                self.error,
+                q.display()
+            ),
+            None => write!(
+                f,
+                "journal {} unreadable ({}) and could not be quarantined — \
+                 campaign restarts from zero records",
+                self.path.display(),
+                self.error
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalFault {}
+
+struct WatchState {
+    /// token → (description, start) of every point in flight.
+    inflight: Mutex<HashMap<u64, (String, Instant)>>,
+    next_token: AtomicU64,
+    stop: Mutex<bool>,
+    wake: Condvar,
+}
+
+/// Wall-clock watchdog for hung sweep points. The in-simulator deadline
+/// (`--deadline`) polls between event batches, so it can only fire while
+/// the simulator is still *processing* events; a point wedged before or
+/// outside the event loop (a livelocked workload generator, a stuck
+/// allocation) hangs forever. The watchdog supervises from a separate
+/// thread: every in-flight point registers a [`WatchdogGuard`], and any
+/// guard alive past the limit triggers the hang action — by default a
+/// log line and `exit(6)`, the interrupted-but-journaled contract, so
+/// `--resume` finishes the grid minus the wedged point's attempt.
+pub struct Watchdog {
+    limit: Duration,
+    state: Arc<WatchState>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Watchdog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Watchdog").field("limit", &self.limit).finish()
+    }
+}
+
+impl Watchdog {
+    /// A watchdog running `on_hang` (once per hung point) from its
+    /// supervisor thread. Tests inject a channel send here; production
+    /// uses [`Watchdog::exit_on_hang`].
+    pub fn new(limit: Duration, on_hang: impl Fn(&str) + Send + 'static) -> Watchdog {
+        let state = Arc::new(WatchState {
+            inflight: Mutex::new(HashMap::new()),
+            next_token: AtomicU64::new(0),
+            stop: Mutex::new(false),
+            wake: Condvar::new(),
+        });
+        // Poll a few times per limit so overshoot stays small, but never
+        // busier than 10 ms or lazier than 1 s.
+        let poll = (limit / 4).clamp(Duration::from_millis(10), Duration::from_secs(1));
+        let st = Arc::clone(&state);
+        let handle = std::thread::Builder::new()
+            .name("campaign-watchdog".into())
+            .spawn(move || {
+                let mut stopped = st.stop.lock().expect("watchdog stop lock poisoned");
+                loop {
+                    if *stopped {
+                        return;
+                    }
+                    let mut hung = Vec::new();
+                    {
+                        let mut inflight =
+                            st.inflight.lock().expect("watchdog inflight lock poisoned");
+                        inflight.retain(|_, (desc, start)| {
+                            if start.elapsed() > limit {
+                                // Remove so the action fires exactly once
+                                // per hung point.
+                                hung.push(std::mem::take(desc));
+                                false
+                            } else {
+                                true
+                            }
+                        });
+                    }
+                    for desc in hung {
+                        on_hang(&desc);
+                    }
+                    let (guard, _) = st
+                        .wake
+                        .wait_timeout(stopped, poll)
+                        .expect("watchdog stop lock poisoned");
+                    stopped = guard;
+                }
+            })
+            .expect("spawn watchdog thread");
+        Watchdog {
+            limit,
+            state,
+            handle: Some(handle),
+        }
+    }
+
+    /// The production watchdog: log the hung point and exit
+    /// [`EXIT_INTERRUPTED`] — everything completed so far is journaled.
+    pub fn exit_on_hang(limit: Duration) -> Watchdog {
+        Watchdog::new(limit, move |desc| {
+            offchip_obs::error!(
+                "watchdog: {desc} hung for more than {:.1} s — aborting; \
+                 completed runs are journaled, rerun with --resume",
+                limit.as_secs_f64()
+            );
+            std::process::exit(i32::from(EXIT_INTERRUPTED));
+        })
+    }
+
+    /// Registers a point as in flight until the guard drops.
+    pub fn guard(&self, description: String) -> WatchdogGuard<'_> {
+        let token = self.state.next_token.fetch_add(1, Ordering::Relaxed);
+        self.state
+            .inflight
+            .lock()
+            .expect("watchdog inflight lock poisoned")
+            .insert(token, (description, Instant::now()));
+        WatchdogGuard { dog: self, token }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        *self.state.stop.lock().expect("watchdog stop lock poisoned") = true;
+        self.state.wake.notify_all();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Marks one point as in flight; dropping it (however the point ended)
+/// deregisters it from the [`Watchdog`].
+pub struct WatchdogGuard<'a> {
+    dog: &'a Watchdog,
+    token: u64,
+}
+
+impl Drop for WatchdogGuard<'_> {
+    fn drop(&mut self) {
+        self.dog
+            .state
+            .inflight
+            .lock()
+            .expect("watchdog inflight lock poisoned")
+            .remove(&self.token);
+    }
+}
+
 type PointKey = (u64, usize, u64);
 
 struct CampaignState {
     done: HashMap<PointKey, JournalRecord>,
-    file: std::fs::File,
+    file: offchip_json::atomic::AppendFile,
     executed: usize,
     resumed: usize,
 }
@@ -397,6 +662,9 @@ pub struct Campaign {
     name: String,
     opts: CampaignOptions,
     path: PathBuf,
+    vfs: Arc<dyn Vfs>,
+    watchdog: Option<Watchdog>,
+    journal_fault: Option<JournalFault>,
     state: Mutex<CampaignState>,
 }
 
@@ -461,6 +729,7 @@ impl Campaign {
     /// Opens (or, without `resume`, restarts) the journal of campaign
     /// `name` and loads the completed-point index.
     pub fn start(name: &str, opts: &CampaignOptions) -> std::io::Result<Campaign> {
+        let vfs: Arc<dyn Vfs> = opts.vfs.clone().unwrap_or_else(offchip_chaos::vfs);
         let path = opts.journal_dir().join(format!("{name}.journal"));
         if !opts.resume {
             match std::fs::remove_file(&path) {
@@ -470,52 +739,90 @@ impl Campaign {
             }
         }
         let mut done = HashMap::new();
+        let mut journal_fault = None;
         if opts.resume {
-            if let Ok(body) = std::fs::read_to_string(&path) {
-                let mut intact = Vec::new();
-                for (i, line) in body.lines().enumerate() {
-                    if line.trim().is_empty() {
-                        continue;
+            match vfs.read_to_string(&path) {
+                Ok(body) => {
+                    let mut intact = Vec::new();
+                    for (i, line) in body.lines().enumerate() {
+                        if line.trim().is_empty() {
+                            continue;
+                        }
+                        match JournalRecord::parse_line(line) {
+                            Some((key, rec)) => {
+                                done.insert(key, rec);
+                                intact.push(line);
+                            }
+                            None => {
+                                // A torn trailing line is the expected
+                                // residue of a kill mid-append; a checksum
+                                // mismatch is bit-rot; anything else is a
+                                // foreign schema. All worth a warning but
+                                // never fatal — the point simply re-runs.
+                                offchip_obs::warn!(
+                                    "journal={} skipping unreadable record at line {} \
+                                     (torn append, checksum mismatch or foreign schema)",
+                                    path.display(),
+                                    i + 1
+                                );
+                            }
+                        }
                     }
-                    match JournalRecord::parse_line(line) {
-                        Some((key, rec)) => {
-                            done.insert(key, rec);
-                            intact.push(line);
+                    // Compact away torn or foreign residue before reopening
+                    // for append — a torn unterminated tail would otherwise
+                    // corrupt the first record appended after it. The
+                    // rewrite is atomic, so a kill here is just another
+                    // torn state.
+                    let dropped_residue = intact.len() != body.lines().count()
+                        || (!body.is_empty() && !body.ends_with('\n'));
+                    if dropped_residue {
+                        let mut healed = intact.join("\n");
+                        if !healed.is_empty() {
+                            healed.push('\n');
                         }
-                        None => {
-                            // A torn trailing line is the expected residue
-                            // of a kill mid-append; anything else is worth
-                            // a warning but never fatal — the point is
-                            // simply re-run.
-                            offchip_obs::warn!(
-                                "journal={} skipping unreadable record at line {} \
-                                 (torn append or foreign schema)",
-                                path.display(),
-                                i + 1
-                            );
-                        }
+                        vfs.write_atomic(&path, &healed)?;
                     }
                 }
-                // Compact away torn or foreign residue before reopening
-                // for append — a torn unterminated tail would otherwise
-                // corrupt the first record appended after it. The rewrite
-                // is atomic, so a kill here is just another torn state.
-                let dropped_residue = intact.len() != body.lines().count()
-                    || (!body.is_empty() && !body.ends_with('\n'));
-                if dropped_residue {
-                    let mut healed = intact.join("\n");
-                    if !healed.is_empty() {
-                        healed.push('\n');
-                    }
-                    offchip_json::write_atomic(&path, &healed)?;
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => {
+                    // The journal exists but cannot even be read (EIO,
+                    // invalid UTF-8). Losing resumability must not lose
+                    // the campaign: quarantine the file — preserving the
+                    // evidence — and restart from zero records.
+                    let quarantine = path.with_extension("journal.quarantined");
+                    let quarantined_to = match vfs.rename(&path, &quarantine) {
+                        Ok(()) => Some(quarantine),
+                        Err(rename_err) => {
+                            // Renaming aside failed too; truncating via the
+                            // fresh-start path below is the only way to get
+                            // a usable journal back.
+                            offchip_obs::warn!(
+                                "journal={} quarantine rename failed: {rename_err}",
+                                path.display()
+                            );
+                            let _ = std::fs::remove_file(&path);
+                            None
+                        }
+                    };
+                    let fault = JournalFault {
+                        path: path.clone(),
+                        quarantined_to,
+                        error: e.to_string(),
+                    };
+                    offchip_obs::warn!("{fault}");
+                    journal_fault = Some(fault);
+                    done.clear();
                 }
             }
         }
-        let file = offchip_json::atomic::open_append(&path)?;
+        let file = vfs.open_append(&path)?;
         Ok(Campaign {
             name: name.to_string(),
             opts: opts.clone(),
             path,
+            watchdog: opts.watchdog.map(Watchdog::exit_on_hang),
+            vfs,
+            journal_fault,
             state: Mutex::new(CampaignState {
                 done,
                 file,
@@ -525,9 +832,29 @@ impl Campaign {
         })
     }
 
+    /// [`Campaign::start`] for binaries: a journal that cannot be opened
+    /// (or healed) is a runtime error — render it and exit 5 instead of
+    /// panicking. An unreadable-but-quarantinable journal does *not* land
+    /// here; that is the [`JournalFault`] graceful-degradation path.
+    pub fn start_or_exit(name: &str, opts: &CampaignOptions) -> Campaign {
+        match Campaign::start(name, opts) {
+            Ok(c) => c,
+            Err(e) => {
+                offchip_obs::error!("cannot open campaign journal for [{name}]: {e}");
+                std::process::exit(5);
+            }
+        }
+    }
+
     /// The campaign's journal path.
     pub fn journal_path(&self) -> &std::path::Path {
         &self.path
+    }
+
+    /// The typed quarantine record, if `--resume` found the journal
+    /// unreadable (see [`JournalFault`]).
+    pub fn journal_fault(&self) -> Option<&JournalFault> {
+        self.journal_fault.as_ref()
     }
 
     /// Runs a sweep under the campaign with the default point tuning.
@@ -685,11 +1012,11 @@ impl Campaign {
         let mut st = self.state.lock().expect("campaign state poisoned");
         st.executed += 1;
         st.done.insert((cfg, n, seed), rec);
-        if let Err(e) = offchip_json::atomic::append_line(&mut st.file, &line) {
+        if let Err(e) = self.vfs.append_line(&mut st.file, &line) {
             // A dead journal must not kill the measurement: the sweep
             // still completes, only resumability degrades.
-            eprintln!(
-                "warning: journal append to {} failed ({e}); this run will not be resumable",
+            offchip_obs::warn!(
+                "journal append to {} failed ({e}); this run will not be resumable",
                 self.path.display()
             );
         }
@@ -703,6 +1030,13 @@ impl Campaign {
         seed: u64,
         tune: &PointConfig,
     ) -> Result<RunSample, PointError> {
+        // Register with the wall-clock watchdog (if any) for the whole
+        // attempt — simulator setup and workload generation included,
+        // which is exactly the ground the in-sim deadline poll can't see.
+        let _watch = self
+            .watchdog
+            .as_ref()
+            .map(|w| w.guard(format!("campaign [{}] point (n = {n}, seed = {seed})", self.name)));
         let caught = catch_unwind(AssertUnwindSafe(|| {
             sample_bounded(
                 machine,
@@ -820,10 +1154,128 @@ mod tests {
         assert_eq!(cfg, 0xDEAD_BEEF_CAFE_F00D);
         assert_eq!((n, seed), (24, 42));
         assert_eq!(parsed, rec);
-        // Torn lines (any prefix short of the full record) never parse.
+        // Torn lines (any prefix short of the full record) never parse —
+        // including the cut exactly at the JSON boundary, which only the
+        // CRC suffix can catch.
         for cut in 1..line.len() {
             assert!(JournalRecord::parse_line(&line[..cut]).is_none(), "cut = {cut}");
         }
+    }
+
+    #[test]
+    fn checksum_mismatch_rejects_the_record() {
+        let rec = JournalRecord {
+            total_cycles: 1,
+            work_cycles: 2,
+            stall_cycles: 3,
+            llc_misses: 4,
+            makespan: 5,
+            sim_events: 6,
+            wall_ns: 7,
+        };
+        let line = rec.to_line(0xABCD, 4, 9);
+        assert!(line.contains('#'), "schema 2 lines carry a CRC suffix");
+        assert!(JournalRecord::parse_line(&line).is_some());
+        // Flip one digit inside the body: the JSON still parses, the
+        // checksum says no.
+        let corrupted = line.replacen("\"total_cycles\":1", "\"total_cycles\":9", 1);
+        assert_ne!(corrupted, line);
+        assert!(JournalRecord::parse_line(&corrupted).is_none());
+    }
+
+    #[test]
+    fn legacy_checksum_less_records_still_replay() {
+        // A schema-1 journal line exactly as the pre-CRC layer wrote it.
+        let legacy = json_obj! {
+            "schema" => 1u64,
+            "config" => format!("{:016x}", 0x77u64),
+            "n" => 2usize,
+            "seed" => 9u64,
+            "total_cycles" => 10u64,
+            "work_cycles" => 6u64,
+            "stall_cycles" => 4u64,
+            "llc_misses" => 1u64,
+            "makespan" => 10u64,
+            "sim_events" => 99u64,
+            "wall_ns" => 1234u64,
+        }
+        .to_compact_string();
+        let ((cfg, n, seed), rec) = JournalRecord::parse_line(&legacy).unwrap();
+        assert_eq!((cfg, n, seed), (0x77, 2, 9));
+        assert_eq!(rec.total_cycles, 10);
+        // But a schema-2 body whose CRC suffix was torn off must NOT fall
+        // back to the checksum-less path.
+        let v2 = rec.to_line(0x77, 2, 9);
+        let (body, _) = v2.rsplit_once('#').unwrap();
+        assert!(JournalRecord::parse_line(body).is_none());
+    }
+
+    #[test]
+    fn watchdog_fires_once_per_hung_point_and_spares_live_ones() {
+        let (tx, rx) = std::sync::mpsc::channel::<String>();
+        let dog = Watchdog::new(Duration::from_millis(40), move |desc| {
+            tx.send(desc.to_string()).unwrap();
+        });
+        {
+            let _fast = dog.guard("fast point".into());
+            // Dropped immediately: never reported.
+        }
+        let _hung = dog.guard("hung point".into());
+        let fired = rx.recv_timeout(Duration::from_secs(10)).expect("watchdog never fired");
+        assert_eq!(fired, "hung point");
+        // Exactly once per hung point, and the fast one never fires.
+        assert!(rx.recv_timeout(Duration::from_millis(300)).is_err());
+    }
+
+    #[test]
+    fn unreadable_journal_is_quarantined_not_fatal() {
+        let opts = scratch("quarantine");
+        let dir = opts.journal_dir.clone().unwrap();
+        std::fs::create_dir_all(&dir).unwrap();
+        // A journal that cannot even be read as UTF-8 — bit-rot beyond
+        // record-level healing.
+        std::fs::write(dir.join("q.journal"), b"\xFF\xFEnot a journal \xC0").unwrap();
+        let ropts = CampaignOptions {
+            resume: true,
+            ..opts.clone()
+        };
+        let c = Campaign::start("q", &ropts).unwrap();
+        let fault = c.journal_fault().expect("unreadable journal reported as typed fault");
+        let quarantined = fault.quarantined_to.clone().expect("journal renamed aside");
+        assert!(quarantined.exists(), "evidence preserved at {}", quarantined.display());
+        assert!(!fault.error.is_empty());
+        assert!(fault.to_string().contains("quarantined"));
+        // The campaign restarted from zero records and is fully usable.
+        let machine = small_machine();
+        let w = build_workload(ProgramSpec::Is(ProblemClass::S), 8);
+        let cs = c.run_sweep(&machine, w.as_ref(), &[1], &[1], 1).unwrap();
+        assert_eq!((cs.resumed, cs.executed), (0, 1));
+        assert_eq!(
+            std::fs::read_to_string(c.journal_path()).unwrap().lines().count(),
+            1
+        );
+    }
+
+    #[test]
+    fn journal_append_failure_degrades_resumability_not_results() {
+        let machine = small_machine();
+        let w = build_workload(ProgramSpec::Is(ProblemClass::S), 8);
+        let mut opts = scratch("deadjournal");
+        // Per-campaign Vfs override: the first journal append write dies,
+        // without touching the process-global Vfs other tests share.
+        opts.vfs = Some(Arc::new(ChaosVfs::new(
+            ChaosSpec::parse("eio@write:1").unwrap(),
+        )));
+        let c = Campaign::start("dj", &opts).unwrap();
+        let cs = c.run_sweep(&machine, w.as_ref(), &[1], &[1], 1).unwrap();
+        // The measurement is intact; only the journal lost the record.
+        assert!(cs.errors.is_empty());
+        assert_eq!(cs.sweep.points.len(), 1);
+        assert_eq!(
+            std::fs::read_to_string(c.journal_path()).unwrap(),
+            "",
+            "the failed append persisted nothing"
+        );
     }
 
     #[test]
@@ -1026,6 +1478,10 @@ mod tests {
             "1000000",
             "--journal-dir",
             "/tmp/j",
+            "--watchdog",
+            "30",
+            "--chaos-io",
+            "eio@fsync:1,enospc@write:2",
         ]))
         .unwrap();
         assert!(o.resume);
@@ -1033,9 +1489,14 @@ mod tests {
         assert_eq!(o.retries, 3);
         assert_eq!(o.max_events, Some(1_000_000));
         assert_eq!(o.journal_dir, Some(PathBuf::from("/tmp/j")));
+        assert_eq!(o.watchdog, Some(Duration::from_secs(30)));
+        assert_eq!(o.chaos.as_ref().map(|c| c.faults.len()), Some(2));
         assert!(CampaignOptions::parse(&sv(&["--deadline", "-1"])).is_err());
         assert!(CampaignOptions::parse(&sv(&["--deadline"])).is_err());
         assert!(CampaignOptions::parse(&sv(&["--bogus"])).is_err());
+        assert!(CampaignOptions::parse(&sv(&["--watchdog", "0"])).is_err());
+        let e = CampaignOptions::parse(&sv(&["--chaos-io", "frob@disk:1"])).unwrap_err();
+        assert!(e.contains("chaos-io"), "{e}");
         let d = CampaignOptions::parse(&[]).unwrap();
         assert!(!d.resume);
         assert_eq!(d.retries, 0);

@@ -28,10 +28,10 @@ pub mod sweep;
 pub mod workloads;
 
 pub use campaign::{
-    loss_summary, Campaign, CampaignOptions, CampaignSweep, PointConfig, PointError,
-    EXIT_INTERRUPTED,
+    loss_summary, Campaign, CampaignOptions, CampaignSweep, JournalFault, PointConfig, PointError,
+    Watchdog, EXIT_ARTEFACT_FAILED, EXIT_INTERRUPTED,
 };
-pub use report::{write_json, ExperimentResult};
+pub use report::{persist_or_exit, write_json, ExperimentResult};
 pub use sweep::{
     jobs, run_point, run_point_parallel, run_sweep, run_sweep_parallel, run_sweep_timed, seeds,
     SweepError, SweepPoint, SweepResult, SweepTiming,

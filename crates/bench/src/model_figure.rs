@@ -6,7 +6,7 @@
 use crate::report::timing_line;
 use crate::sweep::SweepTiming;
 use crate::{
-    build_workload, jobs, seeds, write_json, Campaign, CampaignOptions, ExperimentResult,
+    build_workload, jobs, persist_or_exit, seeds, Campaign, CampaignOptions, ExperimentResult,
     ProgramSpec,
 };
 use offchip_model::{fit_robust_from_sweep, validate, FitProtocol, RobustOptions};
@@ -41,7 +41,7 @@ impl offchip_json::ToJson for FigureSeries {
 /// journaling for free.
 pub fn run_figure(program: ProgramSpec, figure_id: &str, artifact: &str) {
     let opts = CampaignOptions::from_cli_or_exit(figure_id);
-    let campaign = Campaign::start(figure_id, &opts).expect("open campaign journal");
+    let campaign = Campaign::start_or_exit(figure_id, &opts);
     let seeds = seeds();
     let jobs = jobs().expect("OFFCHIP_JOBS");
     let mut total_timing = SweepTiming::zero(jobs);
@@ -171,12 +171,14 @@ pub fn run_figure(program: ProgramSpec, figure_id: &str, artifact: &str) {
 
     offchip_obs::info!("{}", timing_line(figure_id, &total_timing));
     offchip_obs::info!("{}", campaign.status_line());
-    let path = write_json(&ExperimentResult {
-        id: figure_id.into(),
-        paper_artifact: artifact.into(),
-        data: all,
-    })
-    .expect("write figure json");
+    let path = persist_or_exit(
+        &ExperimentResult {
+            id: figure_id.into(),
+            paper_artifact: artifact.into(),
+            data: all,
+        },
+        Some(campaign.journal_path()),
+    );
     eprintln!("wrote {}", path.display());
 }
 

@@ -42,6 +42,42 @@ pub fn write_json<T: ToJson>(result: &ExperimentResult<T>) -> std::io::Result<Pa
     Ok(path)
 }
 
+/// Persists `result` or exits with the documented code — the shared
+/// epilogue of every experiment binary. On write failure:
+///
+/// * with `journal` (the campaign's journal path): exit
+///   [`crate::campaign::EXIT_ARTEFACT_FAILED`] (7) — every measurement is
+///   journaled, so `--resume` regenerates the artefact without
+///   re-simulating anything;
+/// * without a journal: exit 5 (runtime error), the measurements are
+///   gone with the process.
+pub fn persist_or_exit<T: ToJson>(
+    result: &ExperimentResult<T>,
+    journal: Option<&std::path::Path>,
+) -> PathBuf {
+    match write_json(result) {
+        Ok(path) => path,
+        Err(e) => {
+            let path = experiments_dir().join(format!("{}.json", result.id));
+            match journal {
+                Some(journal) => {
+                    offchip_obs::error!(
+                        "failed to write artefact {} ({e}); journal {} is intact — \
+                         rerun with --resume to regenerate it without re-simulating",
+                        path.display(),
+                        journal.display()
+                    );
+                    std::process::exit(i32::from(crate::campaign::EXIT_ARTEFACT_FAILED));
+                }
+                None => {
+                    offchip_obs::error!("failed to write artefact {} ({e})", path.display());
+                    std::process::exit(5);
+                }
+            }
+        }
+    }
+}
+
 /// Formats a ratio like the paper's Table II entries (two decimals).
 pub fn fmt_omega(v: f64) -> String {
     format!("{v:.2}")

@@ -2,6 +2,7 @@
 //! parser dependency would outweigh it).
 
 use offchip_bench::ProgramSpec;
+use offchip_chaos::ChaosSpec;
 use offchip_machine::{McScheduler, MemoryPolicy};
 use offchip_npb::classes::ProblemClass;
 use offchip_perf::FaultSpec;
@@ -42,6 +43,16 @@ options:
   --retries N                  re-runs granted to a failed sweep point
   --journal-dir DIR            campaign journal directory (default:
                                OFFCHIP_JOURNAL_DIR, else results/)
+  --watchdog SECS              abort if a sweep point hangs this long
+                               (exit 6; completed points stay journaled)
+  --out PATH                   also write the sweep result JSON here
+                               (sweep); exit 7 = artefact write failed
+                               but the journal is intact (--resume
+                               regenerates it without re-simulating)
+  --chaos-io SPEC              inject filesystem faults, e.g.
+                               enospc@write:3,eio@fsync:1,torn@rename:1,
+                               bitflip@read:2:40,seed:7 (also read from
+                               OFFCHIP_CHAOS_IO when unset)
   --obs off|metrics|trace      observability level (default: OFFCHIP_OBS,
                                else off; --trace/--metrics imply it)
   --trace PATH                 write a Chrome trace_event JSON of the run(s)
@@ -99,6 +110,13 @@ pub struct RunOptions {
     /// Campaign journal directory (`None`: `OFFCHIP_JOURNAL_DIR`, else
     /// `results/`).
     pub journal_dir: Option<std::path::PathBuf>,
+    /// Wall-clock watchdog limit for a hung sweep point.
+    pub watchdog: Option<std::time::Duration>,
+    /// Sweep artefact output path (`sweep` only).
+    pub out: Option<std::path::PathBuf>,
+    /// Filesystem fault schedule (`--chaos-io`; `OFFCHIP_CHAOS_IO` when
+    /// unset, resolved in the command layer).
+    pub chaos_io: Option<ChaosSpec>,
     /// Observability level (`None`: `OFFCHIP_OBS`, raised as needed by
     /// `--trace`/`--metrics`).
     pub obs: Option<offchip_obs::ObsLevel>,
@@ -129,6 +147,9 @@ impl Default for RunOptions {
             deadline: None,
             retries: 0,
             journal_dir: None,
+            watchdog: None,
+            out: None,
+            chaos_io: None,
             obs: None,
             trace_out: None,
             metrics_out: None,
@@ -265,6 +286,18 @@ fn parse_options(mut opts: RunOptions, rest: &[String]) -> Result<RunOptions, St
                 opts.retries = value()?.parse().map_err(|e| format!("--retries: {e}"))?
             }
             "--journal-dir" => opts.journal_dir = Some(std::path::PathBuf::from(value()?)),
+            "--watchdog" => {
+                let secs: f64 = value()?.parse().map_err(|e| format!("--watchdog: {e}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--watchdog must be a positive number of seconds".into());
+                }
+                opts.watchdog = Some(std::time::Duration::from_secs_f64(secs));
+            }
+            "--out" => opts.out = Some(std::path::PathBuf::from(value()?)),
+            "--chaos-io" => {
+                opts.chaos_io =
+                    Some(ChaosSpec::parse(&value()?).map_err(|e| format!("--chaos-io: {e}"))?)
+            }
             "--obs" => {
                 let v = value()?;
                 opts.obs = Some(
@@ -398,6 +431,25 @@ mod tests {
         assert!(parse(&sv(&["sweep", "CG.C", "--deadline", "0"])).is_err());
         assert!(parse(&sv(&["sweep", "CG.C", "--deadline", "nan"])).is_err());
         assert!(parse(&sv(&["sweep", "CG.C", "--retries", "-1"])).is_err());
+    }
+
+    #[test]
+    fn parses_chaos_flags() {
+        let cmd = parse(&sv(&[
+            "sweep", "CG.C", "--chaos-io", "enospc@write:3,eio@fsync:1", "--watchdog", "30",
+            "--out", "/tmp/sweep.json",
+        ]))
+        .unwrap();
+        let Command::Sweep(o) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(o.chaos_io.as_ref().map(|c| c.faults.len()), Some(2));
+        assert_eq!(o.watchdog, Some(std::time::Duration::from_secs(30)));
+        assert_eq!(o.out.as_deref(), Some(std::path::Path::new("/tmp/sweep.json")));
+        // A malformed schedule is a usage error (exit 2 in main).
+        assert!(parse(&sv(&["sweep", "CG.C", "--chaos-io", "frob@disk:1"])).is_err());
+        assert!(parse(&sv(&["sweep", "CG.C", "--chaos-io", "short@write:1"])).is_err());
+        assert!(parse(&sv(&["sweep", "CG.C", "--watchdog", "0"])).is_err());
     }
 
     #[test]

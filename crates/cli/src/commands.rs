@@ -3,6 +3,7 @@
 use offchip_bench::build_workload_scaled;
 use offchip_bench::plot::{linear_plot, Series};
 use offchip_bench::{Campaign, CampaignOptions, PointConfig, SweepResult, SweepTiming};
+use offchip_json::ToJson;
 use offchip_machine::{try_run_bounded, ConfigError, RunError, RunReport, SimConfig, Workload};
 use offchip_pool::JobsError;
 use offchip_model::{fit_robust_from_sweep, validate, FitProtocol, RobustOptions};
@@ -82,13 +83,16 @@ fn campaign_sweep(
     machine: &MachineSpec,
     ns: &[usize],
     jobs: usize,
-) -> Result<(SweepResult, SweepTiming), CliError> {
+) -> Result<(SweepResult, SweepTiming, std::path::PathBuf), CliError> {
     let copts = CampaignOptions {
         resume: opts.resume,
         deadline: opts.deadline,
         retries: opts.retries,
         max_events: None,
         journal_dir: opts.journal_dir.clone(),
+        watchdog: opts.watchdog,
+        chaos: None, // `--chaos-io` is installed process-wide in execute()
+        vfs: None,
     };
     let tag = match opts.machine {
         MachineChoice::Uma => "uma",
@@ -126,7 +130,8 @@ fn campaign_sweep(
     if cs.resumed > 0 {
         offchip_obs::info!("{}", campaign.status_line());
     }
-    Ok((cs.sweep, cs.timing))
+    let journal = campaign.journal_path().to_path_buf();
+    Ok((cs.sweep, cs.timing, journal))
 }
 
 /// The fault spec in force: the `--faults` flag, else `OFFCHIP_FAULTS`.
@@ -191,12 +196,26 @@ fn finish_obs(
     Ok(())
 }
 
+/// Installs the fault schedule in force as the process-global Vfs:
+/// `--chaos-io` beats `OFFCHIP_CHAOS_IO` (already installed by `main`
+/// before parsing). Every durable I/O path below — journal appends,
+/// artefact writes, recording reads — then runs under it.
+fn init_chaos(opts: &RunOptions) {
+    if let Some(spec) = &opts.chaos_io {
+        offchip_obs::warn!("chaos-io fault schedule active: {spec}");
+        offchip_chaos::install(std::sync::Arc::new(offchip_chaos::ChaosVfs::new(
+            spec.clone(),
+        )));
+    }
+}
+
 /// Executes a parsed command.
 pub fn execute(cmd: Command) -> Result<(), CliError> {
     let obs_outputs = match &cmd {
         Command::Topology(_) => None,
         Command::Run(o) | Command::Sweep(o) | Command::Fit(o) | Command::Burst(o) => {
             init_obs(o);
+            init_chaos(o);
             Some((o.trace_out.clone(), o.metrics_out.clone()))
         }
     };
@@ -238,7 +257,20 @@ fn execute_inner(cmd: Command) -> Result<(), CliError> {
                 machine.name
             );
             let ns: Vec<usize> = (1..=total).collect();
-            let (sweep, timing) = campaign_sweep("sweep", &opts, &machine, &ns, jobs)?;
+            let (sweep, timing, journal) = campaign_sweep("sweep", &opts, &machine, &ns, jobs)?;
+            if let Some(out) = &opts.out {
+                // Every point is already journaled, so a failed artefact
+                // write degrades gracefully: exit 7, and `--resume`
+                // regenerates the file without re-simulating.
+                offchip_json::write_atomic(out, &sweep.to_json().to_pretty_string()).map_err(
+                    |e| CliError::ArtefactWrite {
+                        path: out.clone(),
+                        journal: journal.clone(),
+                        error: e.to_string(),
+                    },
+                )?;
+                offchip_obs::info!("wrote sweep artefact json={}", out.display());
+            }
             let omega = sweep.omega()?;
             // Single-seed counters round-trip f64 → u64 exactly (< 2^53).
             for ((n, om), p) in omega.iter().zip(&sweep.points) {
@@ -281,7 +313,7 @@ fn execute_inner(cmd: Command) -> Result<(), CliError> {
                 proto.input_cores
             );
             let ns: Vec<usize> = (1..=total).collect();
-            let (points, timing) = campaign_sweep("fit", &opts, &machine, &ns, jobs)?;
+            let (points, timing, _journal) = campaign_sweep("fit", &opts, &machine, &ns, jobs)?;
             let sweep: Vec<(usize, u64)> = points.cycles_sweep()?;
             // The paper's r: the full-core run's miss count (the last
             // point; single-seed, so its f64 is the counter exactly).

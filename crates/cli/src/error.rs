@@ -12,6 +12,9 @@
 //! | 5    | runtime failure inside an otherwise valid run  |
 //! | 6    | campaign interrupted but journaled — completed |
 //! |      | points are on disk; rerun with `--resume`      |
+//! | 7    | artefact write failed but the journal is       |
+//! |      | intact — `--resume` regenerates the artefact   |
+//! |      | without re-simulating anything                 |
 
 use offchip_bench::SweepError;
 use offchip_machine::ConfigError;
@@ -42,6 +45,18 @@ pub enum CliError {
         /// Journal path holding the completed runs.
         journal: std::path::PathBuf,
     },
+    /// Every measurement succeeded and is journaled, but the final
+    /// artefact could not be written (disk full, I/O error). Graceful
+    /// degradation: `--resume` regenerates the artefact from the journal
+    /// without re-simulating.
+    ArtefactWrite {
+        /// The artefact that could not be written.
+        path: std::path::PathBuf,
+        /// The journal holding every completed run.
+        journal: std::path::PathBuf,
+        /// The underlying I/O error, rendered.
+        error: String,
+    },
 }
 
 impl CliError {
@@ -52,6 +67,7 @@ impl CliError {
             CliError::Fit(_) => 4,
             CliError::Runtime(_) => 5,
             CliError::Interrupted { .. } => offchip_bench::EXIT_INTERRUPTED,
+            CliError::ArtefactWrite { .. } => offchip_bench::EXIT_ARTEFACT_FAILED,
         }
     }
 }
@@ -67,6 +83,17 @@ impl std::fmt::Display for CliError {
                 f,
                 "campaign interrupted: {lost} point(s) lost; completed runs are journaled \
                  in {} — rerun with --resume to finish without repeating them",
+                journal.display()
+            ),
+            CliError::ArtefactWrite {
+                path,
+                journal,
+                error,
+            } => write!(
+                f,
+                "failed to write artefact {} ({error}); every measurement is journaled in {} \
+                 — rerun with --resume to regenerate the artefact without re-simulating",
+                path.display(),
                 journal.display()
             ),
         }

@@ -18,11 +18,15 @@
 //! worker count; also read from `OFFCHIP_JOBS`, default: all cores),
 //! `--resume` / `--deadline SECS` / `--retries N` / `--journal-dir DIR`
 //! (crash-safe campaign layer; sweep/fit journal completed points under
-//! `results/`).
+//! `results/`), `--out PATH` (sweep artefact), `--watchdog SECS`,
+//! `--chaos-io SPEC` (inject filesystem faults; also read from
+//! `OFFCHIP_CHAOS_IO`).
 //!
 //! Exit codes: 0 success, 2 usage, 3 invalid configuration, 4 model fit
 //! failure, 5 runtime failure, 6 campaign interrupted but journaled
-//! (rerun with `--resume`).
+//! (rerun with `--resume`), 7 artefact write failed but every
+//! measurement is journaled (rerun with `--resume` to regenerate the
+//! artefact without re-simulating).
 
 use std::process::ExitCode;
 
@@ -31,6 +35,19 @@ mod commands;
 mod error;
 
 fn main() -> ExitCode {
+    // A malformed OFFCHIP_CHAOS_IO is a usage error, same as a malformed
+    // --chaos-io flag (which beats the environment; see commands).
+    match offchip_chaos::install_from_env() {
+        Ok(true) => offchip_obs::warn!(
+            "chaos-io fault schedule active from {}",
+            offchip_chaos::CHAOS_ENV
+        ),
+        Ok(false) => {}
+        Err(e) => {
+            eprintln!("error: {}: {e}", offchip_chaos::CHAOS_ENV);
+            return ExitCode::from(error::EXIT_USAGE);
+        }
+    }
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match args::parse(&argv) {
         Ok(cmd) => match commands::execute(cmd) {

@@ -266,3 +266,88 @@ fn non_integer_jobs_flag_is_a_usage_error() {
         .expect("spawn offchip");
     assert_eq!(out.status.code(), Some(2), "flag parse failures exit 2");
 }
+
+#[test]
+fn malformed_chaos_spec_is_a_usage_error() {
+    let out = offchip()
+        .args(["sweep", "EP.S", "--machine", "uma", "--chaos-io", "explode@write"])
+        .output()
+        .expect("spawn offchip");
+    assert_eq!(out.status.code(), Some(2), "bad --chaos-io exits 2");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("chaos-io"), "diagnosis names the flag: {err}");
+}
+
+#[test]
+fn malformed_chaos_env_is_a_usage_error() {
+    let out = offchip()
+        .args(["topology"])
+        .env("OFFCHIP_CHAOS_IO", "eio@write")
+        .output()
+        .expect("spawn offchip");
+    assert_eq!(out.status.code(), Some(2), "bad OFFCHIP_CHAOS_IO exits 2");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("OFFCHIP_CHAOS_IO"), "diagnosis names the variable: {err}");
+}
+
+#[test]
+fn torn_artefact_rename_exits_7_and_resume_recovers_byte_identical() {
+    // The tentpole contract end to end: a sweep whose artefact rename is
+    // torn exits 7 with every measurement journaled; the same sweep with
+    // --resume under a clean Vfs re-simulates nothing and produces an
+    // artefact byte-identical to a chaos-free run.
+    let dir = std::env::temp_dir().join(format!("offchip-cli-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let golden_path = dir.join("golden.json");
+    let out_path = dir.join("sweep.json");
+    let sweep = |out: &std::path::Path, extra: &[&str], chaos: Option<&str>| {
+        let mut cmd = offchip();
+        cmd.args(["sweep", "IS.S", "--machine", "uma", "--scale", "128", "--jobs", "2"])
+            .arg("--out")
+            .arg(out)
+            .args(extra)
+            .env("OFFCHIP_JOURNAL_DIR", dir.join("journals"));
+        if let Some(spec) = chaos {
+            cmd.args(["--chaos-io", spec]);
+        }
+        cmd.output().expect("spawn offchip")
+    };
+
+    // A chaos-free golden artefact from a separate journal directory
+    // would race the faulted campaign's journal name, so produce it
+    // first, then reset the journals for the faulted run.
+    let golden = sweep(&golden_path, &[], None);
+    assert!(golden.status.success(), "golden sweep failed");
+    let _ = std::fs::remove_dir_all(dir.join("journals"));
+
+    // write_atomic = write + fsync + rename per artefact; the journal has
+    // its own appends. Failing the first *rename* hits the artefact (the
+    // journal never renames) after every point journaled successfully.
+    let faulted = sweep(&out_path, &[], Some("eio@rename:1"));
+    assert_eq!(
+        faulted.status.code(),
+        Some(7),
+        "artefact write failure with intact journal exits 7:\n{}",
+        String::from_utf8_lossy(&faulted.stderr)
+    );
+    let err = String::from_utf8_lossy(&faulted.stderr);
+    assert!(err.contains("--resume"), "remedy suggested: {err}");
+    assert!(!out_path.exists(), "no torn artefact left behind");
+
+    let resumed = sweep(&out_path, &["--resume"], None);
+    assert!(
+        resumed.status.success(),
+        "clean resume failed:\n{}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let resumed_err = String::from_utf8_lossy(&resumed.stderr);
+    assert!(
+        resumed_err.contains("0 runs executed"),
+        "resume re-simulated nothing: {resumed_err}"
+    );
+    let golden_bytes = std::fs::read(&golden_path).expect("golden artefact");
+    let resumed_bytes = std::fs::read(&out_path).expect("resumed artefact");
+    assert_eq!(golden_bytes, resumed_bytes, "artefacts byte-identical");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -6,68 +6,48 @@
 //!   `BENCH_sim.json`, recordings). The contents go to a temporary file in
 //!   the *same directory*, are fsynced, and the file is renamed over the
 //!   destination. A kill at any instant leaves either the old bytes or the
-//!   new bytes at the destination path — never a truncated mixture.
+//!   new bytes at the destination path — never a truncated mixture, and
+//!   never a stale temp file (the failure path removes it).
 //! * [`append_line`] — journals. One full line (record + `\n`) is written
 //!   with a single `write_all` to a file opened in append mode, then
 //!   fsynced. A kill can tear at most the *trailing* line, which journal
 //!   readers must tolerate (skip) — every earlier record is intact because
 //!   appends never rewrite old bytes.
+//!
+//! Every helper routes through the process-global [`offchip_chaos::Vfs`]
+//! ([`offchip_chaos::vfs`]), so a `--chaos-io` fault schedule exercises the
+//! exact code paths production runs. With no schedule installed the global
+//! is the zero-overhead `RealVfs` passthrough.
 
-use std::io::Write as _;
 use std::path::Path;
+
+pub use offchip_chaos::AppendFile;
 
 /// Writes `contents` to `path` atomically: temp file in the same
 /// directory → fsync → rename. The destination is never observable in a
-/// partially written state.
+/// partially written state, and no temp file survives a failure.
 pub fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
-    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
-    if let Some(dir) = dir {
-        std::fs::create_dir_all(dir)?;
-    }
-    // Name the temp file after the destination plus a pid suffix so
-    // concurrent writers of *different* artefacts never collide, and a
-    // leftover from a kill is recognisable and harmless.
-    let file_name = path
-        .file_name()
-        .ok_or_else(|| std::io::Error::other("write_atomic: path has no file name"))?;
-    let tmp = path.with_file_name(format!(
-        ".{}.tmp.{}",
-        file_name.to_string_lossy(),
-        std::process::id()
-    ));
-    let mut f = std::fs::File::create(&tmp)?;
-    f.write_all(contents.as_bytes())?;
-    f.sync_all()?;
-    drop(f);
-    std::fs::rename(&tmp, path)?;
-    // Durability of the rename itself requires the directory entry to be
-    // flushed; best-effort — some platforms refuse to fsync a directory.
-    if let Some(dir) = dir {
-        if let Ok(d) = std::fs::File::open(dir) {
-            let _ = d.sync_all();
-        }
-    }
-    Ok(())
+    offchip_chaos::vfs().write_atomic(path, contents)
 }
 
 /// Appends `line` (a newline is added) to `file` with one write followed
 /// by an fsync, so a kill tears at most this line and never an earlier
 /// one.
-pub fn append_line(file: &mut std::fs::File, line: &str) -> std::io::Result<()> {
-    let mut buf = String::with_capacity(line.len() + 1);
-    buf.push_str(line);
-    buf.push('\n');
-    file.write_all(buf.as_bytes())?;
-    file.sync_all()
+pub fn append_line(file: &mut AppendFile, line: &str) -> std::io::Result<()> {
+    offchip_chaos::vfs().append_line(file, line)
 }
 
 /// Opens `path` for durable appends (creating parent directories), for
 /// use with [`append_line`].
-pub fn open_append(path: &Path) -> std::io::Result<std::fs::File> {
-    if let Some(dir) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
-        std::fs::create_dir_all(dir)?;
-    }
-    std::fs::OpenOptions::new().create(true).append(true).open(path)
+pub fn open_append(path: &Path) -> std::io::Result<AppendFile> {
+    offchip_chaos::vfs().open_append(path)
+}
+
+/// Reads the whole file at `path` as UTF-8 through the process-global
+/// Vfs, so read-side faults (bit-rot, truncation, EIO) reach the parsers
+/// that must survive them.
+pub fn read_to_string(path: &Path) -> std::io::Result<String> {
+    offchip_chaos::vfs().read_to_string(path)
 }
 
 #[cfg(test)]
@@ -117,7 +97,7 @@ mod tests {
         // Reopening appends, never truncates.
         let mut f = open_append(&path).unwrap();
         append_line(&mut f, "{\"n\":3}").unwrap();
-        let body = std::fs::read_to_string(&path).unwrap();
+        let body = read_to_string(&path).unwrap();
         assert_eq!(body, "{\"n\":1}\n{\"n\":2}\n{\"n\":3}\n");
     }
 }

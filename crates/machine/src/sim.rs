@@ -1621,7 +1621,7 @@ mod tests {
                 .map(|t| {
                     let mut ops = vec![compute(200)];
                     for i in 0..32u64 {
-                        ops.push(read((1 << 20) + (t as u64 * 1 << 16) + i * 4096));
+                        ops.push(read((1 << 20) + ((t as u64) << 16) + i * 4096));
                     }
                     ops.push(Op::Barrier);
                     ops.push(compute(100));

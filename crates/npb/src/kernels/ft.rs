@@ -272,7 +272,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_rejected() {
-        fft_line(&mut vec![C64::default(); 12], false);
+        fft_line(&mut [C64::default(); 12], false);
     }
 
     #[test]

@@ -219,7 +219,9 @@ impl RecordedWorkload {
 
     /// Loads a recording saved by [`RecordedWorkload::save`].
     pub fn load(path: &std::path::Path) -> std::io::Result<RecordedWorkload> {
-        let body = std::fs::read_to_string(path)?;
+        // Read through the Vfs so chaos schedules can exercise the
+        // recording parser against bit-rot and truncation.
+        let body = offchip_json::atomic::read_to_string(path)?;
         let doc = Json::parse(&body).map_err(|e| invalid(format!("malformed recording: {e}")))?;
         let name = doc
             .get("name")

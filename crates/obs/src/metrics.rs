@@ -423,7 +423,7 @@ mod tests {
         assert_eq!(h.max(), 65_537);
         let (p50, p95, p99) = (h.p50(), h.p95(), h.p99());
         assert!(p50 <= p95 && p95 <= p99 && p99 <= h.max());
-        assert!(p50 >= 3 && p50 <= 7, "p50={p50}");
+        assert!((3..=7).contains(&p50), "p50={p50}");
     }
 
     #[test]

@@ -131,7 +131,7 @@ mod tests {
         // Use a local pattern: the global ring is shared across tests in
         // this binary, so exercise only relative behaviour.
         reset_trace();
-        let mut spans: Vec<Span> = (0..10).map(|i| span(i)).collect();
+        let mut spans: Vec<Span> = (0..10).map(span).collect();
         push_spans(&mut spans);
         assert!(spans.is_empty());
         let drained = take_spans();

@@ -1,0 +1,184 @@
+//! Crash-consistency oracle for the chaos-I/O layer (proptest): run the
+//! campaign stack under thousands of seeded filesystem-fault schedules
+//! and assert the contract every schedule must satisfy —
+//!
+//! * the run either **succeeds with a byte-identical artefact** (faults
+//!   absorbed: failed journal appends degrade to warnings, corrupt
+//!   records heal on replay) or **fails with a typed error** (never a
+//!   panic, never a silently wrong artefact);
+//! * a subsequent `--resume` under a clean Vfs **converges**: re-runs
+//!   whatever the faults lost and produces an artefact byte-identical to
+//!   an uninterrupted chaos-free run;
+//! * no fault schedule ever leaves a stale `.tmp` file behind (the
+//!   `write_atomic` cleanup guarantee).
+//!
+//! Checked at `jobs = 1` and `jobs = 4`. `OFFCHIP_ORACLE_CASES` scales
+//! the schedule count (CI runs 1000; the default keeps `cargo test`
+//! quick).
+
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
+
+use proptest::prelude::*;
+
+use offchip::npb::classes::ProblemClass;
+use offchip::topology::machines;
+use offchip_bench::{build_workload, Campaign, CampaignOptions, ProgramSpec};
+use offchip_chaos::{ChaosVfs, RealVfs, Vfs};
+use offchip_json::ToJson;
+
+const NS: [usize; 2] = [1, 2];
+const SEEDS: [u64; 1] = [3];
+
+fn machine() -> offchip::topology::MachineSpec {
+    machines::intel_uma_8().scaled(1.0 / 64.0)
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("offchip-oracle-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn oracle_cases() -> u32 {
+    std::env::var("OFFCHIP_ORACLE_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40)
+}
+
+/// The chaos-free run's artefact JSON and complete journal lines,
+/// computed once (records carry no paths, so the lines replant anywhere).
+fn golden() -> &'static (String, Vec<String>) {
+    static GOLDEN: OnceLock<(String, Vec<String>)> = OnceLock::new();
+    GOLDEN.get_or_init(|| {
+        let dir = scratch("golden");
+        let opts = CampaignOptions {
+            journal_dir: Some(dir.clone()),
+            ..CampaignOptions::default()
+        };
+        let campaign = Campaign::start("oracle", &opts).expect("open journal");
+        let w = build_workload(ProgramSpec::Cg(ProblemClass::S), 8);
+        let cs = campaign
+            .run_sweep(&machine(), w.as_ref(), &NS, &SEEDS, 1)
+            .expect("sweep");
+        assert!(cs.errors.is_empty(), "golden run must be clean");
+        let json = cs.sweep.to_json().to_pretty_string();
+        let lines = std::fs::read_to_string(campaign.journal_path())
+            .expect("read journal")
+            .lines()
+            .map(str::to_string)
+            .collect::<Vec<_>>();
+        assert_eq!(lines.len(), NS.len() * SEEDS.len());
+        let _ = std::fs::remove_dir_all(&dir);
+        (json, lines)
+    })
+}
+
+/// No schedule may strand a temp file: `write_atomic` cleans up after
+/// every failure, and journal appends never use temp files at all.
+fn assert_no_stale_tmp(dir: &Path) -> Result<(), proptest::test_runner::TestCaseError> {
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for e in entries.flatten() {
+            let name = e.file_name().to_string_lossy().into_owned();
+            prop_assert!(
+                !name.contains(".tmp."),
+                "stale temp file left behind: {name}"
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(oracle_cases()))]
+
+    /// `fault_seed` expands to a pseudorandom 4-fault schedule
+    /// ([`ChaosSpec::from_seed`]); `keep` plants a partial journal so
+    /// read-side faults (bitflip, truncation, EIO → quarantine) have
+    /// records to chew on.
+    #[test]
+    fn seeded_fault_schedule_upholds_the_contract(fault_seed in any::<u64>(), keep in 0usize..3) {
+        let (golden_json, lines) = golden();
+        let keep = keep.min(lines.len());
+        let w = build_workload(ProgramSpec::Cg(ProblemClass::S), 8);
+
+        for jobs in [1usize, 4] {
+            let dir = scratch(&format!("{fault_seed:x}-{keep}-{jobs}"));
+            std::fs::create_dir_all(&dir).expect("scratch dir");
+            let mut body = lines[..keep].join("\n");
+            if !body.is_empty() {
+                body.push('\n');
+            }
+            std::fs::write(dir.join("oracle.journal"), &body).expect("plant journal");
+            let artefact = dir.join("sweep.json");
+
+            // Phase 1: the faulted run. Success must mean a golden
+            // result; failure must be a typed error, not a panic.
+            let chaos: Arc<dyn Vfs> = Arc::new(ChaosVfs::from_seed(fault_seed));
+            let opts = CampaignOptions {
+                resume: true,
+                journal_dir: Some(dir.clone()),
+                vfs: Some(chaos.clone()),
+                ..CampaignOptions::default()
+            };
+            match Campaign::start("oracle", &opts) {
+                Err(e) => {
+                    // Documented degradation: the journal could not even
+                    // be opened. The typed error is the "exit 5" branch.
+                    prop_assert!(!e.to_string().is_empty());
+                }
+                Ok(campaign) => match campaign.run_sweep(&machine(), w.as_ref(), &NS, &SEEDS, jobs) {
+                    Err(e) => prop_assert!(!e.to_string().is_empty()),
+                    Ok(cs) => {
+                        // The simulation itself does no I/O: fault
+                        // schedules may cost journal records (healed on
+                        // the next resume) but never measurements.
+                        prop_assert!(cs.errors.is_empty(), "jobs={jobs}: {:?}", cs.errors);
+                        let json = cs.sweep.to_json().to_pretty_string();
+                        prop_assert_eq!(&json, golden_json, "in-memory sweep drifted (jobs={})", jobs);
+                        // The artefact write may fail (the "exit 7"
+                        // branch) — but a success must be byte-exact.
+                        if chaos.write_atomic(&artefact, &json).is_ok() {
+                            let bytes = std::fs::read_to_string(&artefact).expect("artefact");
+                            prop_assert_eq!(&bytes, golden_json, "artefact torn despite success");
+                        }
+                    }
+                },
+            }
+            assert_no_stale_tmp(&dir)?;
+
+            // Phase 2: `--resume` under a clean Vfs converges on the
+            // golden artefact no matter what the schedule damaged.
+            let clean: Arc<dyn Vfs> = Arc::new(RealVfs);
+            let ropts = CampaignOptions {
+                resume: true,
+                journal_dir: Some(dir.clone()),
+                vfs: Some(clean.clone()),
+                ..CampaignOptions::default()
+            };
+            let campaign = Campaign::start("oracle", &ropts).expect("clean reopen");
+            let cs = campaign
+                .run_sweep(&machine(), w.as_ref(), &NS, &SEEDS, jobs)
+                .expect("clean resume");
+            prop_assert!(cs.errors.is_empty(), "clean resume lost points: {:?}", cs.errors);
+            prop_assert_eq!(cs.executed + cs.resumed, lines.len(), "grid covered");
+            let json = cs.sweep.to_json().to_pretty_string();
+            prop_assert_eq!(&json, golden_json, "resume did not converge (jobs={})", jobs);
+            clean.write_atomic(&artefact, &json).expect("clean artefact write");
+            let bytes = std::fs::read_to_string(&artefact).expect("artefact");
+            prop_assert_eq!(&bytes, golden_json, "regenerated artefact not byte-identical");
+
+            // Phase 3: the journal is whole again — a further resume
+            // replays every record and re-runs nothing.
+            let campaign = Campaign::start("oracle", &ropts).expect("reopen");
+            let cs2 = campaign
+                .run_sweep(&machine(), w.as_ref(), &NS, &SEEDS, jobs)
+                .expect("second resume");
+            prop_assert_eq!(cs2.executed, 0, "healed journal replays fully");
+            prop_assert_eq!(cs2.resumed, lines.len());
+            assert_no_stale_tmp(&dir)?;
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}

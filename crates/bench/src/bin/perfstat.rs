@@ -23,10 +23,8 @@
 //! noise on top of the calibration, tight enough to catch a real hot-path
 //! regression. `OFFCHIP_QUICK=1` shrinks the run for CI smoke use.
 
-use std::time::Instant;
-
 use offchip_bench::{
-    build_workload, jobs, run_sweep_timed, seeds, ProgramSpec, SweepTiming,
+    build_workload, jobs, perfcal, run_sweep_timed, seeds, ProgramSpec, SweepTiming,
 };
 use offchip_json::{json_obj, Json, ToJson};
 use offchip_npb::classes::ProblemClass;
@@ -52,29 +50,6 @@ impl ToJson for ConfigTiming {
             "events" => self.events,
         }
     }
-}
-
-/// Times a fixed xorshift64* spin; returns iterations per second.
-///
-/// Three rounds, best rate kept: the minimum-time round is the one least
-/// disturbed by scheduling noise, exactly the estimator the sweep
-/// comparison itself needs.
-fn calibrate() -> f64 {
-    const ITERS: u64 = 50_000_000;
-    let mut best = f64::MAX;
-    for _ in 0..3 {
-        let t0 = Instant::now();
-        let mut x = 0x9E37_79B9_7F4A_7C15u64;
-        for _ in 0..ITERS {
-            x ^= x >> 12;
-            x ^= x << 25;
-            x ^= x >> 27;
-            x = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
-        }
-        std::hint::black_box(x);
-        best = best.min(t0.elapsed().as_secs_f64());
-    }
-    ITERS as f64 / best
 }
 
 /// Bad command line: print the complaint and usage, exit 2.
@@ -123,7 +98,7 @@ fn parse_args() -> (Option<usize>, String, Option<String>) {
 fn normalised_throughput(doc: &Json) -> Option<f64> {
     let ev = doc.get("events_per_sec")?.as_f64()?;
     let cal = doc.get("calib_rate")?.as_f64()?;
-    (cal > 0.0).then_some(ev / cal)
+    perfcal::normalised_throughput(ev, cal)
 }
 
 fn main() {
@@ -136,8 +111,17 @@ fn main() {
     let quick = std::env::var("OFFCHIP_QUICK").is_ok_and(|v| v == "1");
 
     eprintln!("calibrating host...");
-    let calib_rate = calibrate();
-    eprintln!("calibration: {:.1} Miter/s", calib_rate / 1e6);
+    // Re-measures with doubled iteration counts until the wall time clears
+    // perfcal::MIN_CALIBRATION_WALL, so the rate is never a sub-millisecond
+    // noise artefact that could skew the --check gate.
+    let calibration = perfcal::calibrate();
+    let calib_rate = calibration.rate;
+    eprintln!(
+        "calibration: {:.1} Miter/s ({} iters over {:.1} ms)",
+        calib_rate / 1e6,
+        calibration.iters,
+        calibration.wall.as_secs_f64() * 1e3
+    );
 
     let machines = [
         machines::intel_uma_8().scaled(DEFAULT_EXPERIMENT_SCALE),
@@ -202,6 +186,8 @@ fn main() {
         "jobs" => jobs as u64,
         "seeds" => seeds.len() as u64,
         "calib_rate" => calib_rate,
+        "calib_iters" => calibration.iters,
+        "calib_wall_s" => calibration.wall.as_secs_f64(),
         "runs" => total.runs as u64,
         "wall_s" => total.wall.as_secs_f64(),
         "runs_per_sec" => total.runs_per_sec(),

@@ -1,0 +1,293 @@
+//! Load-test harness for `offchip-serve`: hammers `POST /predict` on a
+//! warm cache and writes client-side latency quantiles to
+//! `BENCH_serve.json`.
+//!
+//! ```text
+//! serve_loadtest --addr HOST:PORT [--connections N] [--seconds S]
+//!                [--machine uma|numa|amd] [--program NAME] [--n N]
+//!                [--out PATH]
+//! ```
+//!
+//! The harness first sends one warm-up request (which may run the fill
+//! campaign — the read timeout is generous for exactly that request),
+//! then opens `--connections` keep-alive connections that issue
+//! back-to-back predicts for `--seconds`. Each thread records latencies
+//! in its own log2 histogram (`offchip_obs::Histogram`); the merged
+//! histogram yields the committed p50/p95/p99. Every response body is
+//! checked byte-for-byte against the warm-up body — a served prediction
+//! that drifts under load is a correctness failure, not a slow request.
+
+use offchip_bench::EXIT_INTERRUPTED;
+use offchip_json::json_obj;
+use offchip_obs::Histogram;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Read timeout for the warm-up request: the fill campaign simulates a
+/// sweep, which can take minutes at full seed count on a loaded host.
+const WARMUP_TIMEOUT: Duration = Duration::from_secs(600);
+/// Read timeout once warm: cached predictions answer in microseconds;
+/// a second means the server wedged.
+const WARM_TIMEOUT: Duration = Duration::from_secs(5);
+
+fn usage_exit(msg: &str) -> ! {
+    eprintln!("serve_loadtest: {msg}");
+    eprintln!(
+        "usage: serve_loadtest --addr HOST:PORT [--connections N] [--seconds S] \
+         [--machine uma|numa|amd] [--program NAME] [--n N] [--out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn runtime_exit(msg: &str) -> ! {
+    eprintln!("serve_loadtest: {msg}");
+    std::process::exit(5);
+}
+
+struct Options {
+    addr: String,
+    connections: usize,
+    seconds: f64,
+    machine: String,
+    program: String,
+    n: u64,
+    out: String,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        addr: String::new(),
+        connections: 4,
+        seconds: 3.0,
+        machine: "uma".into(),
+        program: "CG.S".into(),
+        n: 8,
+        out: "BENCH_serve.json".into(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| usage_exit(&format!("{flag} needs a value")))
+        };
+        match a.as_str() {
+            "--addr" => opts.addr = value("--addr"),
+            "--connections" => {
+                opts.connections = value("--connections")
+                    .parse()
+                    .unwrap_or_else(|e| usage_exit(&format!("--connections: {e}")));
+                if opts.connections == 0 {
+                    usage_exit("--connections must be at least 1");
+                }
+            }
+            "--seconds" => {
+                opts.seconds = value("--seconds")
+                    .parse()
+                    .unwrap_or_else(|e| usage_exit(&format!("--seconds: {e}")));
+                if !opts.seconds.is_finite() || opts.seconds <= 0.0 {
+                    usage_exit("--seconds must be a positive number");
+                }
+            }
+            "--machine" => opts.machine = value("--machine"),
+            "--program" => opts.program = value("--program"),
+            "--n" => {
+                opts.n = value("--n")
+                    .parse()
+                    .unwrap_or_else(|e| usage_exit(&format!("--n: {e}")));
+            }
+            "--out" => opts.out = value("--out"),
+            other => usage_exit(&format!("unknown argument: {other}")),
+        }
+    }
+    if opts.addr.is_empty() {
+        usage_exit("--addr is required");
+    }
+    opts
+}
+
+/// One keep-alive HTTP client on a raw socket.
+struct Client {
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: &str, timeout: Duration) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(WARM_TIMEOUT))?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Sends one POST and returns `(status, body)`.
+    fn post(&mut self, path: &str, body: &str) -> std::io::Result<(u16, Vec<u8>)> {
+        let req = format!(
+            "POST {path} HTTP/1.1\r\nHost: loadtest\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.reader.get_mut().write_all(req.as_bytes())?;
+        let mut status_line = String::new();
+        self.reader.read_line(&mut status_line)?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| std::io::Error::other(format!("bad status line {status_line:?}")))?;
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            self.reader.read_line(&mut header)?;
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, v)) = header.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = v
+                        .trim()
+                        .parse()
+                        .map_err(|e| std::io::Error::other(format!("Content-Length: {e}")))?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        Ok((status, body))
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let request_body = format!(
+        r#"{{"machine":"{}","program":"{}","n":{}}}"#,
+        opts.machine, opts.program, opts.n
+    );
+
+    // Warm-up: fill the model cache (possibly running the campaign) and
+    // capture the reference body every load-phase response must match.
+    eprintln!(
+        "warming {}/{} n={} at {} ...",
+        opts.machine, opts.program, opts.n, opts.addr
+    );
+    let warm_t0 = Instant::now();
+    let mut warm_client = Client::connect(&opts.addr, WARMUP_TIMEOUT)
+        .unwrap_or_else(|e| runtime_exit(&format!("connect {}: {e}", opts.addr)));
+    let (status, reference) = warm_client
+        .post("/predict", &request_body)
+        .unwrap_or_else(|e| runtime_exit(&format!("warm-up request: {e}")));
+    if status != 200 {
+        runtime_exit(&format!(
+            "warm-up request returned {status}: {}",
+            String::from_utf8_lossy(&reference)
+        ));
+    }
+    let warmup_s = warm_t0.elapsed().as_secs_f64();
+    eprintln!("warm in {warmup_s:.2} s; load phase: {} connection(s) x {} s", opts.connections, opts.seconds);
+
+    let deadline = Instant::now() + Duration::from_secs_f64(opts.seconds);
+    let t0 = Instant::now();
+    let per_thread: Vec<(Histogram, u64, u64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..opts.connections)
+            .map(|_| {
+                let addr = &opts.addr;
+                let request_body = &request_body;
+                let reference = &reference;
+                s.spawn(move || {
+                    let mut hist = Histogram::new();
+                    let mut requests = 0u64;
+                    let mut errors = 0u64;
+                    let mut client = match Client::connect(addr, WARM_TIMEOUT) {
+                        Ok(c) => c,
+                        Err(_) => return (hist, 0, 1),
+                    };
+                    while Instant::now() < deadline {
+                        let r0 = Instant::now();
+                        match client.post("/predict", request_body) {
+                            Ok((200, body)) if &body == reference => {
+                                requests += 1;
+                                hist.record(r0.elapsed().as_micros().min(u128::from(u64::MAX))
+                                    as u64);
+                            }
+                            Ok((200, body)) => {
+                                errors += 1;
+                                eprintln!(
+                                    "response drift under load: {}",
+                                    String::from_utf8_lossy(&body)
+                                );
+                            }
+                            Ok((status, _)) => {
+                                errors += 1;
+                                eprintln!("status {status} under load");
+                            }
+                            Err(_) => {
+                                errors += 1;
+                                // Reconnect and keep going.
+                                match Client::connect(addr, WARM_TIMEOUT) {
+                                    Ok(c) => client = c,
+                                    Err(_) => break,
+                                }
+                            }
+                        }
+                    }
+                    (hist, requests, errors)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let mut hist = Histogram::new();
+    let mut requests = 0u64;
+    let mut errors = 0u64;
+    for (h, r, e) in &per_thread {
+        hist.merge(h);
+        requests += r;
+        errors += e;
+    }
+    if requests == 0 {
+        runtime_exit("no successful request in the load phase");
+    }
+    let qps = requests as f64 / elapsed;
+    println!(
+        "serve_loadtest: {requests} requests in {elapsed:.2} s ({qps:.0} req/s), \
+         {errors} error(s), p50 {} us, p95 {} us, p99 {} us, max {} us",
+        hist.p50(),
+        hist.p95(),
+        hist.p99(),
+        hist.max()
+    );
+
+    let doc = json_obj! {
+        "schema" => 1u64,
+        "bench" => "serve-predict-loadtest",
+        "machine" => opts.machine,
+        "program" => opts.program,
+        "n" => opts.n,
+        "connections" => opts.connections as u64,
+        "seconds" => opts.seconds,
+        "warmup_s" => warmup_s,
+        "requests" => requests,
+        "errors" => errors,
+        "qps" => qps,
+        "mean_us" => hist.mean(),
+        "p50_us" => hist.p50(),
+        "p95_us" => hist.p95(),
+        "p99_us" => hist.p99(),
+        "max_us" => hist.max(),
+    };
+    if let Err(e) = offchip_json::write_atomic(std::path::Path::new(&opts.out), &doc.to_pretty_string())
+    {
+        runtime_exit(&format!("write {}: {e}", opts.out));
+    }
+    eprintln!("wrote {}", opts.out);
+    // Response drift or transport errors under load are a failed bench,
+    // even though the latency file was written for inspection.
+    if errors > 0 {
+        std::process::exit(i32::from(EXIT_INTERRUPTED));
+    }
+}

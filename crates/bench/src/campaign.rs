@@ -36,8 +36,9 @@
 //!   lying fsync's half-truth is recognised and healed like any torn
 //!   append — the point simply re-runs;
 //! * an unreadable journal (EIO, invalid UTF-8) is **quarantined** —
-//!   renamed aside with a typed [`JournalFault`] — instead of failing the
-//!   whole campaign;
+//!   renamed aside to a unique `*.quarantined[.N]` name with a typed
+//!   [`JournalFault`] — instead of failing the whole campaign, and
+//!   successive quarantines never overwrite each other's evidence;
 //! * all journal I/O goes through an [`offchip_chaos::Vfs`]
 //!   (per-campaign override or the process global), so `--chaos-io`
 //!   fault schedules exercise these exact paths;
@@ -48,7 +49,7 @@
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -399,7 +400,11 @@ impl JournalRecord {
             "schema" => JOURNAL_SCHEMA,
             "config" => format!("{config:016x}"),
             "n" => n,
-            "seed" => seed,
+            // Hex string, not a JSON number: seeds use the full u64 range
+            // and JSON numbers are f64, which rounds above 2^53 — a
+            // rounded seed can never match its grid key on resume, so the
+            // run would silently re-simulate on every resume.
+            "seed" => format!("{seed:016x}"),
             "total_cycles" => self.total_cycles,
             "work_cycles" => self.work_cycles,
             "stall_cycles" => self.stall_cycles,
@@ -438,7 +443,14 @@ impl JournalRecord {
         }
         let config = u64::from_str_radix(doc.get("config").and_then(Json::as_str)?, 16).ok()?;
         let n = doc.get("n").and_then(Json::as_u64)? as usize;
-        let seed = doc.get("seed").and_then(Json::as_u64)?;
+        // Current records carry the seed as a lossless hex string; older
+        // ones as a JSON number, readable only while it fits f64 exactly
+        // (beyond 2^53 `as_u64` refuses the rounded value, and the record
+        // correctly re-runs rather than replaying under a wrong key).
+        let seed = match doc.get("seed")? {
+            s if s.as_str().is_some() => u64::from_str_radix(s.as_str()?, 16).ok()?,
+            n => n.as_u64()?,
+        };
         let field = |k: &str| doc.get(k).and_then(Json::as_u64);
         let rec = JournalRecord {
             total_cycles: field("total_cycles")?,
@@ -480,11 +492,33 @@ fn backoff(seed: u64, attempt: u32) -> Duration {
 pub struct JournalFault {
     /// The journal that could not be read.
     pub path: PathBuf,
-    /// Where it was moved (`<path>.quarantined`), if the rename itself
+    /// Where it was moved (`<path>.quarantined`, or a numbered
+    /// `<path>.quarantined.N` when earlier quarantines of the same
+    /// campaign already hold the base name), if the rename itself
     /// succeeded.
     pub quarantined_to: Option<PathBuf>,
     /// The underlying read error, rendered.
     pub error: String,
+}
+
+/// The first free quarantine name for `path`: `<name>.journal.quarantined`,
+/// then `.quarantined.1`, `.quarantined.2`, … Every quarantined journal is
+/// crash evidence; a fixed name would make a *second* unreadable journal of
+/// the same campaign silently overwrite the first (the rename clobbers),
+/// destroying exactly the file a post-mortem needs.
+fn quarantine_target(path: &Path) -> PathBuf {
+    let base = path.with_extension("journal.quarantined");
+    if !base.exists() {
+        return base;
+    }
+    let mut i = 1u32;
+    loop {
+        let candidate = path.with_extension(format!("journal.quarantined.{i}"));
+        if !candidate.exists() {
+            return candidate;
+        }
+        i += 1;
+    }
 }
 
 impl std::fmt::Display for JournalFault {
@@ -789,7 +823,7 @@ impl Campaign {
                     // invalid UTF-8). Losing resumability must not lose
                     // the campaign: quarantine the file — preserving the
                     // evidence — and restart from zero records.
-                    let quarantine = path.with_extension("journal.quarantined");
+                    let quarantine = quarantine_target(&path);
                     let quarantined_to = match vfs.rename(&path, &quarantine) {
                         Ok(()) => Some(quarantine),
                         Err(rename_err) => {
@@ -1111,6 +1145,35 @@ mod tests {
         machines::intel_uma_8().scaled(1.0 / 64.0)
     }
 
+    #[test]
+    fn journal_lines_round_trip_full_range_seeds() {
+        let rec = JournalRecord {
+            total_cycles: 100,
+            work_cycles: 60,
+            stall_cycles: 40,
+            llc_misses: 8,
+            makespan: 25,
+            sim_events: 12,
+            wall_ns: 1_000,
+        };
+        // Seeds span the full u64 range (the default generator XORs with
+        // 0x9E3779B97F4A7C15, landing near 2^63); a JSON f64 number
+        // rounds those, so the line must carry the seed losslessly.
+        for seed in [0u64, 3, 0x0FF_C41B, (1 << 53) + 1, u64::MAX - 7, u64::MAX] {
+            let line = rec.to_line(0xfeed_beef, 5, seed);
+            let (key, parsed) = JournalRecord::parse_line(&line)
+                .unwrap_or_else(|| panic!("seed {seed:#x} failed to replay"));
+            assert_eq!(key, (0xfeed_beef, 5, seed));
+            assert_eq!(parsed, rec);
+        }
+        // Legacy numeric seeds still replay while exactly representable.
+        let legacy = rec.to_line(1, 2, 77).replace("\"000000000000004d\"", "77");
+        let crc_split = legacy.rsplit_once('#').unwrap().0.to_string();
+        let legacy = format!("{crc_split}#{:08x}", offchip_chaos::crc32(crc_split.as_bytes()));
+        let (key, _) = JournalRecord::parse_line(&legacy).expect("legacy numeric seed");
+        assert_eq!(key, (1, 2, 77));
+    }
+
     /// A workload that panics on its k-th `thread_program` construction
     /// (counted across the whole process run, so under `jobs = 1` the
     /// grid order makes the poisoned point deterministic).
@@ -1254,6 +1317,38 @@ mod tests {
             std::fs::read_to_string(c.journal_path()).unwrap().lines().count(),
             1
         );
+    }
+
+    #[test]
+    fn second_quarantine_preserves_the_first() {
+        // Regression: the quarantine name was fixed per campaign, so a
+        // second unreadable journal renamed over the first — destroying
+        // the earlier crash evidence. Quarantine names must be unique.
+        let opts = scratch("quarantine2");
+        let dir = opts.journal_dir.clone().unwrap();
+        std::fs::create_dir_all(&dir).unwrap();
+        let ropts = CampaignOptions {
+            resume: true,
+            ..opts.clone()
+        };
+        let first_bytes: &[u8] = b"\xFF\xFEfirst corpse \xC0";
+        let second_bytes: &[u8] = b"\xFF\xFEsecond corpse \xC1";
+        std::fs::write(dir.join("q2.journal"), first_bytes).unwrap();
+        let c1 = Campaign::start("q2", &ropts).unwrap();
+        let q1 = c1
+            .journal_fault()
+            .and_then(|f| f.quarantined_to.clone())
+            .expect("first quarantine");
+        drop(c1);
+        std::fs::write(dir.join("q2.journal"), second_bytes).unwrap();
+        let c2 = Campaign::start("q2", &ropts).unwrap();
+        let q2 = c2
+            .journal_fault()
+            .and_then(|f| f.quarantined_to.clone())
+            .expect("second quarantine");
+        assert_ne!(q1, q2, "a second quarantine must not reuse the name");
+        assert_eq!(std::fs::read(&q1).unwrap(), first_bytes, "first evidence intact");
+        assert_eq!(std::fs::read(&q2).unwrap(), second_bytes, "second evidence intact");
     }
 
     #[test]

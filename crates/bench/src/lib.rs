@@ -22,6 +22,7 @@
 
 pub mod campaign;
 pub mod model_figure;
+pub mod perfcal;
 pub mod plot;
 pub mod report;
 pub mod sweep;

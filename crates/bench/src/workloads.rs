@@ -38,6 +38,41 @@ impl ProgramSpec {
         }
     }
 
+    /// Parses paper notation (`CG.C`, `mg.W`, `x264.native`) into a spec —
+    /// the single parser behind the CLI's `<program>` argument and the
+    /// service's `"program"` request field.
+    pub fn parse(name: &str) -> Result<ProgramSpec, String> {
+        if let Some(input) = name.strip_prefix("x264.") {
+            return match input {
+                "simsmall" => Ok(ProgramSpec::X264("simsmall")),
+                "simmedium" => Ok(ProgramSpec::X264("simmedium")),
+                "simlarge" => Ok(ProgramSpec::X264("simlarge")),
+                "native" => Ok(ProgramSpec::X264("native")),
+                other => Err(format!("unknown x264 input {other:?}")),
+            };
+        }
+        let (kernel, class) = name
+            .split_once('.')
+            .ok_or_else(|| format!("program {name:?} is not in paper notation (e.g. CG.C)"))?;
+        let class = match class.to_ascii_uppercase().as_str() {
+            "S" => ProblemClass::S,
+            "W" => ProblemClass::W,
+            "A" => ProblemClass::A,
+            "B" => ProblemClass::B,
+            "C" => ProblemClass::C,
+            other => return Err(format!("unknown problem class {other:?}")),
+        };
+        match kernel.to_ascii_uppercase().as_str() {
+            "EP" => Ok(ProgramSpec::Ep(class)),
+            "IS" => Ok(ProgramSpec::Is(class)),
+            "FT" => Ok(ProgramSpec::Ft(class)),
+            "CG" => Ok(ProgramSpec::Cg(class)),
+            "SP" => Ok(ProgramSpec::Sp(class)),
+            "MG" => Ok(ProgramSpec::Mg(class)),
+            other => Err(format!("unknown kernel {other:?}")),
+        }
+    }
+
     /// The five NPB programs of Table II at a given class.
     pub fn npb_suite(class: ProblemClass) -> Vec<ProgramSpec> {
         vec![

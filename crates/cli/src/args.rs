@@ -173,42 +173,10 @@ pub enum Command {
     Burst(RunOptions),
 }
 
-/// Parses a program name in paper notation.
+/// Parses a program name in paper notation (delegates to the shared
+/// parser in `offchip_bench::ProgramSpec`, which the service reuses too).
 pub fn parse_program(name: &str) -> Result<ProgramSpec, String> {
-    if let Some(input) = name.strip_prefix("x264.") {
-        return match input {
-            "simsmall" | "simmedium" | "simlarge" | "native" => Ok(ProgramSpec::X264(
-                // leak is fine: four static strings, parsed once.
-                match input {
-                    "simsmall" => "simsmall",
-                    "simmedium" => "simmedium",
-                    "simlarge" => "simlarge",
-                    _ => "native",
-                },
-            )),
-            other => Err(format!("unknown x264 input {other:?}")),
-        };
-    }
-    let (kernel, class) = name
-        .split_once('.')
-        .ok_or_else(|| format!("program {name:?} is not in paper notation (e.g. CG.C)"))?;
-    let class = match class {
-        "S" => ProblemClass::S,
-        "W" => ProblemClass::W,
-        "A" => ProblemClass::A,
-        "B" => ProblemClass::B,
-        "C" => ProblemClass::C,
-        other => return Err(format!("unknown problem class {other:?}")),
-    };
-    match kernel.to_ascii_uppercase().as_str() {
-        "EP" => Ok(ProgramSpec::Ep(class)),
-        "IS" => Ok(ProgramSpec::Is(class)),
-        "FT" => Ok(ProgramSpec::Ft(class)),
-        "CG" => Ok(ProgramSpec::Cg(class)),
-        "SP" => Ok(ProgramSpec::Sp(class)),
-        "MG" => Ok(ProgramSpec::Mg(class)),
-        other => Err(format!("unknown kernel {other:?}")),
-    }
+    ProgramSpec::parse(name)
 }
 
 fn parse_machine(name: &str) -> Result<MachineChoice, String> {

@@ -43,7 +43,7 @@ pub mod validation;
 
 pub use mg1::Mg1Fit;
 pub use mm1::Mm1Fit;
-pub use multiproc::{Architecture, ContentionModel, FitError, FitInputs};
+pub use multiproc::{Architecture, ContentionModel, FitError, FitInputs, ModelParams};
 pub use omega::{degree_of_contention, omega_series};
 pub use protocol::FitProtocol;
 pub use robust::{

@@ -31,6 +31,22 @@ pub enum Architecture {
     Numa,
 }
 
+impl Architecture {
+    /// Canonical lower-case name, stable for serialization and cache keys.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Architecture::Uma => "uma",
+            Architecture::Numa => "numa",
+        }
+    }
+}
+
+impl std::fmt::Display for Architecture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Everything the fit consumes.
 #[derive(Debug, Clone)]
 pub struct FitInputs {
@@ -347,6 +363,23 @@ impl ContentionModel {
         n as f64 * c1 / self.predict_c(n)
     }
 
+    /// The fitted parameters, flattened for serialization: everything a
+    /// cache (or a rival model slotting into the same lookup path) needs
+    /// to reproduce this model's predictions.
+    pub fn params(&self) -> ModelParams {
+        ModelParams {
+            arch: self.arch,
+            cores_per_processor: self.c,
+            mu: self.mm1.mu(),
+            l: self.mm1.l(),
+            input_r_squared: self.mm1.input_r_squared,
+            c1_measured: self.c1_measured,
+            delta_c: self.delta_c,
+            rho: self.rho.clone(),
+            r: self.r,
+        }
+    }
+
     /// The core count in `1..=max_n` that maximises the predicted
     /// effective speedup — the capacity-planning question the authors'
     /// companion work (\[26\] in the paper) poses, answered here from the
@@ -362,6 +395,51 @@ impl ContentionModel {
             }
         }
         best
+    }
+}
+
+/// The fitted parameter set of a [`ContentionModel`], flattened for
+/// serialization (service responses, fitted-model caches, reports).
+///
+/// The paper's handful of fitted parameters — μ, L, ΔC, ρ — *are* the
+/// model; carrying them (plus the architecture, per-processor core count,
+/// miss rate `r` and the measured `C(1)` baseline) is enough to answer
+/// any `C(n)`/ω(n)/speedup query without touching the simulator again.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelParams {
+    /// Composition rule of the fitted machine.
+    pub arch: Architecture,
+    /// Cores per processor, the paper's `c`.
+    pub cores_per_processor: usize,
+    /// Recovered memory-controller service rate μ (requests/cycle).
+    pub mu: f64,
+    /// Recovered per-core request rate `L`.
+    pub l: f64,
+    /// R² of the within-processor `1/C(n)` regression.
+    pub input_r_squared: f64,
+    /// Measured `C(1)` baseline ω is defined against, when supplied.
+    pub c1_measured: Option<f64>,
+    /// UMA shared-controller load correction per extra processor.
+    pub delta_c: f64,
+    /// NUMA ρ_k per additional processor (empty ⇒ no cross point).
+    pub rho: Vec<f64>,
+    /// Last-level cache miss count `r` the fit consumed.
+    pub r: f64,
+}
+
+impl offchip_json::ToJson for ModelParams {
+    fn to_json(&self) -> offchip_json::Json {
+        offchip_json::json_obj! {
+            "arch" => self.arch.as_str(),
+            "cores_per_processor" => self.cores_per_processor,
+            "mu" => self.mu,
+            "l" => self.l,
+            "input_r_squared" => self.input_r_squared,
+            "c1_measured" => self.c1_measured,
+            "delta_c" => self.delta_c,
+            "rho" => self.rho,
+            "r" => self.r,
+        }
     }
 }
 

@@ -123,6 +123,24 @@ impl std::fmt::Display for FitQuality {
     }
 }
 
+impl offchip_json::ToJson for FitQuality {
+    fn to_json(&self) -> offchip_json::Json {
+        let dropped: Vec<(usize, String)> = self
+            .dropped
+            .iter()
+            .map(|(n, reason)| (*n, reason.to_string()))
+            .collect();
+        offchip_json::json_obj! {
+            "points_supplied" => self.points_supplied,
+            "points_used" => self.points_used,
+            "dropped" => dropped,
+            "r_squared" => self.r_squared,
+            "fallback" => self.fallback,
+            "degraded" => self.is_degraded(),
+        }
+    }
+}
+
 /// A fitted model together with its degradation ledger.
 #[derive(Debug, Clone)]
 pub struct RobustFit {

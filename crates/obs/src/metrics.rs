@@ -142,12 +142,24 @@ impl Histogram {
     }
 
     /// The `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the bucket
-    /// holding the target rank, clamped to the observed maximum. 0 when
-    /// empty.
+    /// holding the target rank, clamped to the observed maximum.
+    ///
+    /// Pinned edge behavior (`BENCH_serve.json` percentiles are read
+    /// straight off this, so the contract is load-bearing):
+    ///
+    /// * an **empty** histogram reports 0 for every `q` — never a bucket
+    ///   upper bound like 1;
+    /// * `q = 0.0` reports the bucket bound of the smallest sample,
+    ///   `q = 1.0` reports exactly the observed maximum;
+    /// * out-of-range `q` clamps into `[0.0, 1.0]`; a NaN `q` is treated
+    ///   as 1.0 (the conservative end), so a caller bug over-reports a
+    ///   latency instead of under-reporting it;
+    /// * `quantile` is monotone in `q`, hence `p50 ≤ p95 ≤ p99 ≤ max`.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
+        let q = if q.is_nan() { 1.0 } else { q.clamp(0.0, 1.0) };
         let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut cum = 0u64;
         for (i, &b) in self.buckets.iter().enumerate() {
@@ -443,6 +455,52 @@ mod tests {
         assert_eq!(h.p50(), 42);
         assert_eq!(h.p99(), 42);
         assert_eq!(h.max(), 42);
+    }
+
+    #[test]
+    fn quantile_domain_edges_are_pinned() {
+        // Regression (serve PR): BENCH_serve.json percentiles come from
+        // quantile(), so its edge behavior is a published contract.
+        let empty = Histogram::new();
+        for q in [f64::NAN, -1.0, 0.0, 0.5, 1.0, 2.0] {
+            assert_eq!(empty.quantile(q), 0, "empty histogram at q={q}");
+        }
+        let mut h = Histogram::new();
+        for v in [3u64, 9, 17, 1200, 40_000] {
+            h.record(v);
+        }
+        // q = 1.0 is exactly the observed maximum, and anything at or
+        // beyond the boundaries clamps rather than indexing nonsense.
+        assert_eq!(h.quantile(1.0), h.max());
+        assert_eq!(h.quantile(2.0), h.max());
+        assert_eq!(h.quantile(f64::NAN), h.max());
+        assert_eq!(h.quantile(0.0), h.quantile(-5.0));
+        // q = 0.0 lands in the smallest sample's bucket (3 ∈ [2, 4)).
+        assert_eq!(h.quantile(0.0), 3);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_over_many_shapes() {
+        // p50 ≤ p95 ≤ p99 ≤ max must hold for any sample set; sweep a
+        // deterministic xorshift stream over several sizes and spreads.
+        let mut x = 0x243F_6A88_85A3_08D3u64;
+        for size in [1usize, 2, 3, 10, 100, 1000] {
+            let mut h = Histogram::new();
+            for _ in 0..size {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                h.record(x % 1_000_003);
+            }
+            let mut prev = 0u64;
+            for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+                let v = h.quantile(q);
+                assert!(v >= prev, "quantile({q}) = {v} < {prev} at size {size}");
+                assert!(v <= h.max(), "quantile({q}) above max at size {size}");
+                prev = v;
+            }
+            assert!(h.p50() <= h.p95() && h.p95() <= h.p99() && h.p99() <= h.max());
+        }
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! `offchip-serve` — the contention-prediction HTTP service.
+//!
+//! ```text
+//! offchip-serve [--addr HOST:PORT] [--workers N] [--jobs N] [--journal-dir DIR]
+//! ```
+//!
+//! Binds (port 0 = ephemeral), prints `offchip-serve listening on
+//! HOST:PORT` on stdout (tests and CI parse that line for the port),
+//! and serves until SIGTERM/SIGINT, then drains and exits 0.
+//!
+//! Environment: `OFFCHIP_SEEDS`/`OFFCHIP_QUICK` set the fill-campaign
+//! seed count, `OFFCHIP_JOBS` the default simulation worker budget,
+//! `OFFCHIP_JOURNAL_DIR` the default journal directory, `OFFCHIP_LOG`
+//! the log level.
+
+use offchip_serve::{signal, PredictService, Server, ServerOptions, ServiceConfig};
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+const USAGE: &str = "\
+usage: offchip-serve [--addr HOST:PORT] [--workers N] [--jobs N] [--journal-dir DIR]
+  --addr HOST:PORT   bind address (default 127.0.0.1:7071; port 0 = ephemeral)
+  --workers N        HTTP worker threads (default: small, from available parallelism)
+  --jobs N           simulation worker budget for fill campaigns (default OFFCHIP_JOBS)
+  --journal-dir DIR  campaign journal directory (default results/ or OFFCHIP_JOURNAL_DIR)";
+
+struct Parsed {
+    server: ServerOptions,
+    service: ServiceConfig,
+}
+
+fn parse_args(args: &[String]) -> Result<Parsed, String> {
+    let mut server = ServerOptions::default();
+    let mut service = ServiceConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .ok_or_else(|| format!("{flag} needs a value"))
+                .cloned()
+        };
+        match flag.as_str() {
+            "--addr" => server.addr = value()?,
+            "--workers" => {
+                let n: usize = value()?.parse().map_err(|e| format!("--workers: {e}"))?;
+                if n == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+                server.workers = n;
+            }
+            "--jobs" => {
+                let n: usize = value()?.parse().map_err(|e| format!("--jobs: {e}"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+                service.jobs = n;
+            }
+            "--journal-dir" => service.journal_dir = Some(PathBuf::from(value()?)),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(Parsed { server, service })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match parse_args(&args) {
+        Ok(p) => p,
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("offchip-serve: {e}");
+            }
+            eprintln!("{USAGE}");
+            std::process::exit(if e.is_empty() { 0 } else { 2 });
+        }
+    };
+
+    signal::install();
+    let service = PredictService::new(parsed.service.clone());
+    let server = match Server::bind(&parsed.server, service) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("offchip-serve: cannot bind {}: {e}", parsed.server.addr);
+            std::process::exit(5);
+        }
+    };
+    // Stdout, flushed: the e2e tests and CI parse this line for the
+    // ephemeral port.
+    println!("offchip-serve listening on {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    offchip_obs::info!(
+        "serve: {} worker(s), {} fill job(s), journal dir {}",
+        parsed.server.workers,
+        parsed.service.jobs,
+        parsed
+            .service
+            .journal_dir
+            .as_deref()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| "default".into()),
+    );
+
+    // Bridge the signal flag into the server's shutdown flag.
+    let shutdown = AtomicBool::new(false);
+    let rc = std::thread::scope(|s| {
+        let shutdown = &shutdown;
+        let poller = s.spawn(move || {
+            while !shutdown.load(Ordering::SeqCst) {
+                if signal::requested() {
+                    shutdown.store(true, Ordering::SeqCst);
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+        });
+        let rc = match server.run(shutdown) {
+            Ok(()) => 0,
+            Err(e) => {
+                eprintln!("offchip-serve: server failed: {e}");
+                5
+            }
+        };
+        // Unblock the poller if run() returned on its own.
+        shutdown.store(true, Ordering::SeqCst);
+        let _ = poller.join();
+        rc
+    });
+    std::process::exit(rc);
+}

@@ -1,0 +1,243 @@
+//! Single-flight cache: concurrent misses for the same key coalesce
+//! into one fill.
+//!
+//! The first thread to miss a key becomes its *leader* and runs the
+//! (expensive — here: a simulation campaign) fill outside the lock;
+//! every other thread that misses the same key meanwhile blocks on a
+//! condvar and receives the leader's `Arc`'d value. A fill that fails
+//! or panics clears the slot and wakes the waiters, one of which
+//! becomes the next leader — an error never wedges the key.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+enum Slot<V> {
+    /// A leader is filling; wait on the condvar.
+    Filling,
+    /// Fill complete.
+    Ready(Arc<V>),
+}
+
+/// How a [`SingleFlight::get_or_fill`] call was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// The value was already cached.
+    Hit,
+    /// This call ran the fill (it was the leader).
+    Miss,
+    /// Another call was already filling; this one waited and shares the
+    /// leader's value without re-running the fill.
+    Coalesced,
+}
+
+impl Disposition {
+    /// Header-friendly label. Coalesced waiters report `hit`: they were
+    /// served from cache from the caller's point of view, and only the
+    /// single leader reports `miss` (the e2e tests count on that).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Disposition::Hit | Disposition::Coalesced => "hit",
+            Disposition::Miss => "miss",
+        }
+    }
+}
+
+/// A keyed single-flight cache. Values are immutable once cached and
+/// shared by `Arc`.
+pub struct SingleFlight<K, V> {
+    slots: Mutex<HashMap<K, Slot<V>>>,
+    cond: Condvar,
+}
+
+impl<K: Eq + Hash + Clone, V> Default for SingleFlight<K, V> {
+    fn default() -> Self {
+        SingleFlight {
+            slots: Mutex::new(HashMap::new()),
+            cond: Condvar::new(),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> SingleFlight<K, V> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of ready entries (filling slots excluded).
+    pub fn len(&self) -> usize {
+        self.slots
+            .lock()
+            .unwrap()
+            .values()
+            .filter(|s| matches!(s, Slot::Ready(_)))
+            .count()
+    }
+
+    /// Whether no entry is ready.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the cached value for `key`, running `fill` at most once
+    /// across all concurrent callers when it is absent.
+    ///
+    /// * Cached → `(value, Hit)` immediately.
+    /// * Absent → this caller leads: `(value, Miss)` after filling.
+    /// * Being filled → blocks; `(leader's value, Coalesced)`.
+    ///
+    /// `fill` errors are returned only to the leader; waiting callers
+    /// retry leadership themselves (so one flaky fill doesn't fail its
+    /// whole cohort). A panicking `fill` clears the slot and re-raises.
+    pub fn get_or_fill<E>(
+        &self,
+        key: &K,
+        fill: impl FnOnce() -> Result<V, E>,
+    ) -> Result<(Arc<V>, Disposition), E> {
+        let mut waited = false;
+        let mut slots = self.slots.lock().unwrap();
+        loop {
+            match slots.get(key) {
+                Some(Slot::Ready(v)) => {
+                    let d = if waited { Disposition::Coalesced } else { Disposition::Hit };
+                    return Ok((Arc::clone(v), d));
+                }
+                Some(Slot::Filling) => {
+                    waited = true;
+                    slots = self.cond.wait(slots).unwrap();
+                }
+                None => break,
+            }
+        }
+        // This caller leads. Mark the slot and fill outside the lock.
+        slots.insert(key.clone(), Slot::Filling);
+        drop(slots);
+
+        let outcome = catch_unwind(AssertUnwindSafe(fill));
+        let mut slots = self.slots.lock().unwrap();
+        match outcome {
+            Ok(Ok(value)) => {
+                let value = Arc::new(value);
+                slots.insert(key.clone(), Slot::Ready(Arc::clone(&value)));
+                self.cond.notify_all();
+                Ok((value, Disposition::Miss))
+            }
+            Ok(Err(e)) => {
+                slots.remove(key);
+                self.cond.notify_all();
+                Err(e)
+            }
+            Err(panic) => {
+                slots.remove(key);
+                self.cond.notify_all();
+                drop(slots);
+                resume_unwind(panic);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn second_lookup_is_a_hit() {
+        let cache: SingleFlight<String, u32> = SingleFlight::new();
+        let key = "k".to_string();
+        let (v, d) = cache.get_or_fill::<()>(&key, || Ok(7)).unwrap();
+        assert_eq!((*v, d), (7, Disposition::Miss));
+        let (v, d) = cache.get_or_fill::<()>(&key, || Ok(99)).unwrap();
+        assert_eq!((*v, d), (7, Disposition::Hit), "fill must not re-run");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_misses_run_exactly_one_fill() {
+        const THREADS: usize = 16;
+        let cache: SingleFlight<u32, u64> = SingleFlight::new();
+        let fills = AtomicUsize::new(0);
+        let results: Vec<(u64, Disposition)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    s.spawn(|| {
+                        let (v, d) = cache
+                            .get_or_fill::<()>(&1, || {
+                                fills.fetch_add(1, Ordering::SeqCst);
+                                // Hold the slot long enough for the other
+                                // threads to pile up on the condvar.
+                                std::thread::sleep(std::time::Duration::from_millis(50));
+                                Ok(42)
+                            })
+                            .unwrap();
+                        (*v, d)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(fills.load(Ordering::SeqCst), 1, "exactly one fill");
+        assert!(results.iter().all(|&(v, _)| v == 42));
+        let misses = results.iter().filter(|&&(_, d)| d == Disposition::Miss).count();
+        assert_eq!(misses, 1, "exactly one leader");
+    }
+
+    #[test]
+    fn failed_fill_clears_the_slot_for_retry() {
+        let cache: SingleFlight<u32, u64> = SingleFlight::new();
+        let err = cache.get_or_fill(&1, || Err::<u64, _>("boom")).unwrap_err();
+        assert_eq!(err, "boom");
+        assert_eq!(cache.len(), 0);
+        let (v, d) = cache.get_or_fill::<()>(&1, || Ok(5)).unwrap();
+        assert_eq!((*v, d), (5, Disposition::Miss), "key must not be wedged");
+    }
+
+    #[test]
+    fn panicking_fill_clears_the_slot_and_unblocks_waiters() {
+        let cache = Arc::new(SingleFlight::<u32, u64>::new());
+        let panicked = catch_unwind(AssertUnwindSafe(|| {
+            let _ = cache.get_or_fill::<()>(&1, || panic!("fill exploded"));
+        }));
+        assert!(panicked.is_err());
+        // The slot is clear: a fresh caller leads and succeeds.
+        let (v, d) = cache.get_or_fill::<()>(&1, || Ok(6)).unwrap();
+        assert_eq!((*v, d), (6, Disposition::Miss));
+    }
+
+    #[test]
+    fn waiters_of_a_failed_leader_retry_leadership() {
+        let cache: SingleFlight<u32, u64> = SingleFlight::new();
+        let fills = AtomicUsize::new(0);
+        let ok: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        loop {
+                            let attempt = cache.get_or_fill(&1, || {
+                                let i = fills.fetch_add(1, Ordering::SeqCst);
+                                std::thread::sleep(std::time::Duration::from_millis(20));
+                                // First leader fails; a waiter must take
+                                // over and succeed.
+                                if i == 0 {
+                                    Err("first fill fails")
+                                } else {
+                                    Ok(11)
+                                }
+                            });
+                            if let Ok((v, _)) = attempt {
+                                return *v;
+                            }
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(ok.iter().all(|&v| v == 11));
+        assert!(fills.load(Ordering::SeqCst) >= 2, "a retry happened");
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,280 @@
+//! A dependency-free HTTP/1.1 subset: just enough to parse the service's
+//! small JSON POSTs and write JSON responses.
+//!
+//! Supported: request line + headers + `Content-Length` bodies,
+//! keep-alive (the default in 1.1) and `Connection: close`. Not
+//! supported, deliberately: chunked transfer encoding, continuation
+//! headers, TLS, HTTP/2. The parser enforces hard caps on request-line,
+//! header and body sizes so a misbehaving client cannot balloon memory.
+
+use std::io::{BufRead, Read, Write};
+
+/// Largest accepted request body. The service's requests are tiny JSON
+/// objects; anything near this cap is abuse, not traffic.
+pub const MAX_BODY: usize = 1 << 20;
+/// Largest accepted request line or single header line.
+pub const MAX_LINE: usize = 8 << 10;
+/// Most headers accepted per request.
+pub const MAX_HEADERS: usize = 64;
+
+/// A parsed request: method, path and body (headers are digested into
+/// the fields the service cares about).
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target as sent, query string included.
+    pub path: String,
+    /// Decoded body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the client asked to close the connection after this
+    /// exchange (`Connection: close`, or an HTTP/1.0 request without
+    /// `keep-alive`).
+    pub close: bool,
+}
+
+/// Why a request could not be parsed. `BadRequest` maps to a 400 +
+/// close; `TooLarge` to 413; `Io` ends the connection silently.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request line or headers.
+    BadRequest(&'static str),
+    /// Request line, headers or body beyond the caps.
+    TooLarge(&'static str),
+    /// Socket error or timeout mid-request.
+    Io(std::io::Error),
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> HttpError {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads one line (CRLF or bare LF terminated) with a length cap.
+/// Returns `Ok(None)` on clean EOF before any byte.
+fn read_line<R: BufRead>(r: &mut R) -> Result<Option<String>, HttpError> {
+    let mut buf = Vec::new();
+    let n = r.by_ref().take(MAX_LINE as u64 + 1).read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if buf.len() > MAX_LINE {
+        return Err(HttpError::TooLarge("header line"));
+    }
+    while buf.last() == Some(&b'\n') || buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf).map(Some).map_err(|_| HttpError::BadRequest("non-UTF-8 header"))
+}
+
+/// Parses one request off the connection. `Ok(None)` means the client
+/// closed the connection cleanly between requests (normal keep-alive
+/// shutdown, not an error).
+pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>, HttpError> {
+    let line = match read_line(r)? {
+        Some(l) if !l.is_empty() => l,
+        // Tolerate a stray blank line between pipelined requests.
+        Some(_) => match read_line(r)? {
+            Some(l) if !l.is_empty() => l,
+            _ => return Ok(None),
+        },
+        None => return Ok(None),
+    };
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or(HttpError::BadRequest("empty request line"))?;
+    let path = parts.next().ok_or(HttpError::BadRequest("missing request target"))?;
+    let version = parts.next().ok_or(HttpError::BadRequest("missing HTTP version"))?;
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest("malformed request line"));
+    }
+    let http10 = version == "HTTP/1.0";
+
+    let mut content_length = 0usize;
+    let mut close = http10;
+    let mut n_headers = 0usize;
+    loop {
+        let header = match read_line(r)? {
+            Some(h) => h,
+            None => return Err(HttpError::BadRequest("EOF inside headers")),
+        };
+        if header.is_empty() {
+            break;
+        }
+        n_headers += 1;
+        if n_headers > MAX_HEADERS {
+            return Err(HttpError::TooLarge("too many headers"));
+        }
+        let (name, value) = header
+            .split_once(':')
+            .ok_or(HttpError::BadRequest("header without colon"))?;
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| HttpError::BadRequest("bad Content-Length"))?;
+            if content_length > MAX_BODY {
+                return Err(HttpError::TooLarge("body"));
+            }
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                close = true;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                close = false;
+            }
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(HttpError::BadRequest("chunked bodies unsupported"));
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body)?;
+    Ok(Some(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body,
+        close,
+    }))
+}
+
+/// A response ready to serialise: status, extra headers, body.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers beyond `Content-Type`/`Content-Length`
+    /// (name, value); the service uses this for `X-Offchip-Cache`.
+    pub headers: Vec<(String, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+    /// Content type (defaults to `application/json`).
+    pub content_type: &'static str,
+}
+
+impl Response {
+    /// A JSON response; callers pass an already-serialised body ending
+    /// in `\n` so cold and warm responses stay byte-identical.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into(),
+            content_type: "application/json",
+        }
+    }
+
+    /// A plain-text response (metrics CSV, health checks).
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into(),
+            content_type: "text/plain; charset=utf-8",
+        }
+    }
+
+    /// A JSON error envelope: `{"error": "..."}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        let body = offchip_json::json_obj! { "error" => message };
+        Response::json(status, format!("{}\n", body.to_compact_string()))
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Status",
+        }
+    }
+
+    /// Serialises the response onto the connection.
+    ///
+    /// The whole response is assembled in one buffer and written with a
+    /// single `write_all`: head and body split across separate socket
+    /// writes costs a Nagle/delayed-ACK round-trip (~40 ms) per
+    /// response on keep-alive connections.
+    pub fn write_to(&self, w: &mut impl Write, close: bool) -> std::io::Result<()> {
+        let mut out = Vec::with_capacity(self.body.len() + 256);
+        write!(out, "HTTP/1.1 {} {}\r\n", self.status, self.reason())?;
+        write!(out, "Content-Type: {}\r\n", self.content_type)?;
+        write!(out, "Content-Length: {}\r\n", self.body.len())?;
+        for (name, value) in &self.headers {
+            write!(out, "{name}: {value}\r\n")?;
+        }
+        if close {
+            write!(out, "Connection: close\r\n")?;
+        }
+        write!(out, "\r\n")?;
+        out.extend_from_slice(&self.body);
+        w.write_all(&out)?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Option<Request>, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse("POST /predict HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/predict");
+        assert_eq!(req.body, b"abcd");
+        assert!(!req.close, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn clean_eof_is_none_not_error() {
+        assert!(parse("").unwrap().is_none());
+    }
+
+    #[test]
+    fn connection_close_and_http10_are_detected() {
+        let req = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap().unwrap();
+        assert!(req.close);
+        let req = parse("GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(req.close, "HTTP/1.0 without keep-alive closes");
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_before_allocation() {
+        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        match parse(&raw) {
+            Err(HttpError::TooLarge(_)) => {}
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_serialises_with_extra_headers() {
+        let mut out = Vec::new();
+        Response::json(200, "{}\n")
+            .with_header("X-Offchip-Cache", "hit")
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("X-Offchip-Cache: hit\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}\n"));
+    }
+}

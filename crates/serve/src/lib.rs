@@ -1,0 +1,37 @@
+//! Contention-prediction service: an HTTP front-end over the fitted
+//! ICPP 2011 model.
+//!
+//! `offchip-serve` answers *what-if* questions — "what contention ω and
+//! speedup does the model predict for CG.C on the AMD machine at
+//! n = 31?" — without the caller touching the simulator, fitting code or
+//! experiment binaries. The fitted model for each `(machine, program)`
+//! pair is computed once, through the crash-safe campaign layer (so a
+//! killed fill resumes from its journal instead of re-simulating), and
+//! cached in memory behind a single-flight gate: concurrent cache misses
+//! for the same key coalesce into one campaign, with every waiter handed
+//! the same [`std::sync::Arc`]'d entry.
+//!
+//! Endpoints (see DESIGN.md §12 for the wire format):
+//!
+//! * `POST /predict` — `C(n)`, `ω(n)` and speedup at one core count;
+//! * `POST /sweep` — the same over an inclusive `n` range;
+//! * `GET /metrics` — the process's metrics registry as CSV;
+//! * `GET /healthz` — liveness.
+//!
+//! Responses are byte-identical between cold (campaign just ran) and warm
+//! (model served from cache) calls; cache disposition travels only in the
+//! `X-Offchip-Cache` response header.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod http;
+pub mod server;
+pub mod service;
+pub mod signal;
+
+pub use cache::SingleFlight;
+pub use http::{Request, Response};
+pub use server::{Server, ServerOptions};
+pub use service::{ModelKey, PredictService, ServiceConfig, ServiceError};

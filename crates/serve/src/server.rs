@@ -1,0 +1,213 @@
+//! The TCP front-end: accept loop, worker pool and keep-alive
+//! connection handling.
+//!
+//! Deliberately plain `std::thread` workers feeding off a
+//! `Mutex<VecDeque>` + `Condvar` queue — *not* `offchip_pool::scoped_map`:
+//! the pool's workers hold permits from the process-global parallelism
+//! budget, and long-lived HTTP workers squatting on permits would starve
+//! the fill campaigns that need them for simulation fan-out. The worker
+//! count is small (HTTP handling is cheap; the expensive work happens in
+//! the campaign layer under its own budget).
+
+use crate::http::{read_request, HttpError, Response};
+use crate::service::PredictService;
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Per-connection socket timeout: bounds how long an idle keep-alive
+/// connection can delay worker exit during shutdown drain.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(5);
+/// Accept-loop poll interval (the listener is non-blocking so the loop
+/// can notice the shutdown flag).
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+/// Heartbeat log cadence.
+const HEARTBEAT: Duration = Duration::from_secs(10);
+
+/// Server tuning.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Bind address; port 0 picks an ephemeral port (CI does this).
+    pub addr: String,
+    /// HTTP worker threads. Each keep-alive connection pins one worker
+    /// for its lifetime, so this bounds concurrent *connections*, not
+    /// CPU: workers spend their time blocked in socket reads, which is
+    /// why the default is a flat count rather than a per-core one — on
+    /// a 1-core host, 2 core-derived workers would let a single idle
+    /// keep-alive client starve every other connection for up to the
+    /// socket timeout.
+    pub workers: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> ServerOptions {
+        ServerOptions {
+            addr: "127.0.0.1:7071".into(),
+            workers: 8,
+        }
+    }
+}
+
+/// A bound listener plus the shared service.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    service: Arc<PredictService>,
+    workers: usize,
+}
+
+struct ConnQueue {
+    queue: Mutex<(VecDeque<TcpStream>, bool)>,
+    cond: Condvar,
+}
+
+impl ConnQueue {
+    fn new() -> ConnQueue {
+        ConnQueue {
+            queue: Mutex::new((VecDeque::new(), false)),
+            cond: Condvar::new(),
+        }
+    }
+
+    fn push(&self, stream: TcpStream) {
+        self.queue.lock().unwrap().0.push_back(stream);
+        self.cond.notify_one();
+    }
+
+    fn close(&self) {
+        self.queue.lock().unwrap().1 = true;
+        self.cond.notify_all();
+    }
+
+    /// Next connection, or `None` when the queue is closed and drained.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut guard = self.queue.lock().unwrap();
+        loop {
+            if let Some(stream) = guard.0.pop_front() {
+                return Some(stream);
+            }
+            if guard.1 {
+                return None;
+            }
+            guard = self.cond.wait(guard).unwrap();
+        }
+    }
+}
+
+impl Server {
+    /// Binds the listener (non-blocking, so the accept loop can poll the
+    /// shutdown flag) and wraps the service.
+    pub fn bind(opts: &ServerOptions, service: PredictService) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            addr,
+            service: Arc::new(service),
+            workers: opts.workers.max(1),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serves until `shutdown` reads true, then drains: stops accepting,
+    /// lets workers finish in-flight requests, joins them and returns.
+    pub fn run(&self, shutdown: &AtomicBool) -> std::io::Result<()> {
+        let queue = ConnQueue::new();
+        let reg = offchip_obs::registry();
+        std::thread::scope(|s| {
+            for _ in 0..self.workers {
+                let queue = &queue;
+                let service = &self.service;
+                s.spawn(move || {
+                    while let Some(stream) = queue.pop() {
+                        handle_connection(stream, service, shutdown);
+                    }
+                });
+            }
+
+            let mut last_beat = Instant::now();
+            while !shutdown.load(Ordering::SeqCst) {
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        reg.add("serve.connections", 1);
+                        // Workers use ordinary blocking reads with a
+                        // timeout; undo the listener's non-blocking mode
+                        // the stream inherits on some platforms.
+                        let ok = stream
+                            .set_nonblocking(false)
+                            .and_then(|_| stream.set_read_timeout(Some(SOCKET_TIMEOUT)))
+                            .and_then(|_| stream.set_write_timeout(Some(SOCKET_TIMEOUT)))
+                            .and_then(|_| stream.set_nodelay(true));
+                        if ok.is_ok() {
+                            queue.push(stream);
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(e) => {
+                        offchip_obs::warn!("serve: accept failed: {e}");
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                }
+                if last_beat.elapsed() >= HEARTBEAT {
+                    last_beat = Instant::now();
+                    offchip_obs::info!(
+                        "serve: heartbeat — {} connection(s), {} predict, {} sweep, \
+                         cache {} hit / {} miss, {} model(s) cached",
+                        reg.counter("serve.connections"),
+                        reg.counter("serve.requests.predict"),
+                        reg.counter("serve.requests.sweep"),
+                        reg.counter("serve.cache.hit"),
+                        reg.counter("serve.cache.miss"),
+                        self.service.cached_models(),
+                    );
+                }
+            }
+            offchip_obs::info!("serve: shutdown requested — draining workers");
+            queue.close();
+        });
+        offchip_obs::info!(
+            "serve: drained — served {} connection(s)",
+            reg.counter("serve.connections")
+        );
+        Ok(())
+    }
+}
+
+/// Serves one connection: keep-alive request loop until the client
+/// closes, errors, or shutdown is requested.
+fn handle_connection(stream: TcpStream, service: &PredictService, shutdown: &AtomicBool) {
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_request(&mut reader) {
+            Ok(Some(req)) => {
+                // Close after this response if the client asked to or
+                // the server is draining.
+                let close = req.close || shutdown.load(Ordering::SeqCst);
+                let resp = service.handle(&req);
+                if resp.write_to(reader.get_mut(), close).is_err() || close {
+                    return;
+                }
+            }
+            Ok(None) => return,
+            Err(HttpError::BadRequest(what)) => {
+                let _ = Response::error(400, what).write_to(reader.get_mut(), true);
+                return;
+            }
+            Err(HttpError::TooLarge(what)) => {
+                let _ = Response::error(413, what).write_to(reader.get_mut(), true);
+                return;
+            }
+            Err(HttpError::Io(_)) => return,
+        }
+    }
+}

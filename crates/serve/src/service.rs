@@ -1,0 +1,458 @@
+//! The prediction service proper: request routing, the fitted-model
+//! cache, and the campaign-backed fill path.
+//!
+//! A model is keyed by `(machine, program)`. The first request for a key
+//! runs a measurement campaign — a core-count sweep at the paper's
+//! protocol points plus the full machine — through the crash-safe
+//! campaign layer, fits the analytical model robustly, and caches the
+//! result. Every later request (and every concurrent request while the
+//! fill runs, via the single-flight gate) is answered from the cached
+//! fit in microseconds, simulator untouched. Because the fill is
+//! journaled under a stable campaign name (`serve-<machine>-<program>`),
+//! a server killed mid-fill resumes the campaign from the journal on the
+//! next request instead of re-simulating completed points.
+
+use crate::cache::{Disposition, SingleFlight};
+use crate::http::{Request, Response};
+use offchip_bench::{
+    build_workload, loss_summary, Campaign, CampaignOptions, ProgramSpec,
+};
+use offchip_json::Json;
+use offchip_model::{
+    fit_robust_from_sweep, validate, FitProtocol, FitQuality, ModelParams, RobustOptions,
+};
+use offchip_topology::machines::{self, DEFAULT_EXPERIMENT_SCALE};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Largest accepted core count for predictions and sweep bounds — a
+/// sanity cap well above any modelled machine, not a model limit.
+pub const MAX_N: usize = 4096;
+
+/// Cache key: canonical machine short-name and program name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ModelKey {
+    /// `"uma"`, `"numa"` or `"amd"`.
+    pub machine: String,
+    /// Canonical program name (`CG.S`, `x264.native`).
+    pub program: String,
+}
+
+/// Service tuning, normally from the binary's command line.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Journal directory for fill campaigns (`None` = campaign default,
+    /// `results/` or `OFFCHIP_JOURNAL_DIR`).
+    pub journal_dir: Option<PathBuf>,
+    /// Seeds averaged per sweep point.
+    pub seeds: Vec<u64>,
+    /// Simulation worker budget for fill campaigns.
+    pub jobs: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            journal_dir: None,
+            seeds: offchip_bench::seeds(),
+            jobs: offchip_pool::default_jobs(),
+        }
+    }
+}
+
+/// Why a request failed; maps onto HTTP statuses.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Malformed request (unknown machine/program, bad JSON, bad n).
+    BadRequest(String),
+    /// The fill campaign lost points (deadline, budget, fault
+    /// injection); the journal retains completed runs, so a retry
+    /// resumes rather than restarts.
+    CampaignLoss(String),
+    /// The sweep completed but the model could not be fitted.
+    Fit(String),
+    /// Journal or filesystem failure opening the campaign.
+    Internal(String),
+}
+
+impl ServiceError {
+    fn status(&self) -> u16 {
+        match self {
+            ServiceError::BadRequest(_) => 400,
+            ServiceError::CampaignLoss(_) => 503,
+            ServiceError::Fit(_) | ServiceError::Internal(_) => 500,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            ServiceError::BadRequest(m)
+            | ServiceError::CampaignLoss(m)
+            | ServiceError::Fit(m)
+            | ServiceError::Internal(m) => m,
+        }
+    }
+}
+
+/// A fitted model plus everything a response quotes about it — computed
+/// once per key, immutable thereafter.
+pub struct FittedEntry {
+    /// Full machine name ("Intel UMA: Xeon E5320").
+    pub machine_name: String,
+    /// Fitting protocol used.
+    pub protocol: &'static str,
+    /// Cores on the machine.
+    pub total_cores: usize,
+    /// The fitted composition model.
+    pub model: offchip_model::ContentionModel,
+    /// Fitted parameters, pre-serialised.
+    pub params: ModelParams,
+    /// Robust-fit degradation ledger.
+    pub quality: FitQuality,
+    /// Mean relative / absolute ω error against the fill sweep.
+    pub mean_relative_error: Option<f64>,
+    /// Mean absolute ω error against the fill sweep.
+    pub mean_absolute_error: f64,
+}
+
+impl FittedEntry {
+    /// The model-description fields shared by every response.
+    fn model_json(&self) -> Json {
+        offchip_json::json_obj! {
+            "machine" => self.machine_name,
+            "protocol" => self.protocol,
+            "total_cores" => self.total_cores,
+            "model" => self.params,
+            "fit_quality" => self.quality,
+            "validation" => offchip_json::json_obj! {
+                "mean_relative_error" => self.mean_relative_error,
+                "mean_absolute_error" => self.mean_absolute_error,
+            },
+        }
+    }
+
+    fn point_json(&self, n: usize) -> Json {
+        offchip_json::json_obj! {
+            "n" => n,
+            "c_n" => self.model.predict_c(n),
+            "omega_n" => self.model.predict_omega(n),
+            "speedup_n" => self.model.predict_speedup(n),
+        }
+    }
+}
+
+/// The shared service state: config plus the single-flight model cache.
+pub struct PredictService {
+    config: ServiceConfig,
+    cache: SingleFlight<ModelKey, FittedEntry>,
+}
+
+impl PredictService {
+    /// A service with an empty cache.
+    pub fn new(config: ServiceConfig) -> PredictService {
+        PredictService {
+            config,
+            cache: SingleFlight::new(),
+        }
+    }
+
+    /// Routes one parsed request to a handler. Infallible: errors become
+    /// JSON error responses with the right status.
+    pub fn handle(&self, req: &Request) -> Response {
+        let t0 = Instant::now();
+        let reg = offchip_obs::registry();
+        let resp = match (req.method.as_str(), req.path.as_str()) {
+            ("POST", "/predict") => self.endpoint(req, "predict", Self::predict),
+            ("POST", "/sweep") => self.endpoint(req, "sweep", Self::sweep),
+            ("GET", "/metrics") => {
+                reg.add("serve.requests.metrics", 1);
+                Response::text(200, reg.snapshot().to_csv())
+            }
+            ("GET", "/healthz") => {
+                reg.add("serve.requests.healthz", 1);
+                Response::text(200, "ok\n")
+            }
+            ("POST", _) | ("GET", _) => Response::error(404, "no such endpoint"),
+            _ => Response::error(405, "method not allowed"),
+        };
+        let us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        reg.observe("serve.request_latency_us", us);
+        if resp.status >= 400 {
+            reg.add("serve.responses.error", 1);
+        }
+        resp
+    }
+
+    /// Shared wrapper for the two model endpoints: parse the key, get or
+    /// fill the cached model, run the endpoint body, stamp the cache
+    /// disposition header and per-endpoint metrics.
+    fn endpoint(
+        &self,
+        req: &Request,
+        name: &'static str,
+        body: fn(&Self, &FittedEntry, &Json) -> Result<Json, ServiceError>,
+    ) -> Response {
+        let reg = offchip_obs::registry();
+        reg.add(&format!("serve.requests.{name}"), 1);
+        let outcome = (|| {
+            let doc = parse_body(&req.body)?;
+            let key = parse_key(&doc)?;
+            let (entry, disposition) = self.model_for(&key)?;
+            let json = body(self, &entry, &doc)?;
+            Ok::<_, ServiceError>((json, disposition))
+        })();
+        match outcome {
+            Ok((json, disposition)) => {
+                match disposition {
+                    Disposition::Miss => reg.add("serve.cache.miss", 1),
+                    Disposition::Hit | Disposition::Coalesced => reg.add("serve.cache.hit", 1),
+                }
+                reg.gauge_set("serve.cache.entries", self.cache.len() as u64);
+                // The disposition travels only in this header: cold and
+                // warm response bodies must stay byte-identical.
+                Response::json(200, format!("{}\n", json.to_compact_string()))
+                    .with_header("X-Offchip-Cache", disposition.as_str())
+            }
+            Err(e) => {
+                offchip_obs::warn!("serve: {name} failed: {}", e.message());
+                Response::error(e.status(), e.message())
+            }
+        }
+    }
+
+    /// Cached fitted model for `key`, filling (at most once across
+    /// concurrent callers) via a journaled campaign.
+    pub fn model_for(
+        &self,
+        key: &ModelKey,
+    ) -> Result<(Arc<FittedEntry>, Disposition), ServiceError> {
+        self.cache.get_or_fill(key, || self.fill(key))
+    }
+
+    /// Number of fitted models currently cached.
+    pub fn cached_models(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The fill path: journaled sweep → robust fit → validation.
+    fn fill(&self, key: &ModelKey) -> Result<FittedEntry, ServiceError> {
+        let spec = ProgramSpec::parse(&key.program).map_err(ServiceError::BadRequest)?;
+        let machine = machine_for(&key.machine)?;
+        let total = machine.total_cores();
+        let proto = FitProtocol::for_machine(&machine.name);
+
+        // The paper's protocol points give the fit its inputs; the
+        // full-machine point anchors validation at the far end.
+        let mut ns = proto.input_cores.clone();
+        ns.push(1);
+        ns.push(total);
+        ns.sort_unstable();
+        ns.dedup();
+
+        let campaign_name = format!("serve-{}-{}", key.machine, key.program);
+        let opts = CampaignOptions {
+            resume: true,
+            journal_dir: self.config.journal_dir.clone(),
+            ..CampaignOptions::default()
+        };
+        let campaign = Campaign::start(&campaign_name, &opts)
+            .map_err(|e| ServiceError::Internal(format!("campaign journal: {e}")))?;
+        if let Some(fault) = campaign.journal_fault() {
+            offchip_obs::warn!("serve: fill campaign {campaign_name}: {fault}");
+        }
+
+        offchip_obs::info!(
+            "serve: cache miss — filling {}/{} via campaign {campaign_name} \
+             (ns {ns:?}, {} seeds, {} jobs)",
+            key.machine,
+            key.program,
+            self.config.seeds.len(),
+            self.config.jobs
+        );
+        let w = build_workload(spec, total);
+        let cs = campaign
+            .run_sweep(&machine, w.as_ref(), &ns, &self.config.seeds, self.config.jobs)
+            .map_err(|e| ServiceError::Internal(format!("sweep: {e}")))?;
+        if !cs.errors.is_empty() {
+            return Err(ServiceError::CampaignLoss(format!(
+                "fill campaign lost {} point(s) ({}); completed runs are journaled — retry resumes",
+                cs.errors.len(),
+                loss_summary(&cs.errors)
+            )));
+        }
+        offchip_obs::info!(
+            "serve: fill {campaign_name} done — {} run(s) simulated, {} resumed from journal",
+            cs.executed,
+            cs.resumed
+        );
+
+        let r = cs
+            .sweep
+            .mean_misses()
+            .map_err(|e| ServiceError::Fit(format!("miss counters unusable: {e}")))?;
+        let cycles = cs
+            .sweep
+            .cycles_sweep()
+            .map_err(|e| ServiceError::Fit(format!("cycle counters unusable: {e}")))?;
+        let robust = fit_robust_from_sweep(
+            &proto,
+            &cs.sweep.cycles_sweep_f64(),
+            r,
+            &RobustOptions::default(),
+        )
+        .map_err(|e| ServiceError::Fit(format!("fit failed under {}: {e}", proto.name)))?;
+        let v = validate(&robust.model, &cycles)
+            .map_err(|e| ServiceError::Fit(format!("validation failed: {e}")))?;
+
+        let params = robust.model.params();
+        Ok(FittedEntry {
+            machine_name: machine.name.clone(),
+            protocol: proto.name,
+            total_cores: total,
+            model: robust.model,
+            params,
+            quality: robust.quality,
+            mean_relative_error: v.mean_relative_error,
+            mean_absolute_error: v.mean_absolute_error,
+        })
+    }
+
+    /// `POST /predict` body: one core count.
+    fn predict(&self, entry: &FittedEntry, doc: &Json) -> Result<Json, ServiceError> {
+        let n = parse_n(doc, "n")?;
+        let mut out = entry.model_json();
+        merge(&mut out, entry.point_json(n));
+        Ok(out)
+    }
+
+    /// `POST /sweep` body: an inclusive `n_from..=n_to` range.
+    fn sweep(&self, entry: &FittedEntry, doc: &Json) -> Result<Json, ServiceError> {
+        let from = parse_n(doc, "n_from")?;
+        let to = parse_n(doc, "n_to")?;
+        if from > to {
+            return Err(ServiceError::BadRequest("n_from must be <= n_to".into()));
+        }
+        let points: Vec<Json> = (from..=to).map(|n| entry.point_json(n)).collect();
+        let (best_n, best_speedup) = entry.model.optimal_cores(to);
+        let mut out = entry.model_json();
+        merge(
+            &mut out,
+            offchip_json::json_obj! {
+                "n_from" => from,
+                "n_to" => to,
+                "points" => points,
+                "optimal" => offchip_json::json_obj! {
+                    "n" => best_n,
+                    "speedup" => best_speedup,
+                },
+            },
+        );
+        Ok(out)
+    }
+}
+
+/// Merges `add`'s fields into `base` (both must be objects).
+fn merge(base: &mut Json, add: Json) {
+    if let (Json::Obj(b), Json::Obj(a)) = (base, add) {
+        b.extend(a);
+    }
+}
+
+fn parse_body(body: &[u8]) -> Result<Json, ServiceError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ServiceError::BadRequest("body is not UTF-8".into()))?;
+    Json::parse(text).map_err(|e| ServiceError::BadRequest(format!("body is not JSON: {e}")))
+}
+
+/// Extracts and canonicalises the cache key. The program may be given
+/// as one field (`"program": "CG.S"`) or split (`"program": "CG",
+/// "class": "S"`) — both normalise to the same key, so both share one
+/// cache entry and one campaign journal.
+fn parse_key(doc: &Json) -> Result<ModelKey, ServiceError> {
+    let machine = doc
+        .get("machine")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServiceError::BadRequest("missing \"machine\" (uma|numa|amd)".into()))?
+        .to_ascii_lowercase();
+    if !matches!(machine.as_str(), "uma" | "numa" | "amd") {
+        return Err(ServiceError::BadRequest(format!(
+            "unknown machine {machine:?} (expected uma, numa or amd)"
+        )));
+    }
+    let program = doc
+        .get("program")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServiceError::BadRequest("missing \"program\"".into()))?;
+    let name = match doc.get("class").and_then(Json::as_str) {
+        Some(class) if !program.contains('.') => format!("{program}.{class}"),
+        _ => program.to_string(),
+    };
+    let spec = ProgramSpec::parse(&name).map_err(ServiceError::BadRequest)?;
+    Ok(ModelKey {
+        machine,
+        // Canonical spelling ("cg.c" → "CG.C"), so case variants share
+        // one cache entry.
+        program: spec.name(),
+    })
+}
+
+fn parse_n(doc: &Json, field: &str) -> Result<usize, ServiceError> {
+    let n = doc
+        .get(field)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ServiceError::BadRequest(format!("missing or non-integer \"{field}\"")))?;
+    if n < 1 || n > MAX_N as u64 {
+        return Err(ServiceError::BadRequest(format!(
+            "\"{field}\" must be in 1..={MAX_N}"
+        )));
+    }
+    Ok(n as usize)
+}
+
+fn machine_for(key: &str) -> Result<offchip_topology::MachineSpec, ServiceError> {
+    let spec = match key {
+        "uma" => machines::intel_uma_8(),
+        "numa" => machines::intel_numa_24(),
+        "amd" => machines::amd_numa_48(),
+        other => {
+            return Err(ServiceError::BadRequest(format!(
+                "unknown machine {other:?}"
+            )))
+        }
+    };
+    Ok(spec.scaled(DEFAULT_EXPERIMENT_SCALE))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(text: &str) -> Json {
+        Json::parse(text).unwrap()
+    }
+
+    #[test]
+    fn keys_canonicalise_case_and_split_class() {
+        let a = parse_key(&doc(r#"{"machine":"UMA","program":"cg.s"}"#)).unwrap();
+        let b = parse_key(&doc(r#"{"machine":"uma","program":"CG","class":"S"}"#)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.program, "CG.S");
+        assert_eq!(a.machine, "uma");
+    }
+
+    #[test]
+    fn bad_keys_are_rejected_with_a_reason() {
+        assert!(parse_key(&doc(r#"{"program":"CG.S"}"#)).is_err());
+        assert!(parse_key(&doc(r#"{"machine":"vax","program":"CG.S"}"#)).is_err());
+        assert!(parse_key(&doc(r#"{"machine":"uma","program":"QQ.S"}"#)).is_err());
+    }
+
+    #[test]
+    fn n_bounds_are_enforced() {
+        assert!(parse_n(&doc(r#"{"n":1}"#), "n").is_ok());
+        assert!(parse_n(&doc(r#"{"n":0}"#), "n").is_err());
+        assert!(parse_n(&doc(r#"{"n":4097}"#), "n").is_err());
+        assert!(parse_n(&doc(r#"{"n":"8"}"#), "n").is_err(), "strings are not core counts");
+    }
+}

@@ -4,7 +4,11 @@
 //! machines, a three-point core sweep each — and reports wall-clock time,
 //! runs/s and simulator events/s, writing the result to `BENCH_sim.json`.
 //! The committed copy of that file is the performance trajectory of the
-//! repo: one point per optimisation PR.
+//! repo: one point per optimisation PR, kept as an append-only `history`
+//! array of `(git, events_per_sec, norm_events_per_iter)` points (schema
+//! 2) so the whole trajectory survives each rewrite of the file. A run
+//! carries forward the history of its `--check` baseline (or of the
+//! existing `--out` file) and appends itself.
 //!
 //! Wall-clock seconds are not comparable across hosts (or even across CI
 //! runner generations), so the file also records a *calibration rate* — a
@@ -101,6 +105,52 @@ fn normalised_throughput(doc: &Json) -> Option<f64> {
     perfcal::normalised_throughput(ev, cal)
 }
 
+/// The baseline's normalised throughput for the gate: the latest point
+/// of a schema-2 `history` trajectory, falling back to the top-level
+/// fields of a schema-1 file.
+fn baseline_norm(doc: &Json) -> Option<f64> {
+    doc.get("history")
+        .and_then(Json::as_arr)
+        .and_then(<[Json]>::last)
+        .and_then(|p| p.get("norm_events_per_iter"))
+        .and_then(Json::as_f64)
+        .or_else(|| normalised_throughput(doc))
+}
+
+/// The trajectory to append this run to: the `--check` baseline's
+/// history when a baseline is given (the committed file is the
+/// authoritative trajectory), else whatever a previous run left in the
+/// `--out` file. A schema-1 document (no `history`) yields an empty
+/// trajectory rather than an error, so the first schema-2 run upgrades
+/// the file in place.
+fn prior_history(baseline: Option<&Json>, out_path: &str) -> Vec<Json> {
+    let history = |doc: &Json| doc.get("history").and_then(Json::as_arr).map(<[Json]>::to_vec);
+    if let Some(doc) = baseline {
+        return history(doc).unwrap_or_default();
+    }
+    offchip_json::atomic::read_to_string(std::path::Path::new(out_path))
+        .ok()
+        .and_then(|text| Json::parse(&text).ok())
+        .as_ref()
+        .and_then(history)
+        .unwrap_or_default()
+}
+
+/// The revision label stamped into a trajectory point: `git describe
+/// --always --dirty`, or `"unknown"` when the tree is not a git checkout
+/// (perfstat must keep working from an exported tarball).
+fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 fn main() {
     if let Err(e) = offchip_chaos::install_from_env() {
         usage_exit(&e.to_string());
@@ -179,8 +229,24 @@ fn main() {
         quick,
     );
 
+    // Parse the baseline before writing anything: the new document
+    // inherits the baseline's trajectory, and a corrupt baseline should
+    // fail the run before it clobbers a previous result.
+    let baseline = check_path.as_ref().map(|p| {
+        let text = offchip_json::atomic::read_to_string(std::path::Path::new(p))
+            .unwrap_or_else(|e| runtime_exit(&format!("read baseline {p}: {e}")));
+        Json::parse(&text).unwrap_or_else(|e| runtime_exit(&format!("parse baseline {p}: {e}")))
+    });
+
+    let mut history = prior_history(baseline.as_ref(), &out_path);
+    history.push(json_obj! {
+        "git" => git_describe(),
+        "events_per_sec" => total.events_per_sec(),
+        "norm_events_per_iter" => norm,
+    });
+
     let doc = json_obj! {
-        "schema" => 1u64,
+        "schema" => 2u64,
         "bench" => "table2-reference-sweep",
         "quick" => quick,
         "jobs" => jobs as u64,
@@ -194,6 +260,7 @@ fn main() {
         "events" => total.events,
         "events_per_sec" => total.events_per_sec(),
         "norm_events_per_iter" => norm,
+        "history" => history,
         "configs" => configs,
     };
     // No journal behind perfstat (timings are not resumable), so a
@@ -205,12 +272,9 @@ fn main() {
     }
     eprintln!("wrote {out_path}");
 
-    if let Some(baseline_path) = check_path {
-        let text = offchip_json::atomic::read_to_string(std::path::Path::new(&baseline_path))
-            .unwrap_or_else(|e| runtime_exit(&format!("read baseline {baseline_path}: {e}")));
-        let baseline = Json::parse(&text)
-            .unwrap_or_else(|e| runtime_exit(&format!("parse baseline {baseline_path}: {e}")));
-        let Some(base_norm) = normalised_throughput(&baseline) else {
+    if let Some(baseline) = baseline {
+        let baseline_path = check_path.as_deref().unwrap_or_default();
+        let Some(base_norm) = baseline_norm(&baseline) else {
             eprintln!("baseline {baseline_path} lacks throughput fields; skipping gate");
             return;
         };

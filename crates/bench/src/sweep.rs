@@ -1,19 +1,23 @@
 //! Core-count sweeps with seed averaging, fanned out across the
 //! process-wide worker pool.
 //!
-//! A sweep is a grid of *independent* `(n, seed)` simulator runs; the
-//! parallel engine ([`run_sweep_parallel`]) dispatches the grid to
-//! `min(jobs, points × seeds)` workers and folds the per-run samples into
-//! per-point means in deterministic `n`-ascending, seed-ascending order —
-//! so its output is **byte-identical** to the serial [`run_sweep`] for the
-//! same seeds, whatever `OFFCHIP_JOBS` says (the contract
+//! A sweep is a grid of independent `(n, seed)` simulator runs, but the
+//! unit of dispatch is one *point*: the S seeds of a point share their
+//! seed-independent setup (config validation, thread placement, DRAM
+//! timing decode) through one [`offchip_machine::LaneRunner`] and run as
+//! lanes in seed order. The parallel engine ([`run_sweep_parallel`])
+//! dispatches `min(jobs, points)` point work-items to the pool and folds
+//! each point's per-lane samples into its mean in deterministic
+//! `n`-ascending, seed-ascending order — so its output is
+//! **byte-identical** to the serial [`run_sweep`] for the same seeds,
+//! whatever `OFFCHIP_JOBS` says (the contract
 //! `tests/end_to_end.rs::parallel_sweep_is_byte_identical_to_serial`
 //! guards).
 
 use std::time::{Duration, Instant};
 
 use offchip_json::{json_obj, Json, ToJson};
-use offchip_machine::{run, try_run_bounded, RunError, RunReport, SimConfig, Workload};
+use offchip_machine::{run, try_run_bounded, LaneRunner, RunError, RunReport, SimConfig, Workload};
 use offchip_topology::MachineSpec;
 
 use crate::campaign::PointConfig;
@@ -254,12 +258,38 @@ impl RunSample {
     }
 }
 
-fn sample(machine: &MachineSpec, workload: &dyn Workload, n: usize, seed: u64) -> RunSample {
-    let t0 = Instant::now();
-    let mut cfg = SimConfig::new(machine.clone(), n);
-    cfg.seed = seed;
-    let r = run(workload, &cfg);
-    RunSample::from_report(&r, t0.elapsed())
+/// Runs one point's full seed set as lanes through shared setup.
+///
+/// Config validation, thread→core placement, the active-controller set
+/// and DRAM timing decode are all seed-independent, so they happen once
+/// per point (in [`LaneRunner::new`]) instead of once per run; each seed
+/// then spins a fresh simulator instance with its own counters and RNG
+/// streams. Samples come back in seed order — the order
+/// [`point_from_samples`] folds in — which keeps the output
+/// byte-identical to the historical one-`run`-per-`(n, seed)` engine.
+///
+/// Sweeps carry no deadline or event budget, so the only failure mode is
+/// an invalid configuration; it panics with the same message the plain
+/// [`run`] entry point uses.
+fn sample_lanes(
+    machine: &MachineSpec,
+    workload: &dyn Workload,
+    n: usize,
+    seeds: &[u64],
+) -> Vec<RunSample> {
+    let cfg = SimConfig::new(machine.clone(), n);
+    let runner = LaneRunner::new(workload, &cfg)
+        .unwrap_or_else(|e| panic!("invalid simulation configuration: {e}"));
+    seeds
+        .iter()
+        .map(|&seed| {
+            let t0 = Instant::now();
+            let r = runner
+                .run_seed(seed)
+                .unwrap_or_else(|e| panic!("budget guard fired in an unbounded sweep: {e}"));
+            RunSample::from_report(&r, t0.elapsed())
+        })
+        .collect()
 }
 
 /// [`sample`] with the per-point tuning and budget guards of a campaign:
@@ -393,14 +423,13 @@ pub fn run_point(
     if seeds.is_empty() {
         return Err(SweepError::NoSeeds);
     }
-    let samples: Vec<RunSample> = seeds
-        .iter()
-        .map(|&seed| sample(machine, workload, n, seed))
-        .collect();
+    let samples = sample_lanes(machine, workload, n, seeds);
     Ok(point_from_samples(n, &samples))
 }
 
-/// Runs one point with its seed replicas fanned across `jobs` workers.
+/// Runs one point through the parallel engine. A point is one work item
+/// (its seeds run as lanes on one worker), so this exists for API
+/// symmetry with [`run_sweep_parallel`] rather than for speedup.
 pub fn run_point_parallel(
     machine: &MachineSpec,
     workload: &dyn Workload,
@@ -434,8 +463,9 @@ pub fn run_sweep(
     })
 }
 
-/// Runs a full sweep with the `(n, seed)` grid fanned out across at most
-/// `jobs` workers, aggregating per-point means in deterministic
+/// Runs a full sweep with one work item per point — a point's seeds run
+/// as lanes through shared setup on one worker — fanned out across at
+/// most `jobs` workers, aggregating per-point means in deterministic
 /// `n`-ascending (grid order), seed-ascending order. Output is
 /// byte-identical to [`run_sweep`] for the same seeds.
 pub fn run_sweep_parallel(
@@ -460,26 +490,21 @@ pub fn run_sweep_timed(
     if seeds.is_empty() {
         return Err(SweepError::NoSeeds);
     }
-    let grid: Vec<(usize, u64)> = ns
-        .iter()
-        .flat_map(|&n| seeds.iter().map(move |&s| (n, s)))
-        .collect();
     let t0 = Instant::now();
-    let samples = offchip_pool::scoped_map(jobs, &grid, |_, &(n, seed)| {
-        sample(machine, workload, n, seed)
-    });
+    let per_point =
+        offchip_pool::scoped_map(jobs, ns, |_, &n| sample_lanes(machine, workload, n, seeds));
     let wall = t0.elapsed();
     let points = ns
         .iter()
-        .enumerate()
-        .map(|(i, &n)| point_from_samples(n, &samples[i * seeds.len()..(i + 1) * seeds.len()]))
+        .zip(&per_point)
+        .map(|(&n, samples)| point_from_samples(n, samples))
         .collect();
     let timing = SweepTiming {
-        runs: grid.len(),
+        runs: ns.len() * seeds.len(),
         jobs,
         wall,
-        busy: samples.iter().map(|s| s.elapsed).sum(),
-        events: samples.iter().map(|s| s.sim_events).sum(),
+        busy: per_point.iter().flatten().map(|s| s.elapsed).sum(),
+        events: per_point.iter().flatten().map(|s| s.sim_events).sum(),
     };
     Ok((
         SweepResult {

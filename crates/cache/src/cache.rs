@@ -119,19 +119,34 @@ impl CacheStats {
 /// starts at one page and grows upward by working-set bytes).
 const INVALID_TAG: u64 = u64::MAX;
 
+/// Bit position of the per-set MRU way inside the row's flags word; the
+/// bits below it are the per-way dirty mask, which caps associativity.
+const MRU_SHIFT: u64 = 56;
+/// Mask selecting the MRU byte of a flags word.
+const MRU_MASK: u64 = 0xFF << MRU_SHIFT;
+
 /// A set-associative cache with write-back, write-allocate semantics.
 ///
-/// Lines are stored struct-of-arrays: one flat `tags` vector (the only
-/// data the lookup loop reads — a way scan is a short contiguous `u64`
-/// compare the compiler can unroll, instead of striding over padded
-/// structs) and a parallel `dirty` vector consulted only on hits-for-write
-/// and evictions.
+/// All per-set metadata is interleaved into one contiguous row of
+/// `2·ways + 1` words — `[tags | replacement stamps | flags]`, where the
+/// flags word packs the per-way dirty mask (low bits) and the MRU way
+/// (top byte). The reference workloads miss far more than they hit (the
+/// simulated working sets dwarf the simulated caches), and a miss needs
+/// *all* of this state: tag scan, victim stamps, victim dirtiness, MRU
+/// update. Split across parallel arrays those were three or four random
+/// host-cache lines per simulated access; as one row they are a couple of
+/// *adjacent* lines, which is what the host's prefetchers and line
+/// granularity are built for. The tag scan itself stays a short
+/// contiguous `u64` compare the compiler can unroll.
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     config: CacheConfig,
-    tags: Vec<u64>,   // sets × ways, row-major; INVALID_TAG = empty way
-    dirty: Vec<bool>, // parallel to `tags`
-    state: ReplState, // flat per-set replacement state
+    /// `sets` rows of `stride` words: `ways` tags (`INVALID_TAG` = empty
+    /// way), then `ways` replacement stamps, then the flags word.
+    meta: Vec<u64>,
+    /// Row stride: `2 * ways + 1`.
+    stride: usize,
+    state: ReplState, // replacement policy (stamps live in `meta` rows)
     stats: CacheStats,
     seq: u64,
     rng_state: u64, // xorshift64* stream for the random policy
@@ -157,6 +172,14 @@ pub struct SetAssocCache {
 #[derive(Debug, Clone, Default)]
 struct SeenLines {
     words: Vec<u64>,
+    /// Words `[0, full_words)` of the bitmap are all-ones: every line id
+    /// below `full_words * 64` has been seen. Streaming workloads fill the
+    /// dense id space front to back, so after warm-up nearly every probe —
+    /// and this is probed on *every miss at every level*, the hottest
+    /// lookup in the simulator — resolves against this one hot counter
+    /// instead of a random read into a bitmap far larger than the host's
+    /// own caches. Purely an access-path shortcut over the same set.
+    full_words: usize,
     overflow: offchip_simcore::FxHashSet<u64>,
 }
 
@@ -168,16 +191,34 @@ impl SeenLines {
     /// Inserts `line`; true when it was not yet present.
     #[inline]
     fn insert(&mut self, line: u64) -> bool {
+        let w = (line >> 6) as usize;
+        if w < self.full_words {
+            return false;
+        }
+        self.insert_cold(line, w)
+    }
+
+    /// The bitmap path, out of line to keep the prefix check inlinable.
+    fn insert_cold(&mut self, line: u64, w: usize) -> bool {
         if line >= Self::DIRECT_LINES {
             return self.overflow.insert(line);
         }
-        let w = (line >> 6) as usize;
         if w >= self.words.len() {
             self.words.resize(w + 1, 0);
         }
         let bit = 1u64 << (line & 63);
         let newly = self.words[w] & bit == 0;
         self.words[w] |= bit;
+        // Advance the fully-seen watermark over any run of saturated
+        // words; each word is crossed at most once, so this is O(1)
+        // amortised over inserts.
+        while self
+            .words
+            .get(self.full_words)
+            .is_some_and(|&word| word == !0u64)
+        {
+            self.full_words += 1;
+        }
         newly
     }
 }
@@ -186,9 +227,18 @@ impl SetAssocCache {
     /// Creates an empty cache.
     pub fn new(config: CacheConfig) -> SetAssocCache {
         assert!(config.sets > 0 && config.ways > 0);
+        assert!(
+            config.ways as u64 <= MRU_SHIFT,
+            "flags word packs one dirty bit per way plus the MRU byte"
+        );
+        let stride = 2 * config.ways + 1;
+        let mut meta = vec![0u64; config.sets * stride];
+        for row in meta.chunks_exact_mut(stride) {
+            row[..config.ways].fill(INVALID_TAG);
+        }
         SetAssocCache {
-            tags: vec![INVALID_TAG; config.sets * config.ways],
-            dirty: vec![false; config.sets * config.ways],
+            meta,
+            stride,
             state: ReplState::new(config.policy, config.sets, config.ways),
             stats: CacheStats::default(),
             seq: 0,
@@ -241,14 +291,35 @@ impl SetAssocCache {
         let seq = self.seq;
         let ways = self.config.ways;
         let (set, tag) = self.split(addr);
-        let base = set * ways;
-        // Lookup: contiguous tag compare over the set's ways.
-        let set_tags = &self.tags[base..base + ways];
-        if let Some(w) = set_tags.iter().position(|&t| t == tag) {
+        let base = set * self.stride;
+        let flags_at = base + 2 * ways;
+        let flags = self.meta[flags_at];
+        // MRU fast path: one compare for the overwhelmingly common
+        // same-line re-reference (spatial locality puts several references
+        // on each 64-byte line). A real tag never equals INVALID_TAG, so
+        // an empty MRU way simply falls through. Purely an access-path
+        // shortcut: a stale entry just falls through to the scan, so
+        // outcomes are identical.
+        let mru_w = (flags >> MRU_SHIFT) as usize;
+        if self.meta[base + mru_w] == tag {
             if kind == AccessKind::Write {
-                self.dirty[base + w] = true;
+                self.meta[flags_at] = flags | (1 << mru_w);
             }
-            self.state.touch(set, ways, w, seq, false);
+            self.state
+                .touch(set, ways, mru_w, seq, false, &mut self.meta[base + ways..flags_at]);
+            self.stats.hits += 1;
+            return AccessResult::Hit;
+        }
+        // Lookup: contiguous tag compare over the set's ways.
+        let set_tags = &self.meta[base..base + ways];
+        if let Some(w) = set_tags.iter().position(|&t| t == tag) {
+            let mut f = flags & !MRU_MASK | ((w as u64) << MRU_SHIFT);
+            if kind == AccessKind::Write {
+                f |= 1 << w;
+            }
+            self.meta[flags_at] = f;
+            self.state
+                .touch(set, ways, w, seq, false, &mut self.meta[base + ways..flags_at]);
             self.stats.hits += 1;
             return AccessResult::Hit;
         }
@@ -262,11 +333,12 @@ impl SetAssocCache {
             Some(w) => w,
             None => {
                 let draw = self.next_draw();
-                self.state.victim(set, ways, draw)
+                self.state
+                    .victim(set, ways, draw, &self.meta[base + ways..flags_at])
             }
         };
-        let victim_tag = self.tags[base + victim_way];
-        let victim_dirty = self.dirty[base + victim_way];
+        let victim_tag = self.meta[base + victim_way];
+        let victim_dirty = flags >> victim_way & 1 != 0;
         let evicted = if victim_tag != INVALID_TAG {
             let victim_line = victim_tag * self.config.sets as u64 + set as u64;
             let victim_addr = victim_line << self.line_shift;
@@ -277,9 +349,14 @@ impl SetAssocCache {
         } else {
             None
         };
-        self.tags[base + victim_way] = tag;
-        self.dirty[base + victim_way] = kind == AccessKind::Write;
-        self.state.touch(set, ways, victim_way, seq, true);
+        self.meta[base + victim_way] = tag;
+        let mut f = flags & !MRU_MASK & !(1u64 << victim_way) | ((victim_way as u64) << MRU_SHIFT);
+        if kind == AccessKind::Write {
+            f |= 1 << victim_way;
+        }
+        self.meta[flags_at] = f;
+        self.state
+            .touch(set, ways, victim_way, seq, true, &mut self.meta[base + ways..flags_at]);
         AccessResult::Miss { evicted }
     }
 
@@ -292,8 +369,9 @@ impl SetAssocCache {
         let seq = self.seq;
         let ways = self.config.ways;
         let (set, tag) = self.split(addr);
-        let base = set * ways;
-        let set_tags = &self.tags[base..base + ways];
+        let base = set * self.stride;
+        let flags_at = base + 2 * ways;
+        let set_tags = &self.meta[base..base + ways];
         if set_tags.contains(&tag) {
             return None; // already resident
         }
@@ -301,33 +379,43 @@ impl SetAssocCache {
             Some(w) => w,
             None => {
                 let draw = self.next_draw();
-                self.state.victim(set, ways, draw)
+                self.state
+                    .victim(set, ways, draw, &self.meta[base + ways..flags_at])
             }
         };
-        let victim_tag = self.tags[base + victim_way];
+        let flags = self.meta[flags_at];
+        let victim_tag = self.meta[base + victim_way];
         let evicted = if victim_tag != INVALID_TAG {
             let victim_line = victim_tag * self.config.sets as u64 + set as u64;
-            Some((victim_line << self.line_shift, self.dirty[base + victim_way]))
+            Some((victim_line << self.line_shift, flags >> victim_way & 1 != 0))
         } else {
             None
         };
-        self.tags[base + victim_way] = tag;
-        self.dirty[base + victim_way] = false;
-        self.state.touch(set, ways, victim_way, seq, true);
+        self.meta[base + victim_way] = tag;
+        self.meta[flags_at] =
+            flags & !MRU_MASK & !(1u64 << victim_way) | ((victim_way as u64) << MRU_SHIFT);
+        self.state
+            .touch(set, ways, victim_way, seq, true, &mut self.meta[base + ways..flags_at]);
         evicted
     }
 
     /// Checks residency without touching replacement state or statistics.
     pub fn probe(&self, addr: u64) -> bool {
         let (set, tag) = self.split(addr);
-        let base = set * self.config.ways;
-        self.tags[base..base + self.config.ways].contains(&tag)
+        let base = set * self.stride;
+        self.meta[base..base + self.config.ways].contains(&tag)
     }
 
     /// Invalidates every line (statistics are kept).
     pub fn flush(&mut self) {
-        self.tags.fill(INVALID_TAG);
-        self.dirty.fill(false);
+        let ways = self.config.ways;
+        for row in self.meta.chunks_exact_mut(self.stride) {
+            row[..ways].fill(INVALID_TAG);
+            // Clear the dirty mask; the MRU hint may go stale (it falls
+            // through to the scan on a mismatch, so outcomes are
+            // unaffected either way).
+            row[2 * ways] &= MRU_MASK;
+        }
     }
 }
 

@@ -21,21 +21,21 @@ pub enum ReplacementPolicy {
     Random,
 }
 
-/// Replacement state for *all* sets of one cache, stored flat.
+/// Replacement behaviour for one cache.
 ///
-/// One enum for the whole cache (instead of one per set) keeps the
-/// per-set state in a single contiguous allocation: a `touch` on the hot
-/// lookup path is one indexed store, with no per-set `Vec` pointer chase.
-/// Row-major layout: set `s`'s state lives at `[s·ways, (s+1)·ways)`
-/// (LRU/FIFO stamps) or `[s·(ways−1), (s+1)·(ways−1))` (PLRU tree bits).
+/// The per-way stamps (LRU last-touch / FIFO fill sequence numbers) do
+/// *not* live here: they sit in the cache's interleaved per-set metadata
+/// rows, right next to the tags the lookup just scanned, and are passed in
+/// as a row slice. Only tree-PLRU keeps private storage — its state is one
+/// bit per tree node, which does not fit the per-way stamp shape.
 #[derive(Debug, Clone)]
 pub(crate) enum ReplState {
-    /// `stamp[s·ways + w]` = last-touch sequence number of way `w`.
-    Lru { stamp: Vec<u64> },
+    /// Stamps (in the caller's row) hold each way's last-touch seq.
+    Lru,
     /// PLRU tree bits in heap order per set; false = left subtree colder.
     TreePlru { bits: Vec<bool> },
-    /// `filled[s·ways + w]` = fill sequence number of way `w`.
-    Fifo { filled: Vec<u64> },
+    /// Stamps (in the caller's row) hold each way's fill seq.
+    Fifo,
     /// No per-way state; victim drawn from the cache's RNG stream.
     Random,
 }
@@ -43,29 +43,32 @@ pub(crate) enum ReplState {
 impl ReplState {
     pub(crate) fn new(policy: ReplacementPolicy, sets: usize, ways: usize) -> ReplState {
         match policy {
-            ReplacementPolicy::Lru => ReplState::Lru {
-                stamp: vec![0; sets * ways],
-            },
+            ReplacementPolicy::Lru => ReplState::Lru,
             ReplacementPolicy::TreePlru if ways.is_power_of_two() && ways > 1 => {
                 ReplState::TreePlru {
                     bits: vec![false; sets * (ways - 1)],
                 }
             }
-            ReplacementPolicy::TreePlru => ReplState::Lru {
-                stamp: vec![0; sets * ways],
-            },
-            ReplacementPolicy::Fifo => ReplState::Fifo {
-                filled: vec![0; sets * ways],
-            },
+            ReplacementPolicy::TreePlru => ReplState::Lru,
+            ReplacementPolicy::Fifo => ReplState::Fifo,
             ReplacementPolicy::Random => ReplState::Random,
         }
     }
 
     /// Records a touch (hit or fill) of way `w` of set `set` at `seq`.
+    /// `stamps` is the set's per-way stamp row.
     #[inline]
-    pub(crate) fn touch(&mut self, set: usize, ways: usize, w: usize, seq: u64, is_fill: bool) {
+    pub(crate) fn touch(
+        &mut self,
+        set: usize,
+        ways: usize,
+        w: usize,
+        seq: u64,
+        is_fill: bool,
+        stamps: &mut [u64],
+    ) {
         match self {
-            ReplState::Lru { stamp } => stamp[set * ways + w] = seq,
+            ReplState::Lru => stamps[w] = seq,
             ReplState::TreePlru { bits } => {
                 // Walk root→leaf, pointing every node *away* from w.
                 let bits = &mut bits[set * (ways - 1)..(set + 1) * (ways - 1)];
@@ -84,9 +87,9 @@ impl ReplState {
                     }
                 }
             }
-            ReplState::Fifo { filled } => {
+            ReplState::Fifo => {
                 if is_fill {
-                    filled[set * ways + w] = seq;
+                    stamps[w] = seq;
                 }
             }
             ReplState::Random => {}
@@ -94,17 +97,25 @@ impl ReplState {
     }
 
     /// Chooses a victim way in `set`; `rng_draw` supplies randomness for
-    /// the random policy.
+    /// the random policy, `stamps` the set's per-way stamp row.
     #[inline]
-    pub(crate) fn victim(&self, set: usize, ways: usize, rng_draw: u64) -> usize {
+    pub(crate) fn victim(&self, set: usize, ways: usize, rng_draw: u64, stamps: &[u64]) -> usize {
         match self {
-            ReplState::Lru { stamp } | ReplState::Fifo { filled: stamp } => stamp
-                [set * ways..(set + 1) * ways]
-                .iter()
-                .enumerate()
-                .min_by_key(|&(_, &s)| s)
-                .map(|(w, _)| w)
-                .expect("non-empty set"),
+            ReplState::Lru | ReplState::Fifo => {
+                // Manual scan keeping the *first* minimum (the
+                // `min_by_key` tie rule) — the iterator/closure form
+                // compiled to a branchy tuple compare hot enough to show
+                // up in whole-simulator profiles.
+                let mut best = 0usize;
+                let mut best_stamp = stamps[0];
+                for (w, &s) in stamps.iter().enumerate().skip(1) {
+                    if s < best_stamp {
+                        best = w;
+                        best_stamp = s;
+                    }
+                }
+                best
+            }
             ReplState::TreePlru { bits } => {
                 // Follow the cold bits root→leaf.
                 let bits = &bits[set * (ways - 1)..(set + 1) * (ways - 1)];
@@ -132,82 +143,109 @@ impl ReplState {
 mod tests {
     use super::*;
 
+    /// Harness holding the stamp rows the cache would own.
+    struct Policy {
+        state: ReplState,
+        stamps: Vec<u64>,
+        ways: usize,
+    }
+
+    impl Policy {
+        fn new(policy: ReplacementPolicy, sets: usize, ways: usize) -> Policy {
+            Policy {
+                state: ReplState::new(policy, sets, ways),
+                stamps: vec![0; sets * ways],
+                ways,
+            }
+        }
+
+        fn touch(&mut self, set: usize, w: usize, seq: u64, is_fill: bool) {
+            let row = &mut self.stamps[set * self.ways..(set + 1) * self.ways];
+            self.state.touch(set, self.ways, w, seq, is_fill, row);
+        }
+
+        fn victim(&self, set: usize, rng_draw: u64) -> usize {
+            let row = &self.stamps[set * self.ways..(set + 1) * self.ways];
+            self.state.victim(set, self.ways, rng_draw, row)
+        }
+    }
+
     #[test]
     fn lru_evicts_least_recent() {
-        let mut s = ReplState::new(ReplacementPolicy::Lru, 1, 4);
+        let mut s = Policy::new(ReplacementPolicy::Lru, 1, 4);
         for (seq, w) in [(1, 0), (2, 1), (3, 2), (4, 3), (5, 0)] {
-            s.touch(0, 4, w, seq, false);
+            s.touch(0, w, seq, false);
         }
         // Way 1 is now least recently used.
-        assert_eq!(s.victim(0, 4, 0), 1);
+        assert_eq!(s.victim(0, 0), 1);
     }
 
     #[test]
     fn fifo_ignores_hits() {
-        let mut s = ReplState::new(ReplacementPolicy::Fifo, 1, 2);
-        s.touch(0, 2, 0, 1, true);
-        s.touch(0, 2, 1, 2, true);
-        s.touch(0, 2, 0, 3, false); // hit: does not refresh FIFO age
-        assert_eq!(s.victim(0, 2, 0), 0, "way 0 was filled first");
-        s.touch(0, 2, 0, 4, true); // refill
-        assert_eq!(s.victim(0, 2, 0), 1);
+        let mut s = Policy::new(ReplacementPolicy::Fifo, 1, 2);
+        s.touch(0, 0, 1, true);
+        s.touch(0, 1, 2, true);
+        s.touch(0, 0, 3, false); // hit: does not refresh FIFO age
+        assert_eq!(s.victim(0, 0), 0, "way 0 was filled first");
+        s.touch(0, 0, 4, true); // refill
+        assert_eq!(s.victim(0, 0), 1);
     }
 
     #[test]
     fn plru_never_evicts_most_recent() {
-        let mut s = ReplState::new(ReplacementPolicy::TreePlru, 1, 8);
+        let mut s = Policy::new(ReplacementPolicy::TreePlru, 1, 8);
         for w in 0..8 {
-            s.touch(0, 8, w, w as u64, true);
+            s.touch(0, w, w as u64, true);
         }
         for w in 0..8 {
-            s.touch(0, 8, w, 100 + w as u64, false);
-            assert_ne!(s.victim(0, 8, 0), w, "PLRU must not evict the MRU way");
+            s.touch(0, w, 100 + w as u64, false);
+            assert_ne!(s.victim(0, 0), w, "PLRU must not evict the MRU way");
         }
     }
 
     #[test]
     fn plru_falls_back_to_lru_for_odd_ways() {
         let s = ReplState::new(ReplacementPolicy::TreePlru, 2, 3);
-        assert!(matches!(s, ReplState::Lru { .. }));
+        assert!(matches!(s, ReplState::Lru));
     }
 
     #[test]
     fn random_uses_draw() {
-        let s = ReplState::new(ReplacementPolicy::Random, 1, 4);
-        assert_eq!(s.victim(0, 4, 7), 3);
-        assert_eq!(s.victim(0, 4, 8), 0);
+        let s = Policy::new(ReplacementPolicy::Random, 1, 4);
+        assert_eq!(s.victim(0, 7), 3);
+        assert_eq!(s.victim(0, 8), 0);
     }
 
     #[test]
     fn plru_cycles_through_all_ways() {
         // Repeatedly evicting and filling must touch every way eventually.
-        let mut s = ReplState::new(ReplacementPolicy::TreePlru, 1, 4);
+        let mut s = Policy::new(ReplacementPolicy::TreePlru, 1, 4);
         let mut seen = [false; 4];
         for seq in 0..16 {
-            let v = s.victim(0, 4, 0);
+            let v = s.victim(0, 0);
             seen[v] = true;
-            s.touch(0, 4, v, seq, true);
+            s.touch(0, v, seq, true);
         }
         assert!(seen.iter().all(|&x| x), "seen={seen:?}");
     }
 
     #[test]
     fn sets_are_independent() {
-        let mut s = ReplState::new(ReplacementPolicy::Lru, 2, 2);
-        s.touch(0, 2, 0, 10, false);
-        s.touch(0, 2, 1, 11, false);
-        s.touch(1, 2, 1, 5, false);
-        s.touch(1, 2, 0, 6, false);
-        assert_eq!(s.victim(0, 2, 0), 0, "set 0 LRU is way 0");
-        assert_eq!(s.victim(1, 2, 0), 1, "set 1 LRU is way 1");
+        let mut s = Policy::new(ReplacementPolicy::Lru, 2, 2);
+        s.touch(0, 0, 10, false);
+        s.touch(0, 1, 11, false);
+        s.touch(1, 1, 5, false);
+        s.touch(1, 0, 6, false);
+        assert_eq!(s.victim(0, 0), 0, "set 0 LRU is way 0");
+        assert_eq!(s.victim(1, 0), 1, "set 1 LRU is way 1");
     }
 
     #[test]
     fn plru_sets_are_independent() {
-        let mut s = ReplState::new(ReplacementPolicy::TreePlru, 2, 4);
-        s.touch(0, 4, 3, 1, true);
+        let mut s = Policy::new(ReplacementPolicy::TreePlru, 2, 4);
+        s.touch(0, 3, 1, true);
         // Set 1's tree is untouched: victim stays at way 0.
-        assert_eq!(s.victim(1, 4, 0), 0);
-        assert_ne!(s.victim(0, 4, 0), 3);
+        assert_eq!(s.victim(1, 0), 0);
+        assert_ne!(s.victim(0, 0), 3);
     }
 }

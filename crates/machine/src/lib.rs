@@ -40,8 +40,8 @@ pub mod firsttouch;
 pub mod ops;
 pub mod sim;
 
-pub use config::{ConfigError, McScheduler, MemoryPolicy, SimConfig};
+pub use config::{ConfigError, McScheduler, MemoryPolicy, SchedKind, SimConfig};
 pub use counters::{Counters, RunReport, WindowSampler};
 pub use firsttouch::FirstTouch;
 pub use ops::{Op, ProgramIter, Workload};
-pub use sim::{run, try_run, try_run_bounded, RunError};
+pub use sim::{run, try_run, try_run_bounded, LaneRunner, RunError};

@@ -26,10 +26,10 @@ use offchip_dram::{
     EnqueueResult, FcfsController, FrFcfsController, McModel, Request, RequestId,
 };
 use offchip_obs::{Histogram, McObs, ObsLevel, Span};
-use offchip_simcore::{EventQueue, SimTime};
+use offchip_simcore::{CalendarQueue, EventQueue, EventSched, SimTime};
 use offchip_topology::{allocation, CoreId, McId};
 
-use crate::config::{ConfigError, McScheduler, MemoryPolicy, SimConfig};
+use crate::config::{ConfigError, McScheduler, MemoryPolicy, SchedKind, SimConfig};
 use crate::counters::{Counters, RunReport, WindowSampler};
 use crate::firsttouch::FirstTouch;
 use crate::ops::{Op, ProgramIter, Workload};
@@ -245,10 +245,10 @@ struct CoreCtx {
     busy_until: SimTime,
 }
 
-struct Sim<'w> {
+struct Sim<'w, Q> {
     cfg: &'w SimConfig,
     line_mask: u64,
-    queue: EventQueue<Event>,
+    queue: Q,
     threads: Vec<ThreadCtx>,
     cores: Vec<CoreCtx>,
     hierarchy: Hierarchy,
@@ -315,65 +315,61 @@ pub fn try_run(workload: &dyn Workload, cfg: &SimConfig) -> Result<RunReport, Co
 /// Panics if the workload has no threads (a workload-construction bug,
 /// not a configuration issue).
 pub fn try_run_bounded(workload: &dyn Workload, cfg: &SimConfig) -> Result<RunReport, RunError> {
-    cfg.validate()?;
-    let n_threads = workload.n_threads();
-    assert!(n_threads > 0, "workload has no threads");
+    LaneRunner::new(workload, cfg)?.run_seed(cfg.seed)
+}
 
-    let placement = allocation::place(&cfg.machine, cfg.policy, n_threads, cfg.n_cores);
+/// Shared per-sweep-point simulator setup, amortised across seed lanes.
+///
+/// The S seeds of one sweep point differ only in the per-thread RNG
+/// streams; everything derived from `(machine, policy, n_cores, workload
+/// shape)` — config validation, thread→core placement, the active
+/// controller set, DRAM timing decode — is seed-independent. A
+/// `LaneRunner` computes all of it once and then [`LaneRunner::run_seed`]
+/// spins a fresh simulator instance per lane, with its own counters,
+/// caches, controllers and RNG state, producing a report byte-identical
+/// to a standalone [`try_run_bounded`] at that seed (pinned by
+/// `lanes_match_standalone_runs` below and by the golden artefact tests).
+pub struct LaneRunner<'a> {
+    workload: &'a dyn Workload,
+    cfg: &'a SimConfig,
+    sched: SchedKind,
+    n_threads: usize,
+    placement: allocation::Placement,
+    /// Threads pinned to each active-core slot, in thread order.
+    slot_threads: Vec<Vec<usize>>,
+    mc_cfg: McConfig,
+    active_mcs: Vec<McId>,
+}
 
-    let threads: Vec<ThreadCtx> = (0..n_threads)
-        .map(|t| ThreadCtx {
-            program: workload.thread_program(t, cfg.seed ^ (t as u64).wrapping_mul(0x9E3779B9)),
-            state: ThreadState::Runnable,
-            pushback: None,
-            quantum_used: 0,
-            mshr: MshrFile::new(cfg.mshr_per_core),
-            stall_started: SimTime::ZERO,
-            home_mc: placement.thread_home_mc[t],
-        })
-        .collect();
+impl<'a> LaneRunner<'a> {
+    /// Validates `cfg` and performs the seed-independent setup.
+    ///
+    /// # Panics
+    /// Panics if the workload has no threads (a workload-construction
+    /// bug, not a configuration issue).
+    pub fn new(workload: &'a dyn Workload, cfg: &'a SimConfig) -> Result<LaneRunner<'a>, RunError> {
+        cfg.validate()?;
+        let sched = match cfg.sched {
+            Some(kind) => kind,
+            None => SchedKind::from_env()?,
+        };
+        let n_threads = workload.n_threads();
+        assert!(n_threads > 0, "workload has no threads");
 
-    let cores: Vec<CoreCtx> = placement
-        .active_cores
-        .iter()
-        .map(|&id| CoreCtx {
-            id,
-            threads: Vec::new(),
-            rr: 0,
-            current: None,
-            busy_until: SimTime::ZERO,
-        })
-        .collect();
-    let mut cores = cores;
-    for (t, &core_id) in placement.thread_core.iter().enumerate() {
-        let slot = placement
-            .active_cores
-            .iter()
-            .position(|&c| c == core_id)
-            .expect("thread pinned to an active core");
-        cores[slot].threads.push(t);
-    }
-
-    let mc_cfg = McConfig::from_spec(&cfg.machine.dram, cfg.machine.line_bytes());
-    let mut mcs: Vec<Box<dyn McModel>> = (0..cfg.machine.total_mcs())
-        .map(|_| -> Box<dyn McModel> {
-            match cfg.scheduler {
-                McScheduler::Fcfs => Box::new(FcfsController::new(mc_cfg)),
-                McScheduler::FrFcfs => Box::new(FrFcfsController::new(mc_cfg)),
-            }
-        })
-        .collect();
-    if cfg.obs.at_least(ObsLevel::Metrics) {
-        let window = cfg.effective_telemetry_window();
-        let trace = cfg.obs.at_least(ObsLevel::Trace);
-        for (i, mc) in mcs.iter_mut().enumerate() {
-            mc.attach_obs(Box::new(McObs::new(i, window, trace)));
+        let placement = allocation::place(&cfg.machine, cfg.policy, n_threads, cfg.n_cores);
+        let mut slot_threads: Vec<Vec<usize>> = vec![Vec::new(); placement.active_cores.len()];
+        for (t, &core_id) in placement.thread_core.iter().enumerate() {
+            let slot = placement
+                .active_cores
+                .iter()
+                .position(|&c| c == core_id)
+                .expect("thread pinned to an active core");
+            slot_threads[slot].push(t);
         }
-    }
-    let n_mcs = mcs.len();
 
-    let mut active_mcs: Vec<McId> = {
-        let mut v: Vec<McId> = placement
+        let mc_cfg = McConfig::from_spec(&cfg.machine.dram, cfg.machine.line_bytes());
+
+        let mut active_mcs: Vec<McId> = placement
             .active_cores
             .iter()
             .flat_map(|&core| {
@@ -386,162 +382,233 @@ pub fn try_run_bounded(workload: &dyn Workload, cfg: &SimConfig) -> Result<RunRe
                     .map(|d| cfg.machine.mc_of_domain(d))
             })
             .collect();
-        v.sort_unstable();
-        v.dedup();
-        v
-    };
-    if active_mcs.is_empty() {
-        active_mcs.push(McId(0));
+        active_mcs.sort_unstable();
+        active_mcs.dedup();
+        if active_mcs.is_empty() {
+            active_mcs.push(McId(0));
+        }
+
+        Ok(LaneRunner {
+            workload,
+            cfg,
+            sched,
+            n_threads,
+            placement,
+            slot_threads,
+            mc_cfg,
+            active_mcs,
+        })
     }
 
-    let mut sim = Sim {
-        cfg,
-        line_mask: !(cfg.machine.line_bytes() as u64 - 1),
-        queue: EventQueue::new(),
-        threads,
-        cores,
-        hierarchy: Hierarchy::with_policy(&cfg.machine, cfg.replacement),
-        mcs,
-        mc_wake_at: vec![None; n_mcs],
-        first_touch: FirstTouch::new(cfg.page_bytes),
-        stream_last: vec![u64::MAX; cfg.n_cores],
-        stream_ahead: vec![0; cfg.n_cores],
-        active_mcs,
-        page_shift: cfg.page_bytes.trailing_zeros(),
-        link_free: vec![vec![SimTime::ZERO; n_mcs]; n_mcs],
-        waiters: WaiterTable::new(),
-        next_req_id: 0,
-        barrier_waiting: 0,
-        done_threads: 0,
-        n_threads,
-        counters: Counters::default(),
-        sampler: cfg.sampler_window.map(WindowSampler::new),
-        max_end: SimTime::ZERO,
-        obs: cfg
-            .obs
-            .at_least(ObsLevel::Metrics)
-            .then(|| Box::new(SimObs::new(cfg.obs.at_least(ObsLevel::Trace)))),
-    };
-
-    for slot in 0..sim.cores.len() {
-        sim.queue.schedule_at(SimTime::ZERO, Event::Resume(slot));
+    /// Runs one seed lane through the shared setup.
+    pub fn run_seed(&self, seed: u64) -> Result<RunReport, RunError> {
+        match self.sched {
+            SchedKind::Calendar => self.run_lane::<CalendarQueue<Event>>(seed),
+            SchedKind::Heap => self.run_lane::<EventQueue<Event>>(seed),
+        }
     }
 
-    // Budget guards. The event cap is one compare per event against a
-    // register-resident constant (`u64::MAX` when unset — unreachable);
-    // the deadline polls the OS clock only every `DEADLINE_POLL_MASK + 1`
-    // events, so neither is measurable on the hot path (the perfstat
-    // regression gate pins this).
-    let event_limit = cfg.max_events.unwrap_or(u64::MAX);
-    let started = cfg.deadline.map(|dl| (dl, std::time::Instant::now()));
+    fn run_lane<Q: EventSched<Event> + Default>(&self, seed: u64) -> Result<RunReport, RunError> {
+        let cfg = self.cfg;
+        let n_threads = self.n_threads;
 
-    while let Some((t, ev)) = sim.queue.pop() {
-        sim.counters.sim_events += 1;
-        if sim.counters.sim_events >= event_limit {
-            return Err(RunError::EventBudgetExceeded {
-                limit: event_limit,
-                events: sim.counters.sim_events,
-                counters: Box::new(sim.counters.clone()),
-            });
-        }
-        if sim.counters.sim_events & DEADLINE_POLL_MASK == 0 {
-            if let Some((dl, t0)) = started {
-                let elapsed = t0.elapsed();
-                if elapsed >= dl {
-                    return Err(RunError::DeadlineExceeded {
-                        deadline: dl,
-                        elapsed,
-                        events: sim.counters.sim_events,
-                        counters: Box::new(sim.counters.clone()),
-                    });
+        let threads: Vec<ThreadCtx> = (0..n_threads)
+            .map(|t| ThreadCtx {
+                program: self
+                    .workload
+                    .thread_program(t, seed ^ (t as u64).wrapping_mul(0x9E3779B9)),
+                state: ThreadState::Runnable,
+                pushback: None,
+                quantum_used: 0,
+                mshr: MshrFile::new(cfg.mshr_per_core),
+                stall_started: SimTime::ZERO,
+                home_mc: self.placement.thread_home_mc[t],
+            })
+            .collect();
+
+        let cores: Vec<CoreCtx> = self
+            .placement
+            .active_cores
+            .iter()
+            .zip(&self.slot_threads)
+            .map(|(&id, pinned)| CoreCtx {
+                id,
+                threads: pinned.clone(),
+                rr: 0,
+                current: None,
+                busy_until: SimTime::ZERO,
+            })
+            .collect();
+
+        let mut mcs: Vec<Box<dyn McModel>> = (0..cfg.machine.total_mcs())
+            .map(|_| -> Box<dyn McModel> {
+                match cfg.scheduler {
+                    McScheduler::Fcfs => Box::new(FcfsController::new(self.mc_cfg)),
+                    McScheduler::FrFcfs => Box::new(FrFcfsController::new(self.mc_cfg)),
                 }
+            })
+            .collect();
+        if cfg.obs.at_least(ObsLevel::Metrics) {
+            let window = cfg.effective_telemetry_window();
+            let trace = cfg.obs.at_least(ObsLevel::Trace);
+            for (i, mc) in mcs.iter_mut().enumerate() {
+                mc.attach_obs(Box::new(McObs::new(i, window, trace)));
             }
         }
-        match ev {
-            Event::Resume(slot) => {
-                if t < sim.cores[slot].busy_until {
-                    continue; // stale: the core is already executing past t
-                }
-                sim.run_core(slot, t);
+        let n_mcs = mcs.len();
+
+        let mut sim = Sim {
+            cfg,
+            line_mask: !(cfg.machine.line_bytes() as u64 - 1),
+            queue: Q::default(),
+            threads,
+            cores,
+            hierarchy: Hierarchy::with_policy(&cfg.machine, cfg.replacement),
+            mcs,
+            mc_wake_at: vec![None; n_mcs],
+            first_touch: FirstTouch::new(cfg.page_bytes),
+            stream_last: vec![u64::MAX; cfg.n_cores],
+            stream_ahead: vec![0; cfg.n_cores],
+            active_mcs: self.active_mcs.clone(),
+            page_shift: cfg.page_bytes.trailing_zeros(),
+            link_free: vec![vec![SimTime::ZERO; n_mcs]; n_mcs],
+            waiters: WaiterTable::new(),
+            next_req_id: 0,
+            barrier_waiting: 0,
+            done_threads: 0,
+            n_threads,
+            counters: Counters::default(),
+            sampler: cfg.sampler_window.map(WindowSampler::new),
+            max_end: SimTime::ZERO,
+            obs: cfg
+                .obs
+                .at_least(ObsLevel::Metrics)
+                .then(|| Box::new(SimObs::new(cfg.obs.at_least(ObsLevel::Trace)))),
+        };
+
+        for slot in 0..sim.cores.len() {
+            sim.queue.schedule_at(SimTime::ZERO, Event::Resume(slot));
+        }
+
+        // Budget guards. The event cap is one compare per event against a
+        // register-resident constant (`u64::MAX` when unset — unreachable);
+        // the deadline polls the OS clock only every `DEADLINE_POLL_MASK + 1`
+        // events, so neither is measurable on the hot path (the perfstat
+        // regression gate pins this).
+        let event_limit = cfg.max_events.unwrap_or(u64::MAX);
+        let started = cfg.deadline.map(|dl| (dl, std::time::Instant::now()));
+
+        while let Some((t, ev)) = sim.queue.pop() {
+            sim.counters.sim_events += 1;
+            if sim.counters.sim_events >= event_limit {
+                return Err(RunError::EventBudgetExceeded {
+                    limit: event_limit,
+                    events: sim.counters.sim_events,
+                    counters: Box::new(sim.counters.clone()),
+                });
             }
-            Event::Fill { core, thread, line } => {
-                sim.on_fill(core, thread, line, t);
-            }
-            Event::McWake(mc) => {
-                match sim.mc_wake_at[mc] {
-                    // The live registration: consume it and wake.
-                    Some(s) if s == t => {
-                        sim.mc_wake_at[mc] = None;
-                        sim.mc_wake(mc, t);
+            if sim.counters.sim_events & DEADLINE_POLL_MASK == 0 {
+                if let Some((dl, t0)) = started {
+                    let elapsed = t0.elapsed();
+                    if elapsed >= dl {
+                        return Err(RunError::DeadlineExceeded {
+                            deadline: dl,
+                            elapsed,
+                            events: sim.counters.sim_events,
+                            counters: Box::new(sim.counters.clone()),
+                        });
                     }
-                    // A registration one cycle out may have raced a
-                    // same-cycle enqueue/serve that left work servable at
-                    // `t`; waking is the only locally safe call, matching
-                    // the historical unconditional-wake behaviour.
-                    Some(s) if s == t + 1 => sim.mc_wake(mc, t),
-                    // Registered strictly later, or nothing registered:
-                    // the controller's earliest opportunity is provably
-                    // past `t` (registrations never trail a mutation by
-                    // more than one cycle), so the wake would be a no-op —
-                    // skip it and the redundant re-registration probe.
-                    other => debug_assert!(other.is_none_or(|s| s > t + 1)),
                 }
             }
-            Event::PrefetchFill { core, line } => {
-                let core_id = sim.cores[core].id;
-                if let Some(victim) = sim.hierarchy.install_llc(core_id, line) {
-                    // A prefetch may evict a dirty line; attribute the
-                    // write-back to thread 0 of the slot (the home lookup
-                    // only needs *a* thread for first-touch fallback).
-                    let th = sim.cores[core].threads[0];
-                    sim.issue_writeback(core, th, victim, t);
+            match ev {
+                Event::Resume(slot) => {
+                    if t < sim.cores[slot].busy_until {
+                        continue; // stale: the core is already executing past t
+                    }
+                    sim.run_core(slot, t);
+                }
+                Event::Fill { core, thread, line } => {
+                    sim.on_fill(core, thread, line, t);
+                }
+                Event::McWake(mc) => {
+                    match sim.mc_wake_at[mc] {
+                        // The live registration: consume it and wake.
+                        Some(s) if s == t => {
+                            sim.mc_wake_at[mc] = None;
+                            sim.mc_wake(mc, t);
+                        }
+                        // A registration one cycle out may have raced a
+                        // same-cycle enqueue/serve that left work servable at
+                        // `t`; waking is the only locally safe call, matching
+                        // the historical unconditional-wake behaviour.
+                        Some(s) if s == t + 1 => sim.mc_wake(mc, t),
+                        // Registered strictly later, or nothing registered:
+                        // the controller's earliest opportunity is provably
+                        // past `t` (registrations never trail a mutation by
+                        // more than one cycle), so the wake would be a no-op —
+                        // skip it and the redundant re-registration probe.
+                        other => debug_assert!(other.is_none_or(|s| s > t + 1)),
+                    }
+                }
+                Event::PrefetchFill { core, line } => {
+                    let core_id = sim.cores[core].id;
+                    if let Some(victim) = sim.hierarchy.install_llc(core_id, line) {
+                        // A prefetch may evict a dirty line; attribute the
+                        // write-back to thread 0 of the slot (the home lookup
+                        // only needs *a* thread for first-touch fallback).
+                        let th = sim.cores[core].threads[0];
+                        sim.issue_writeback(core, th, victim, t);
+                    }
                 }
             }
         }
+
+        assert_eq!(
+            sim.done_threads, sim.n_threads,
+            "simulation drained with live threads — deadlock in the workload?"
+        );
+
+        let makespan = sim.max_end;
+        sim.counters.core_time_cycles = cfg.n_cores as u64 * makespan.cycles();
+        sim.counters.total_cycles = sim.counters.work_cycles
+            + sim.counters.onchip_stall_cycles
+            + sim.counters.mem_stall_cycles
+            + sim.counters.switch_cycles;
+        sim.counters.stall_cycles = sim
+            .counters
+            .total_cycles
+            .saturating_sub(sim.counters.work_cycles);
+        sim.counters.llc_misses = sim.hierarchy.total_llc_misses();
+        sim.counters.llc_accesses = sim.hierarchy.total_llc_accesses();
+
+        let telemetry = flush_obs(&mut sim, makespan);
+
+        Ok(RunReport {
+            program: self.workload.name(),
+            machine: cfg.machine.name.clone(),
+            n_cores: cfg.n_cores,
+            n_threads,
+            makespan,
+            counters: sim.counters,
+            mc_stats: sim.mcs.iter().map(|m| m.stats().clone()).collect(),
+            llc_stats: (0..sim.hierarchy.n_domains())
+                .map(|d| sim.hierarchy.llc_stats(d))
+                .collect(),
+            miss_windows: sim.sampler.map(|s| s.finish(makespan)),
+            placement: self.placement.clone(),
+            telemetry,
+        })
     }
-
-    assert_eq!(
-        sim.done_threads, sim.n_threads,
-        "simulation drained with live threads — deadlock in the workload?"
-    );
-
-    let makespan = sim.max_end;
-    sim.counters.core_time_cycles = cfg.n_cores as u64 * makespan.cycles();
-    sim.counters.total_cycles = sim.counters.work_cycles
-        + sim.counters.onchip_stall_cycles
-        + sim.counters.mem_stall_cycles
-        + sim.counters.switch_cycles;
-    sim.counters.stall_cycles = sim
-        .counters
-        .total_cycles
-        .saturating_sub(sim.counters.work_cycles);
-    sim.counters.llc_misses = sim.hierarchy.total_llc_misses();
-    sim.counters.llc_accesses = sim.hierarchy.total_llc_accesses();
-
-    let telemetry = flush_obs(&mut sim, makespan);
-
-    Ok(RunReport {
-        program: workload.name(),
-        machine: cfg.machine.name.clone(),
-        n_cores: cfg.n_cores,
-        n_threads,
-        makespan,
-        counters: sim.counters,
-        mc_stats: sim.mcs.iter().map(|m| m.stats().clone()).collect(),
-        llc_stats: (0..sim.hierarchy.n_domains())
-            .map(|d| sim.hierarchy.llc_stats(d))
-            .collect(),
-        miss_windows: sim.sampler.map(|s| s.finish(makespan)),
-        placement,
-        telemetry,
-    })
 }
 
 /// Drains every per-run observer into the process-global metrics registry
 /// and trace ring and assembles the report's telemetry section. A no-op
 /// returning `None` below [`ObsLevel::Metrics`], so runs at
 /// [`ObsLevel::Off`] touch no global state at all.
-fn flush_obs(sim: &mut Sim<'_>, makespan: SimTime) -> Option<offchip_obs::Telemetry> {
+fn flush_obs<Q: EventSched<Event>>(
+    sim: &mut Sim<'_, Q>,
+    makespan: SimTime,
+) -> Option<offchip_obs::Telemetry> {
     if !sim.cfg.obs.at_least(ObsLevel::Metrics) {
         return None;
     }
@@ -600,7 +667,7 @@ fn flush_obs(sim: &mut Sim<'_>, makespan: SimTime) -> Option<offchip_obs::Teleme
     })
 }
 
-impl<'w> Sim<'w> {
+impl<Q: EventSched<Event>> Sim<'_, Q> {
     fn pull(&mut self, thread: usize) -> Option<Op> {
         let th = &mut self.threads[thread];
         th.pushback.take().or_else(|| th.program.next_op())
@@ -1380,6 +1447,60 @@ mod tests {
         let b = run(&w, &cfg);
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.counters, b.counters);
+    }
+
+    #[test]
+    fn lanes_match_standalone_runs() {
+        // Lane sharing amortises setup, never results: every seed lane
+        // must reproduce the standalone run at that seed exactly.
+        let w = VecWorkload {
+            name: "lanes".into(),
+            threads: (0..4)
+                .map(|t| {
+                    let base = (t as u64) << 28;
+                    (0..300).map(|i| read_indep(base + i * 640)).collect()
+                })
+                .collect(),
+        };
+        let cfg = SimConfig::new(small_machine(), 3);
+        let runner = LaneRunner::new(&w, &cfg).expect("valid config");
+        for seed in [1u64, 0xDEAD_BEEF, 0x0FF_C41B] {
+            let lane = runner.run_seed(seed).expect("no budgets set");
+            let mut solo_cfg = cfg.clone();
+            solo_cfg.seed = seed;
+            let solo = run(&w, &solo_cfg);
+            assert_eq!(lane.counters, solo.counters, "seed {seed:#x}");
+            assert_eq!(lane.makespan, solo.makespan);
+            assert_eq!(lane.mc_stats, solo.mc_stats);
+            assert_eq!(lane.placement, solo.placement);
+        }
+    }
+
+    #[test]
+    fn schedulers_agree_bit_for_bit() {
+        // The EventSched ordering contract, end to end: the calendar
+        // queue and the heap oracle must produce identical reports.
+        let w = VecWorkload {
+            name: "sched".into(),
+            threads: (0..4)
+                .map(|t| {
+                    let base = (t as u64) << 28;
+                    let mut ops = vec![compute(100)];
+                    ops.extend((0..300).map(|i| read_indep(base + i * 640)));
+                    ops.push(Op::Barrier);
+                    ops.extend((0..50).map(|i| read(base + i * 4096)));
+                    ops
+                })
+                .collect(),
+        };
+        let mut cfg = SimConfig::new(small_machine(), 3);
+        cfg.sched = Some(SchedKind::Heap);
+        let heap = run(&w, &cfg);
+        cfg.sched = Some(SchedKind::Calendar);
+        let cal = run(&w, &cfg);
+        assert_eq!(heap.counters, cal.counters);
+        assert_eq!(heap.makespan, cal.makespan);
+        assert_eq!(heap.mc_stats, cal.mc_stats);
     }
 
     #[test]

@@ -5,11 +5,76 @@
 //! for the same instant pop in insertion order, otherwise runs are not
 //! reproducible. [`EventQueue`] wraps the heap with a reversed key and a
 //! monotonically increasing sequence number.
+//!
+//! # The ordering contract (pinned)
+//!
+//! Every scheduler behind [`EventSched`] pops events in ascending
+//! `(timestamp, sequence number)` order, where the sequence number is the
+//! **global arrival order across the whole run** — not per timestamp, not
+//! per call site. Two consequences that downstream code depends on:
+//!
+//! * **FIFO within a cycle.** Events scheduled for the same instant pop in
+//!   the order `schedule_at`/`schedule_after` was called, even when the
+//!   calls are interleaved with pops of that same instant. Same-cycle
+//!   batching and multi-seed lane sharing both assume this: a controller
+//!   wake scheduled *while* a cycle's batch is being dispatched must run
+//!   after the events that were already pending for that cycle.
+//! * **Determinism across implementations.** [`EventQueue`] (this binary
+//!   heap) is the oracle; [`crate::CalendarQueue`] must produce the exact
+//!   same pop sequence for any schedule (pinned by the lockstep proptest in
+//!   `tests/calendar_oracle.rs`), which is what makes experiment artefacts
+//!   byte-identical under either scheduler.
+//!
+//! `ties_break_fifo` and `ties_break_fifo_across_interleaved_pops` below are
+//! the regression tests for the first point.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
+
+/// The scheduler contract of the simulation kernel: a deterministic
+/// min-priority queue over `(time, global arrival order)`.
+///
+/// See the module docs for the pinned ordering contract. Implementations:
+/// [`EventQueue`] (binary heap, the oracle) and [`crate::CalendarQueue`]
+/// (bucketed calendar queue, the fast path).
+pub trait EventSched<E> {
+    /// The current simulation time: the timestamp of the last popped event
+    /// (or zero before any pop).
+    fn now(&self) -> SimTime;
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than the current time (causality
+    /// violation, always a simulator bug).
+    fn schedule_at(&mut self, at: SimTime, event: E);
+
+    /// Schedules `event` `delay` cycles after the current time.
+    #[inline]
+    fn schedule_after(&mut self, delay: u64, event: E) {
+        self.schedule_at(self.now() + delay, event);
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    fn pop(&mut self) -> Option<(SimTime, E)>;
+
+    /// Timestamp of the next event without popping it.
+    fn peek_time(&self) -> Option<SimTime>;
+
+    /// Number of pending events.
+    fn len(&self) -> usize;
+
+    /// Whether the queue is empty.
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// High-water mark of pending events over the queue's lifetime.
+    fn max_len(&self) -> usize;
+}
 
 struct Entry<E> {
     at: SimTime,
@@ -31,7 +96,10 @@ impl<E> PartialOrd for Entry<E> {
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: the BinaryHeap is a max-heap, we want earliest first,
-        // then lowest sequence number.
+        // then lowest sequence number. The seq tie-break is what pins FIFO
+        // order within a cycle (see the module docs) — `seq` is assigned
+        // from a run-global counter at schedule time, so insertion order is
+        // total even across pops of the same instant.
         other
             .at
             .cmp(&self.at)
@@ -129,6 +197,33 @@ impl<E> Default for EventQueue<E> {
     }
 }
 
+impl<E> EventSched<E> for EventQueue<E> {
+    #[inline]
+    fn now(&self) -> SimTime {
+        EventQueue::now(self)
+    }
+    #[inline]
+    fn schedule_at(&mut self, at: SimTime, event: E) {
+        EventQueue::schedule_at(self, at, event);
+    }
+    #[inline]
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        EventQueue::pop(self)
+    }
+    #[inline]
+    fn peek_time(&self) -> Option<SimTime> {
+        EventQueue::peek_time(self)
+    }
+    #[inline]
+    fn len(&self) -> usize {
+        EventQueue::len(self)
+    }
+    #[inline]
+    fn max_len(&self) -> usize {
+        EventQueue::max_len(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +249,27 @@ mod tests {
         for i in 0..100 {
             assert_eq!(q.pop(), Some((SimTime(5), i)));
         }
+    }
+
+    #[test]
+    fn ties_break_fifo_across_interleaved_pops() {
+        // The pinned contract (module docs): seq is the *global* arrival
+        // order, so an event scheduled for the current instant while that
+        // instant is being drained pops after everything already pending
+        // for it — exactly the "controller wake scheduled mid-batch" shape
+        // that same-cycle batching relies on.
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(7), "a");
+        q.schedule_at(SimTime(7), "b");
+        assert_eq!(q.pop(), Some((SimTime(7), "a")));
+        q.schedule_at(SimTime(7), "c"); // arrives mid-drain of cycle 7
+        q.schedule_at(SimTime(7), "d");
+        assert_eq!(q.pop(), Some((SimTime(7), "b")));
+        assert_eq!(q.pop(), Some((SimTime(7), "c")));
+        q.schedule_at(SimTime(7), "e");
+        assert_eq!(q.pop(), Some((SimTime(7), "d")));
+        assert_eq!(q.pop(), Some((SimTime(7), "e")));
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

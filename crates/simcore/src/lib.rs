@@ -10,8 +10,12 @@
 //! * [`time`] — the simulation clock type ([`SimTime`], in core cycles) and
 //!   frequency-aware conversions to wall-clock units (the 5 µs sampler
 //!   window is defined in wall time).
-//! * [`events`] — a time-ordered event queue with stable FIFO tie-breaking,
-//!   the backbone of the machine simulator.
+//! * [`events`] — the [`EventSched`] scheduler contract (time order with
+//!   stable FIFO tie-breaking, pinned) and its binary-heap oracle
+//!   implementation [`EventQueue`].
+//! * [`calendar`] — [`CalendarQueue`], the O(1)-amortised bucketed
+//!   scheduler the simulator runs on by default, with same-cycle batching
+//!   and automatic ring resize.
 //! * [`traffic`] — arrival-process generators: Poisson and Pareto-ON/OFF
 //!   sources used by synthetic workloads and by the burstiness ablation.
 //! * [`hashing`] — a fixed-seed Fx-style hasher for per-access hot-path
@@ -22,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calendar;
 pub mod events;
 pub mod fastdiv;
 pub mod hashing;
@@ -29,7 +34,8 @@ pub mod rng;
 pub mod time;
 pub mod traffic;
 
-pub use events::EventQueue;
+pub use calendar::CalendarQueue;
+pub use events::{EventQueue, EventSched};
 pub use fastdiv::FastDiv;
 pub use hashing::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use rng::Rng;

@@ -5,7 +5,7 @@
 //! ```text
 //! serve_loadtest --addr HOST:PORT [--connections N] [--seconds S]
 //!                [--machine uma|numa|amd] [--program NAME] [--n N]
-//!                [--out PATH]
+//!                [--overload FACTOR] [--slowloris N] [--out PATH]
 //! ```
 //!
 //! The harness first sends one warm-up request (which may run the fill
@@ -16,9 +16,20 @@
 //! histogram yields the committed p50/p95/p99. Every response body is
 //! checked byte-for-byte against the warm-up body — a served prediction
 //! that drifts under load is a correctness failure, not a slow request.
+//!
+//! `--overload FACTOR` adds a second phase at `FACTOR ×` the baseline
+//! connection count against a server sized for the baseline: admitted
+//! requests must stay fast (the committed gate is p99 ≤ 5× the
+//! uncontended p99, floored at 2 ms for timer noise) while the excess is
+//! *shed* with well-formed `503 + Retry-After` responses, never hung or
+//! torn. `--slowloris N` rides along: N clients that send a few request
+//! bytes and then stall, which a hardened server answers with `408` (or
+//! a clean close) instead of letting them pin workers. The overload
+//! results land in the same `BENCH_serve.json` under `"overload"`
+//! (schema 2).
 
 use offchip_bench::EXIT_INTERRUPTED;
-use offchip_json::json_obj;
+use offchip_json::{json_obj, Json};
 use offchip_obs::Histogram;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -30,12 +41,22 @@ const WARMUP_TIMEOUT: Duration = Duration::from_secs(600);
 /// Read timeout once warm: cached predictions answer in microseconds;
 /// a second means the server wedged.
 const WARM_TIMEOUT: Duration = Duration::from_secs(5);
+/// p99 floor for the overload gate: below this, scheduler jitter
+/// dominates and a ratio is noise, not signal.
+const OVERLOAD_P99_FLOOR_US: u64 = 2_000;
+/// Admitted p99 under overload may be at most this multiple of the
+/// uncontended p99 (ISSUE-9 acceptance gate).
+const OVERLOAD_P99_RATIO: u64 = 5;
+/// How long a slow-loris client waits for the server's verdict after it
+/// stops sending: must exceed the server's `--header-deadline`.
+const SLOWLORIS_GRACE: Duration = Duration::from_secs(15);
 
 fn usage_exit(msg: &str) -> ! {
     eprintln!("serve_loadtest: {msg}");
     eprintln!(
         "usage: serve_loadtest --addr HOST:PORT [--connections N] [--seconds S] \
-         [--machine uma|numa|amd] [--program NAME] [--n N] [--out PATH]"
+         [--machine uma|numa|amd] [--program NAME] [--n N] [--overload FACTOR] \
+         [--slowloris N] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -52,6 +73,8 @@ struct Options {
     machine: String,
     program: String,
     n: u64,
+    overload: f64,
+    slowloris: usize,
     out: String,
 }
 
@@ -63,6 +86,8 @@ fn parse_args() -> Options {
         machine: "uma".into(),
         program: "CG.S".into(),
         n: 8,
+        overload: 0.0,
+        slowloris: 0,
         out: "BENCH_serve.json".into(),
     };
     let mut args = std::env::args().skip(1);
@@ -96,12 +121,28 @@ fn parse_args() -> Options {
                     .parse()
                     .unwrap_or_else(|e| usage_exit(&format!("--n: {e}")));
             }
+            "--overload" => {
+                opts.overload = value("--overload")
+                    .parse()
+                    .unwrap_or_else(|e| usage_exit(&format!("--overload: {e}")));
+                if !opts.overload.is_finite() || opts.overload < 1.0 {
+                    usage_exit("--overload must be a factor >= 1");
+                }
+            }
+            "--slowloris" => {
+                opts.slowloris = value("--slowloris")
+                    .parse()
+                    .unwrap_or_else(|e| usage_exit(&format!("--slowloris: {e}")));
+            }
             "--out" => opts.out = value("--out"),
             other => usage_exit(&format!("unknown argument: {other}")),
         }
     }
     if opts.addr.is_empty() {
         usage_exit("--addr is required");
+    }
+    if opts.slowloris > 0 && opts.overload == 0.0 {
+        usage_exit("--slowloris rides along with --overload");
     }
     opts
 }
@@ -160,6 +201,193 @@ impl Client {
     }
 }
 
+/// Per-thread tallies for one load phase.
+#[derive(Default)]
+struct Tally {
+    hist: Histogram,
+    ok: u64,
+    shed: u64,
+    other_status: u64,
+    drift: u64,
+    io_errors: u64,
+}
+
+impl Tally {
+    fn merge(&mut self, other: &Tally) {
+        self.hist.merge(&other.hist);
+        self.ok += other.ok;
+        self.shed += other.shed;
+        self.other_status += other.other_status;
+        self.drift += other.drift;
+        self.io_errors += other.io_errors;
+    }
+}
+
+/// Drives one connection until `deadline`, reconnecting after errors
+/// and after shed responses (the server closes those connections).
+/// `shed_expected` controls whether non-200 statuses are tolerated
+/// (overload phase) or logged as anomalies (baseline phase).
+fn drive(
+    addr: &str,
+    request_body: &str,
+    reference: &[u8],
+    deadline: Instant,
+    timeout: Duration,
+    shed_expected: bool,
+) -> Tally {
+    let mut t = Tally::default();
+    let mut client = match Client::connect(addr, timeout) {
+        Ok(c) => c,
+        Err(_) => {
+            t.io_errors += 1;
+            return t;
+        }
+    };
+    while Instant::now() < deadline {
+        let r0 = Instant::now();
+        match client.post("/predict", request_body) {
+            Ok((200, body)) if body == reference => {
+                t.ok += 1;
+                t.hist
+                    .record(r0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+            }
+            Ok((200, body)) => {
+                t.drift += 1;
+                eprintln!("response drift under load: {}", String::from_utf8_lossy(&body));
+            }
+            Ok((503, body)) if shed_expected => {
+                // A shed must still be a well-formed JSON error, not a
+                // torn write.
+                match std::str::from_utf8(&body).ok().and_then(|s| Json::parse(s.trim()).ok()) {
+                    Some(doc) if doc.get("error").is_some() => t.shed += 1,
+                    _ => {
+                        t.drift += 1;
+                        eprintln!("malformed shed body: {}", String::from_utf8_lossy(&body));
+                    }
+                }
+                // The server closes shed connections; reconnect.
+                match Client::connect(addr, timeout) {
+                    Ok(c) => client = c,
+                    Err(_) => break,
+                }
+            }
+            Ok((status, _)) => {
+                t.other_status += 1;
+                if !shed_expected {
+                    eprintln!("status {status} under load");
+                }
+                match Client::connect(addr, timeout) {
+                    Ok(c) => client = c,
+                    Err(_) => break,
+                }
+            }
+            Err(_) => {
+                t.io_errors += 1;
+                // Reconnect and keep going.
+                match Client::connect(addr, timeout) {
+                    Ok(c) => client = c,
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+    t
+}
+
+/// Runs `count` driver threads against `addr` until `seconds` elapse;
+/// returns the merged tally and the measured wall time.
+fn load_phase(
+    addr: &str,
+    request_body: &str,
+    reference: &[u8],
+    count: usize,
+    seconds: f64,
+    shed_expected: bool,
+) -> (Tally, f64) {
+    // Under expected shedding a connection can sit parked in the
+    // server's queue behind keep-alive peers for a whole phase; cap the
+    // read timeout at the phase length so those threads do not drag the
+    // join out long past the deadline.
+    let timeout = if shed_expected {
+        Duration::from_secs_f64(seconds).clamp(Duration::from_millis(500), WARM_TIMEOUT)
+    } else {
+        WARM_TIMEOUT
+    };
+    let deadline = Instant::now() + Duration::from_secs_f64(seconds);
+    let t0 = Instant::now();
+    let tallies: Vec<Tally> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..count)
+            .map(|_| {
+                s.spawn(move || {
+                    drive(addr, request_body, reference, deadline, timeout, shed_expected)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    let mut merged = Tally::default();
+    for t in &tallies {
+        merged.merge(t);
+    }
+    (merged, elapsed)
+}
+
+/// What one slow-loris client got for its trouble.
+enum SlowOutcome {
+    /// A well-formed `408 Request Timeout` arrived.
+    Answered408,
+    /// Some other well-formed response arrived (e.g. a `503` shed).
+    Answered(u16),
+    /// The server closed the connection without a response.
+    Closed,
+    /// Nothing happened within the grace period — the defect the 408
+    /// path exists to prevent.
+    Hung,
+}
+
+/// One slow-loris client: sends a few request bytes, stalls forever,
+/// and reports how the server disposed of it.
+fn slowloris(addr: &str) -> SlowOutcome {
+    let Ok(stream) = TcpStream::connect(addr) else {
+        // A refused connection is a kind of clean disposal (e.g. the
+        // accept queue shed us).
+        return SlowOutcome::Closed;
+    };
+    let _ = stream.set_read_timeout(Some(SLOWLORIS_GRACE));
+    let mut stream = stream;
+    // Enough bytes to start the request clock, never a complete request.
+    let teaser = b"POST /predict HTTP/1.1\r\nHost: slo";
+    for chunk in teaser.chunks(4) {
+        if stream.write_all(chunk).is_err() {
+            return SlowOutcome::Closed;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    // Stall: wait for the server's verdict.
+    let mut buf = [0u8; 512];
+    match stream.read(&mut buf) {
+        Ok(0) => SlowOutcome::Closed,
+        Ok(got) => {
+            let head = String::from_utf8_lossy(&buf[..got]);
+            match head.split_whitespace().nth(1).and_then(|s| s.parse::<u16>().ok()) {
+                Some(408) => SlowOutcome::Answered408,
+                Some(status) => SlowOutcome::Answered(status),
+                None => SlowOutcome::Hung,
+            }
+        }
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::ConnectionReset | std::io::ErrorKind::BrokenPipe
+            ) =>
+        {
+            SlowOutcome::Closed
+        }
+        Err(_) => SlowOutcome::Hung,
+    }
+}
+
 fn main() {
     let opts = parse_args();
     let request_body = format!(
@@ -186,84 +414,161 @@ fn main() {
         ));
     }
     let warmup_s = warm_t0.elapsed().as_secs_f64();
-    eprintln!("warm in {warmup_s:.2} s; load phase: {} connection(s) x {} s", opts.connections, opts.seconds);
-
-    let deadline = Instant::now() + Duration::from_secs_f64(opts.seconds);
-    let t0 = Instant::now();
-    let per_thread: Vec<(Histogram, u64, u64)> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..opts.connections)
-            .map(|_| {
-                let addr = &opts.addr;
-                let request_body = &request_body;
-                let reference = &reference;
-                s.spawn(move || {
-                    let mut hist = Histogram::new();
-                    let mut requests = 0u64;
-                    let mut errors = 0u64;
-                    let mut client = match Client::connect(addr, WARM_TIMEOUT) {
-                        Ok(c) => c,
-                        Err(_) => return (hist, 0, 1),
-                    };
-                    while Instant::now() < deadline {
-                        let r0 = Instant::now();
-                        match client.post("/predict", request_body) {
-                            Ok((200, body)) if &body == reference => {
-                                requests += 1;
-                                hist.record(r0.elapsed().as_micros().min(u128::from(u64::MAX))
-                                    as u64);
-                            }
-                            Ok((200, body)) => {
-                                errors += 1;
-                                eprintln!(
-                                    "response drift under load: {}",
-                                    String::from_utf8_lossy(&body)
-                                );
-                            }
-                            Ok((status, _)) => {
-                                errors += 1;
-                                eprintln!("status {status} under load");
-                            }
-                            Err(_) => {
-                                errors += 1;
-                                // Reconnect and keep going.
-                                match Client::connect(addr, WARM_TIMEOUT) {
-                                    Ok(c) => client = c,
-                                    Err(_) => break,
-                                }
-                            }
-                        }
-                    }
-                    (hist, requests, errors)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
-    let elapsed = t0.elapsed().as_secs_f64();
-
-    let mut hist = Histogram::new();
-    let mut requests = 0u64;
-    let mut errors = 0u64;
-    for (h, r, e) in &per_thread {
-        hist.merge(h);
-        requests += r;
-        errors += e;
-    }
-    if requests == 0 {
-        runtime_exit("no successful request in the load phase");
-    }
-    let qps = requests as f64 / elapsed;
-    println!(
-        "serve_loadtest: {requests} requests in {elapsed:.2} s ({qps:.0} req/s), \
-         {errors} error(s), p50 {} us, p95 {} us, p99 {} us, max {} us",
-        hist.p50(),
-        hist.p95(),
-        hist.p99(),
-        hist.max()
+    // Release the warm-up connection before measuring: a keep-alive
+    // connection pins one server worker, and against a tightly-sized
+    // server that skews both phases.
+    drop(warm_client);
+    eprintln!(
+        "warm in {warmup_s:.2} s; load phase: {} connection(s) x {} s",
+        opts.connections, opts.seconds
     );
 
+    let (base, elapsed) = load_phase(
+        &opts.addr,
+        &request_body,
+        &reference,
+        opts.connections,
+        opts.seconds,
+        false,
+    );
+    let baseline_errors = base.drift + base.io_errors + base.shed + base.other_status;
+    if base.ok == 0 {
+        runtime_exit("no successful request in the load phase");
+    }
+    let qps = base.ok as f64 / elapsed;
+    println!(
+        "serve_loadtest: {} requests in {elapsed:.2} s ({qps:.0} req/s), \
+         {baseline_errors} error(s), p50 {} us, p95 {} us, p99 {} us, max {} us",
+        base.ok,
+        base.hist.p50(),
+        base.hist.p95(),
+        base.hist.p99(),
+        base.hist.max()
+    );
+
+    // Overload phase: FACTOR × the baseline connections, shedding
+    // expected and measured rather than treated as failure.
+    let mut gate_failed = false;
+    let overload_json = if opts.overload >= 1.0 {
+        let conns = ((opts.connections as f64 * opts.overload).ceil() as usize).max(1);
+        eprintln!(
+            "overload phase: {} connection(s) ({}x) + {} slowloris x {} s",
+            conns, opts.overload, opts.slowloris, opts.seconds
+        );
+        let addr = opts.addr.as_str();
+        let (over, over_elapsed, slow_outcomes) = std::thread::scope(|s| {
+            let slow_handles: Vec<_> = (0..opts.slowloris)
+                .map(|_| s.spawn(move || slowloris(addr)))
+                .collect();
+            let (over, over_elapsed) = load_phase(
+                addr,
+                &request_body,
+                &reference,
+                conns,
+                opts.seconds,
+                true,
+            );
+            let slow_outcomes: Vec<SlowOutcome> =
+                slow_handles.into_iter().map(|h| h.join().unwrap()).collect();
+            (over, over_elapsed, slow_outcomes)
+        });
+
+        let answered = over.ok + over.shed + over.other_status;
+        let shed_rate = if answered > 0 {
+            over.shed as f64 / answered as f64
+        } else {
+            0.0
+        };
+        let goodput = over.ok as f64 / over_elapsed;
+        let p99_limit = (OVERLOAD_P99_RATIO * base.hist.p99()).max(OVERLOAD_P99_FLOOR_US);
+        println!(
+            "overload: {} admitted ({goodput:.0} req/s goodput), {} shed \
+             ({:.0}% of answered), p99 {} us (gate {} us), {} drift, {} io error(s)",
+            over.ok,
+            over.shed,
+            shed_rate * 100.0,
+            over.hist.p99(),
+            p99_limit,
+            over.drift,
+            over.io_errors
+        );
+        if over.ok == 0 {
+            eprintln!("overload gate FAILED: nothing was admitted at {}x", opts.overload);
+            gate_failed = true;
+        }
+        if over.hist.p99() > p99_limit {
+            eprintln!(
+                "overload gate FAILED: admitted p99 {} us exceeds {} us \
+                 ({}x uncontended p99 {} us, floor {} us)",
+                over.hist.p99(),
+                p99_limit,
+                OVERLOAD_P99_RATIO,
+                base.hist.p99(),
+                OVERLOAD_P99_FLOOR_US
+            );
+            gate_failed = true;
+        }
+        if over.drift > 0 {
+            eprintln!("overload gate FAILED: {} torn/drifted response(s)", over.drift);
+            gate_failed = true;
+        }
+
+        let mut slow_408 = 0u64;
+        let mut slow_answered = 0u64;
+        let mut slow_closed = 0u64;
+        let mut slow_hung = 0u64;
+        for o in &slow_outcomes {
+            match o {
+                SlowOutcome::Answered408 => slow_408 += 1,
+                SlowOutcome::Answered(status) => {
+                    slow_answered += 1;
+                    eprintln!("slowloris client answered with {status}");
+                }
+                SlowOutcome::Closed => slow_closed += 1,
+                SlowOutcome::Hung => slow_hung += 1,
+            }
+        }
+        if opts.slowloris > 0 {
+            println!(
+                "slowloris: {slow_408} got 408, {slow_answered} other status, \
+                 {slow_closed} closed, {slow_hung} hung"
+            );
+            if slow_hung > 0 {
+                eprintln!("overload gate FAILED: {slow_hung} slow-loris client(s) hung");
+                gate_failed = true;
+            }
+        }
+
+        json_obj! {
+            "factor" => opts.overload,
+            "connections" => conns as u64,
+            "seconds" => over_elapsed,
+            "admitted" => over.ok,
+            "goodput_rps" => goodput,
+            "shed" => over.shed,
+            "shed_rate" => shed_rate,
+            "other_status" => over.other_status,
+            "io_errors" => over.io_errors,
+            "drift" => over.drift,
+            "p50_us" => over.hist.p50(),
+            "p95_us" => over.hist.p95(),
+            "p99_us" => over.hist.p99(),
+            "max_us" => over.hist.max(),
+            "p99_gate_us" => p99_limit,
+            "slowloris" => offchip_json::json_obj! {
+                "clients" => opts.slowloris as u64,
+                "answered_408" => slow_408,
+                "answered_other" => slow_answered,
+                "closed" => slow_closed,
+                "hung" => slow_hung,
+            },
+        }
+    } else {
+        Json::Null
+    };
+
     let doc = json_obj! {
-        "schema" => 1u64,
+        "schema" => 2u64,
         "bench" => "serve-predict-loadtest",
         "machine" => opts.machine,
         "program" => opts.program,
@@ -271,23 +576,26 @@ fn main() {
         "connections" => opts.connections as u64,
         "seconds" => opts.seconds,
         "warmup_s" => warmup_s,
-        "requests" => requests,
-        "errors" => errors,
+        "requests" => base.ok,
+        "errors" => baseline_errors,
         "qps" => qps,
-        "mean_us" => hist.mean(),
-        "p50_us" => hist.p50(),
-        "p95_us" => hist.p95(),
-        "p99_us" => hist.p99(),
-        "max_us" => hist.max(),
+        "mean_us" => base.hist.mean(),
+        "p50_us" => base.hist.p50(),
+        "p95_us" => base.hist.p95(),
+        "p99_us" => base.hist.p99(),
+        "max_us" => base.hist.max(),
+        "overload" => overload_json,
     };
-    if let Err(e) = offchip_json::write_atomic(std::path::Path::new(&opts.out), &doc.to_pretty_string())
+    if let Err(e) =
+        offchip_json::write_atomic(std::path::Path::new(&opts.out), &doc.to_pretty_string())
     {
         runtime_exit(&format!("write {}: {e}", opts.out));
     }
     eprintln!("wrote {}", opts.out);
     // Response drift or transport errors under load are a failed bench,
-    // even though the latency file was written for inspection.
-    if errors > 0 {
+    // even though the latency file was written for inspection. Overload
+    // gates (p99, torn responses, hung slow-loris) fail the same way.
+    if baseline_errors > 0 || gate_failed {
         std::process::exit(i32::from(EXIT_INTERRUPTED));
     }
 }

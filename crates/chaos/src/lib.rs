@@ -28,15 +28,26 @@
 //! What each fault class must guarantee is documented in DESIGN.md §11;
 //! the crash-consistency oracle (`tests/chaos_oracle.rs` at the
 //! workspace root) enforces it over thousands of seeded schedules.
+//!
+//! The [`net`] module extends the same schedule idea to the socket
+//! layer: a [`NetSpec`] (`--chaos-net` / `OFFCHIP_CHAOS_NET`) injects
+//! stalls, resets and short reads through a [`ChaosStream`] wrapper,
+//! and the serve crate's socket-level oracle enforces the matching
+//! contract (DESIGN.md §14).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod crc;
+pub mod net;
 mod spec;
 mod vfs;
 
 pub use crc::crc32;
+pub use net::{
+    env_net_spec, ChaosStream, NetFault, NetFaultKind, NetFaultPlan, NetOp, NetSpec,
+    NetSpecError, NET_CHAOS_ENV,
+};
 pub use spec::{ChaosSpec, ChaosSpecError, Fault, FaultKind, OpClass};
 pub use vfs::{AppendFile, ChaosVfs, RealVfs, Vfs};
 

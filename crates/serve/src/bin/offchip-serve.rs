@@ -2,6 +2,9 @@
 //!
 //! ```text
 //! offchip-serve [--addr HOST:PORT] [--workers N] [--jobs N] [--journal-dir DIR]
+//!               [--max-queue N] [--max-conns N] [--header-deadline MS]
+//!               [--request-deadline MS] [--breaker-threshold K]
+//!               [--breaker-probe-every N] [--chaos-net SPEC]
 //! ```
 //!
 //! Binds (port 0 = ephemeral), prints `offchip-serve listening on
@@ -11,19 +14,34 @@
 //! Environment: `OFFCHIP_SEEDS`/`OFFCHIP_QUICK` set the fill-campaign
 //! seed count, `OFFCHIP_JOBS` the default simulation worker budget,
 //! `OFFCHIP_JOURNAL_DIR` the default journal directory, `OFFCHIP_LOG`
-//! the log level.
+//! the log level, `OFFCHIP_CHAOS_IO` a filesystem fault schedule for the
+//! fill campaigns, `OFFCHIP_CHAOS_NET` a socket fault schedule
+//! (overridden by `--chaos-net`).
 
 use offchip_serve::{signal, PredictService, Server, ServerOptions, ServiceConfig};
 use std::io::Write;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
 
 const USAGE: &str = "\
 usage: offchip-serve [--addr HOST:PORT] [--workers N] [--jobs N] [--journal-dir DIR]
-  --addr HOST:PORT   bind address (default 127.0.0.1:7071; port 0 = ephemeral)
-  --workers N        HTTP worker threads (default: small, from available parallelism)
-  --jobs N           simulation worker budget for fill campaigns (default OFFCHIP_JOBS)
-  --journal-dir DIR  campaign journal directory (default results/ or OFFCHIP_JOURNAL_DIR)";
+                     [--max-queue N] [--max-conns N] [--header-deadline MS]
+                     [--request-deadline MS] [--breaker-threshold K]
+                     [--breaker-probe-every N] [--chaos-net SPEC]
+  --addr HOST:PORT        bind address (default 127.0.0.1:7071; port 0 = ephemeral)
+  --workers N             HTTP worker threads (default 8)
+  --jobs N                simulation worker budget for fill campaigns (default OFFCHIP_JOBS)
+  --journal-dir DIR       campaign journal directory (default results/ or OFFCHIP_JOURNAL_DIR)
+  --max-queue N           connections waiting for a worker before shedding (default 128)
+  --max-conns N           queued + in-service connections before shedding (default 1024)
+  --header-deadline MS    budget to read one full request after its first byte (default 10000)
+  --request-deadline MS   default fill budget per request, overridable per request
+                          via X-Offchip-Deadline-Ms (default 600000)
+  --breaker-threshold K   consecutive fill failures that open a key's breaker (default 3)
+  --breaker-probe-every N while open, probe once per N requests (seeded position; default 8)
+  --chaos-net SPEC        socket fault schedule, e.g. stall@read:2:300,reset@write:3
+                          or seed:42 (default OFFCHIP_CHAOS_NET)";
 
 struct Parsed {
     server: ServerOptions,
@@ -57,9 +75,71 @@ fn parse_args(args: &[String]) -> Result<Parsed, String> {
                 service.jobs = n;
             }
             "--journal-dir" => service.journal_dir = Some(PathBuf::from(value()?)),
+            "--max-queue" => {
+                let n: usize = value()?.parse().map_err(|e| format!("--max-queue: {e}"))?;
+                if n == 0 {
+                    return Err("--max-queue must be at least 1".into());
+                }
+                server.admission.max_queue = n;
+            }
+            "--max-conns" => {
+                let n: usize = value()?.parse().map_err(|e| format!("--max-conns: {e}"))?;
+                if n == 0 {
+                    return Err("--max-conns must be at least 1".into());
+                }
+                server.admission.max_conns = n;
+            }
+            "--header-deadline" => {
+                let ms: u64 = value()?
+                    .parse()
+                    .map_err(|e| format!("--header-deadline: {e}"))?;
+                if ms == 0 {
+                    return Err("--header-deadline must be at least 1 ms".into());
+                }
+                server.header_deadline = Duration::from_millis(ms);
+            }
+            "--request-deadline" => {
+                let ms: u64 = value()?
+                    .parse()
+                    .map_err(|e| format!("--request-deadline: {e}"))?;
+                if ms == 0 {
+                    return Err("--request-deadline must be at least 1 ms".into());
+                }
+                service.request_deadline = Duration::from_millis(ms);
+            }
+            "--breaker-threshold" => {
+                let k: u32 = value()?
+                    .parse()
+                    .map_err(|e| format!("--breaker-threshold: {e}"))?;
+                if k == 0 {
+                    return Err("--breaker-threshold must be at least 1".into());
+                }
+                service.breaker.threshold = k;
+            }
+            "--breaker-probe-every" => {
+                let n: u64 = value()?
+                    .parse()
+                    .map_err(|e| format!("--breaker-probe-every: {e}"))?;
+                if n == 0 {
+                    return Err("--breaker-probe-every must be at least 1".into());
+                }
+                service.breaker.probe_every = n;
+            }
+            "--chaos-net" => {
+                let spec = offchip_chaos::NetSpec::parse(&value()?)
+                    .map_err(|e| format!("--chaos-net: {e}"))?;
+                server.chaos_net = Some(spec);
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option {other:?}")),
         }
+    }
+    if server.admission.max_conns < server.admission.max_queue {
+        return Err("--max-conns must be at least --max-queue".into());
+    }
+    if server.chaos_net.is_none() {
+        server.chaos_net = offchip_chaos::env_net_spec()
+            .map_err(|e| format!("{}: {e}", offchip_chaos::NET_CHAOS_ENV))?;
     }
     Ok(Parsed { server, service })
 }
@@ -76,6 +156,19 @@ fn main() {
             std::process::exit(if e.is_empty() { 0 } else { 2 });
         }
     };
+    // Filesystem fault schedules hit the fill campaigns' journals — the
+    // route by which e2e tests trip the circuit breaker.
+    match offchip_chaos::install_from_env() {
+        Ok(true) => offchip_obs::warn!("serve: chaos-io fault schedule installed"),
+        Ok(false) => {}
+        Err(e) => {
+            eprintln!("offchip-serve: {}: {e}", offchip_chaos::CHAOS_ENV);
+            std::process::exit(2);
+        }
+    }
+    if let Some(spec) = &parsed.server.chaos_net {
+        offchip_obs::warn!("serve: chaos-net fault schedule active: {} fault(s)", spec.faults.len());
+    }
 
     signal::install();
     let service = PredictService::new(parsed.service.clone());
@@ -91,7 +184,8 @@ fn main() {
     println!("offchip-serve listening on {}", server.local_addr());
     let _ = std::io::stdout().flush();
     offchip_obs::info!(
-        "serve: {} worker(s), {} fill job(s), journal dir {}",
+        "serve: {} worker(s), {} fill job(s), journal dir {}, queue {} (high-water {}), \
+         {} conn(s) max, request deadline {:?}",
         parsed.server.workers,
         parsed.service.jobs,
         parsed
@@ -100,6 +194,10 @@ fn main() {
             .as_deref()
             .map(|p| p.display().to_string())
             .unwrap_or_else(|| "default".into()),
+        parsed.server.admission.max_queue,
+        parsed.server.admission.high_water(),
+        parsed.server.admission.max_conns,
+        parsed.service.request_deadline,
     );
 
     // Bridge the signal flag into the server's shutdown flag.

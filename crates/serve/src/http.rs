@@ -5,9 +5,15 @@
 //! keep-alive (the default in 1.1) and `Connection: close`. Not
 //! supported, deliberately: chunked transfer encoding, continuation
 //! headers, TLS, HTTP/2. The parser enforces hard caps on request-line,
-//! header and body sizes so a misbehaving client cannot balloon memory.
+//! header and body sizes so a misbehaving client cannot balloon memory,
+//! and a per-request *read budget* so a client that dribbles a request
+//! byte-by-byte (slow-loris) gets a typed [`HttpError::Timeout`] — and
+//! therefore a clean `408` — instead of pinning a worker. The budget
+//! clock starts at the first byte of a request, so an idle keep-alive
+//! connection still closes silently on its socket timeout.
 
-use std::io::{BufRead, Read, Write};
+use std::io::{BufRead, Write};
+use std::time::{Duration, Instant};
 
 /// Largest accepted request body. The service's requests are tiny JSON
 /// objects; anything near this cap is abuse, not traffic.
@@ -31,17 +37,27 @@ pub struct Request {
     /// exchange (`Connection: close`, or an HTTP/1.0 request without
     /// `keep-alive`).
     pub close: bool,
+    /// Client-requested fill deadline in milliseconds
+    /// (`X-Offchip-Deadline-Ms`), clamped by the service.
+    pub deadline_ms: Option<u64>,
 }
 
 /// Why a request could not be parsed. `BadRequest` maps to a 400 +
-/// close; `TooLarge` to 413; `Io` ends the connection silently.
+/// close; `TooLarge` to 413; `Timeout` to 408 (bytes of a request had
+/// arrived, then the client stalled past the read budget or socket
+/// timeout); `Io` ends the connection silently (idle close or a hard
+/// socket error before any request byte).
 #[derive(Debug)]
 pub enum HttpError {
     /// Malformed request line or headers.
     BadRequest(&'static str),
     /// Request line, headers or body beyond the caps.
     TooLarge(&'static str),
-    /// Socket error or timeout mid-request.
+    /// The client went quiet mid-request: socket timeout or read budget
+    /// exhausted after at least one byte of the request arrived.
+    Timeout(&'static str),
+    /// Socket error, or a timeout on a connection with no request in
+    /// flight.
     Io(std::io::Error),
 }
 
@@ -51,13 +67,68 @@ impl From<std::io::Error> for HttpError {
     }
 }
 
-/// Reads one line (CRLF or bare LF terminated) with a length cap.
-/// Returns `Ok(None)` on clean EOF before any byte.
-fn read_line<R: BufRead>(r: &mut R) -> Result<Option<String>, HttpError> {
-    let mut buf = Vec::new();
-    let n = r.by_ref().take(MAX_LINE as u64 + 1).read_until(b'\n', &mut buf)?;
-    if n == 0 {
-        return Ok(None);
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one line (CRLF or bare LF terminated) with a length cap,
+/// scanning the reader's buffer directly so a stalled client is caught
+/// *mid-line*. `started` is the instant the request's first byte
+/// arrived; this call sets it when it observes that byte. Returns
+/// `Ok(None)` on clean EOF before any byte of the line.
+fn read_line<R: BufRead>(
+    r: &mut R,
+    started: &mut Option<Instant>,
+    budget: Duration,
+) -> Result<Option<String>, HttpError> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        if let Some(t0) = *started {
+            if t0.elapsed() > budget {
+                return Err(HttpError::Timeout("request read budget exhausted"));
+            }
+        }
+        let available = match r.fill_buf() {
+            Ok(a) => a,
+            Err(e) if is_timeout(&e) => {
+                if started.is_some() || !buf.is_empty() {
+                    return Err(HttpError::Timeout("socket timeout mid-request"));
+                }
+                // Idle keep-alive connection: close silently.
+                return Err(HttpError::Io(e));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(HttpError::Io(e)),
+        };
+        if available.is_empty() {
+            // EOF. A partial line is returned as-is (mirrors
+            // `read_until`); the request parser rejects it.
+            if buf.is_empty() {
+                return Ok(None);
+            }
+            break;
+        }
+        if started.is_none() {
+            *started = Some(Instant::now());
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                buf.extend_from_slice(&available[..=pos]);
+                r.consume(pos + 1);
+                break;
+            }
+            None => {
+                let len = available.len();
+                buf.extend_from_slice(available);
+                r.consume(len);
+                if buf.len() > MAX_LINE {
+                    return Err(HttpError::TooLarge("header line"));
+                }
+            }
+        }
     }
     if buf.len() > MAX_LINE {
         return Err(HttpError::TooLarge("header line"));
@@ -68,14 +139,53 @@ fn read_line<R: BufRead>(r: &mut R) -> Result<Option<String>, HttpError> {
     String::from_utf8(buf).map(Some).map_err(|_| HttpError::BadRequest("non-UTF-8 header"))
 }
 
+/// Fills `body` from the reader under the request read budget.
+fn read_body<R: BufRead>(
+    r: &mut R,
+    body: &mut [u8],
+    started: &Option<Instant>,
+    budget: Duration,
+) -> Result<(), HttpError> {
+    let mut filled = 0usize;
+    while filled < body.len() {
+        if let Some(t0) = *started {
+            if t0.elapsed() > budget {
+                return Err(HttpError::Timeout("request read budget exhausted"));
+            }
+        }
+        match r.read(&mut body[filled..]) {
+            Ok(0) => {
+                return Err(HttpError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "EOF inside body",
+                )))
+            }
+            Ok(n) => filled += n,
+            // The request line already arrived, so a quiet socket here
+            // is a stalled client, not an idle connection.
+            Err(e) if is_timeout(&e) => {
+                return Err(HttpError::Timeout("socket timeout mid-request"))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
 /// Parses one request off the connection. `Ok(None)` means the client
 /// closed the connection cleanly between requests (normal keep-alive
-/// shutdown, not an error).
-pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>, HttpError> {
-    let line = match read_line(r)? {
+/// shutdown, not an error). `budget` bounds the wall-clock from the
+/// request's first byte to its last.
+pub fn read_request(
+    r: &mut impl BufRead,
+    budget: Duration,
+) -> Result<Option<Request>, HttpError> {
+    let mut started: Option<Instant> = None;
+    let line = match read_line(r, &mut started, budget)? {
         Some(l) if !l.is_empty() => l,
         // Tolerate a stray blank line between pipelined requests.
-        Some(_) => match read_line(r)? {
+        Some(_) => match read_line(r, &mut started, budget)? {
             Some(l) if !l.is_empty() => l,
             _ => return Ok(None),
         },
@@ -92,9 +202,10 @@ pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>, HttpError> 
 
     let mut content_length = 0usize;
     let mut close = http10;
+    let mut deadline_ms = None;
     let mut n_headers = 0usize;
     loop {
-        let header = match read_line(r)? {
+        let header = match read_line(r, &mut started, budget)? {
             Some(h) => h,
             None => return Err(HttpError::BadRequest("EOF inside headers")),
         };
@@ -124,16 +235,23 @@ pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>, HttpError> 
             }
         } else if name.eq_ignore_ascii_case("transfer-encoding") {
             return Err(HttpError::BadRequest("chunked bodies unsupported"));
+        } else if name.eq_ignore_ascii_case("x-offchip-deadline-ms") {
+            deadline_ms = Some(
+                value
+                    .parse()
+                    .map_err(|_| HttpError::BadRequest("bad X-Offchip-Deadline-Ms"))?,
+            );
         }
     }
 
     let mut body = vec![0u8; content_length];
-    r.read_exact(&mut body)?;
+    read_body(r, &mut body, &started, budget)?;
     Ok(Some(Request {
         method: method.to_string(),
         path: path.to_string(),
         body,
         close,
+        deadline_ms,
     }))
 }
 
@@ -143,7 +261,8 @@ pub struct Response {
     /// HTTP status code.
     pub status: u16,
     /// Extra headers beyond `Content-Type`/`Content-Length`
-    /// (name, value); the service uses this for `X-Offchip-Cache`.
+    /// (name, value); the service uses this for `X-Offchip-Cache`,
+    /// `X-Offchip-Tier`, `X-Offchip-Shed` and `Retry-After`.
     pub headers: Vec<(String, String)>,
     /// Response body bytes.
     pub body: Vec<u8>,
@@ -188,9 +307,11 @@ impl Response {
     fn reason(&self) -> &'static str {
         match self.status {
             200 => "OK",
+            202 => "Accepted",
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
             413 => "Payload Too Large",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
@@ -203,7 +324,10 @@ impl Response {
     /// The whole response is assembled in one buffer and written with a
     /// single `write_all`: head and body split across separate socket
     /// writes costs a Nagle/delayed-ACK round-trip (~40 ms) per
-    /// response on keep-alive connections.
+    /// response on keep-alive connections. The single buffered write is
+    /// also what the chaos-net oracle leans on: a response is either
+    /// absent, a clean prefix (injected reset mid-write), or whole —
+    /// never interleaved with another response.
     pub fn write_to(&self, w: &mut impl Write, close: bool) -> std::io::Result<()> {
         let mut out = Vec::with_capacity(self.body.len() + 256);
         write!(out, "HTTP/1.1 {} {}\r\n", self.status, self.reason())?;
@@ -227,8 +351,11 @@ mod tests {
     use super::*;
     use std::io::BufReader;
 
+    /// Generous test budget: in-memory readers never stall.
+    const BUDGET: Duration = Duration::from_secs(5);
+
     fn parse(raw: &str) -> Result<Option<Request>, HttpError> {
-        read_request(&mut BufReader::new(raw.as_bytes()))
+        read_request(&mut BufReader::new(raw.as_bytes()), BUDGET)
     }
 
     #[test]
@@ -240,6 +367,7 @@ mod tests {
         assert_eq!(req.path, "/predict");
         assert_eq!(req.body, b"abcd");
         assert!(!req.close, "HTTP/1.1 defaults to keep-alive");
+        assert_eq!(req.deadline_ms, None);
     }
 
     #[test]
@@ -265,6 +393,74 @@ mod tests {
     }
 
     #[test]
+    fn deadline_header_is_parsed() {
+        let req = parse("POST / HTTP/1.1\r\nX-Offchip-Deadline-Ms: 250\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.deadline_ms, Some(250));
+        match parse("POST / HTTP/1.1\r\nX-Offchip-Deadline-Ms: soon\r\n\r\n") {
+            Err(HttpError::BadRequest(_)) => {}
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pipelined_second_request_in_the_same_buffer_parses() {
+        // Two requests land in one TCP segment; the parser must consume
+        // exactly one per call and leave the second intact.
+        let raw = "POST /predict HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi\
+                   GET /metrics HTTP/1.1\r\n\r\n";
+        let mut r = BufReader::new(raw.as_bytes());
+        let first = read_request(&mut r, BUDGET).unwrap().unwrap();
+        assert_eq!((first.method.as_str(), first.body.as_slice()), ("POST", &b"hi"[..]));
+        let second = read_request(&mut r, BUDGET).unwrap().unwrap();
+        assert_eq!((second.method.as_str(), second.path.as_str()), ("GET", "/metrics"));
+        assert!(read_request(&mut r, BUDGET).unwrap().is_none(), "then clean EOF");
+    }
+
+    #[test]
+    fn oversized_header_set_is_too_large() {
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..=MAX_HEADERS {
+            raw.push_str(&format!("X-Pad-{i}: x\r\n"));
+        }
+        raw.push_str("\r\n");
+        match parse(&raw) {
+            Err(HttpError::TooLarge(what)) => assert_eq!(what, "too many headers"),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        let long_line = format!("GET / HTTP/1.1\r\nX-Big: {}\r\n\r\n", "y".repeat(MAX_LINE));
+        match parse(&long_line) {
+            Err(HttpError::TooLarge(what)) => assert_eq!(what, "header line"),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_is_a_timeout_once_bytes_arrived() {
+        // A reader that yields the request one byte at a time without
+        // ever blocking; with a zero budget the clock expires after the
+        // first byte and the parser must report Timeout, not Io.
+        struct Dribble<'a>(&'a [u8], usize);
+        impl std::io::Read for Dribble<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.1 >= self.0.len() {
+                    return Ok(0);
+                }
+                buf[0] = self.0[self.1];
+                self.1 += 1;
+                Ok(1)
+            }
+        }
+        let raw = b"GET / HTTP/1.1\r\n\r\n";
+        let mut r = BufReader::with_capacity(1, Dribble(raw, 0));
+        match read_request(&mut r, Duration::ZERO) {
+            Err(HttpError::Timeout(_)) => {}
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn response_serialises_with_extra_headers() {
         let mut out = Vec::new();
         Response::json(200, "{}\n")
@@ -276,5 +472,17 @@ mod tests {
         assert!(text.contains("X-Offchip-Cache: hit\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{}\n"));
+    }
+
+    #[test]
+    fn new_status_reasons_are_spelled() {
+        let mut out = Vec::new();
+        Response::error(202, "pending").write_to(&mut out, false).unwrap();
+        assert!(String::from_utf8(out).unwrap().starts_with("HTTP/1.1 202 Accepted\r\n"));
+        let mut out = Vec::new();
+        Response::error(408, "slow").write_to(&mut out, true).unwrap();
+        assert!(String::from_utf8(out)
+            .unwrap()
+            .starts_with("HTTP/1.1 408 Request Timeout\r\n"));
     }
 }

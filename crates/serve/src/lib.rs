@@ -21,17 +21,33 @@
 //! Responses are byte-identical between cold (campaign just ran) and warm
 //! (model served from cache) calls; cache disposition travels only in the
 //! `X-Offchip-Cache` response header.
+//!
+//! Overload hardening (DESIGN.md §14): admission control sheds excess
+//! connections with `503 + Retry-After` (`X-Offchip-Shed` reason
+//! header), `GET /readyz` reports not-ready before shedding starts,
+//! per-request deadlines turn a too-slow cold fill into `202 +
+//! Retry-After` while the fill keeps warming the cache, and a per-key
+//! circuit breaker over the fill path serves a degraded analytic model
+//! (`"tier": "degraded-analytic"`, full breaker provenance) instead of
+//! repeated 5xx. The chaos-net layer (`OFFCHIP_CHAOS_NET`) injects
+//! socket-level stalls, resets and short reads to prove all of the
+//! above under network misbehaviour.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
+pub mod breaker;
 pub mod cache;
+pub mod degraded;
 pub mod http;
 pub mod server;
 pub mod service;
 pub mod signal;
 
-pub use cache::SingleFlight;
+pub use admission::{AdmissionConfig, ShedReason};
+pub use breaker::{Breaker, BreakerConfig, BreakerInfo, BreakerState};
+pub use cache::{Disposition, Fetch, FillError, SingleFlight};
 pub use http::{Request, Response};
 pub use server::{Server, ServerOptions};
-pub use service::{ModelKey, PredictService, ServiceConfig, ServiceError};
+pub use service::{ModelKey, ModelOutcome, PredictService, ServiceConfig, ServiceError};

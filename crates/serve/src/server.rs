@@ -1,21 +1,31 @@
-//! The TCP front-end: accept loop, worker pool and keep-alive
-//! connection handling.
+//! The TCP front-end: accept loop, bounded admission queue, worker pool
+//! and keep-alive connection handling.
 //!
-//! Deliberately plain `std::thread` workers feeding off a
-//! `Mutex<VecDeque>` + `Condvar` queue — *not* `offchip_pool::scoped_map`:
-//! the pool's workers hold permits from the process-global parallelism
-//! budget, and long-lived HTTP workers squatting on permits would starve
-//! the fill campaigns that need them for simulation fan-out. The worker
-//! count is small (HTTP handling is cheap; the expensive work happens in
-//! the campaign layer under its own budget).
+//! Deliberately plain `std::thread` workers feeding off the bounded
+//! [`ConnQueue`] — *not* `offchip_pool::scoped_map`: the pool's workers
+//! hold permits from the process-global parallelism budget, and
+//! long-lived HTTP workers squatting on permits would starve the fill
+//! campaigns that need them for simulation fan-out. The worker count is
+//! small (HTTP handling is cheap; the expensive work happens in the
+//! campaign layer under its own budget).
+//!
+//! Overload behaviour (DESIGN.md §14): a connection the queue cannot
+//! take is answered `503 + Retry-After` with an `X-Offchip-Shed` reason
+//! header right on the accept thread — one small write instead of a
+//! worker. `GET /readyz` reports not-ready while draining or while the
+//! queue sits above its high-water mark, so orchestrators stop routing
+//! *before* shedding starts. A request that stalls mid-read (slow-loris,
+//! chaos-net stall) gets a clean `408`; an idle keep-alive connection is
+//! still closed silently.
 
+use crate::admission::{AdmissionConfig, ConnQueue};
 use crate::http::{read_request, HttpError, Response};
 use crate::service::PredictService;
-use std::collections::VecDeque;
-use std::io::BufReader;
+use offchip_chaos::{ChaosStream, NetFaultPlan, NetSpec};
+use std::io::{BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Per-connection socket timeout: bounds how long an idle keep-alive
@@ -26,6 +36,8 @@ const SOCKET_TIMEOUT: Duration = Duration::from_secs(5);
 const ACCEPT_POLL: Duration = Duration::from_millis(20);
 /// Heartbeat log cadence.
 const HEARTBEAT: Duration = Duration::from_secs(10);
+/// Connection-setup failures warn on the first, then once per this many.
+const SETUP_WARN_EVERY: u64 = 64;
 
 /// Server tuning.
 #[derive(Debug, Clone)]
@@ -40,6 +52,16 @@ pub struct ServerOptions {
     /// keep-alive client starve every other connection for up to the
     /// socket timeout.
     pub workers: usize,
+    /// Admission limits for the accept-to-worker queue.
+    pub admission: AdmissionConfig,
+    /// Wall-clock budget for reading one full request, measured from its
+    /// first byte. A request that dribbles past it gets `408`; a
+    /// keep-alive connection that sends nothing at all is closed
+    /// silently at the socket timeout instead.
+    pub header_deadline: Duration,
+    /// Chaos-net fault schedule applied to every accepted connection
+    /// (`--chaos-net` / `OFFCHIP_CHAOS_NET`).
+    pub chaos_net: Option<NetSpec>,
 }
 
 impl Default for ServerOptions {
@@ -47,6 +69,41 @@ impl Default for ServerOptions {
         ServerOptions {
             addr: "127.0.0.1:7071".into(),
             workers: 8,
+            admission: AdmissionConfig::default(),
+            header_deadline: Duration::from_secs(10),
+            chaos_net: None,
+        }
+    }
+}
+
+/// A connection as the workers see it: the raw socket, or the socket
+/// behind the chaos-net fault layer.
+pub(crate) enum ServeStream {
+    Plain(TcpStream),
+    Chaos(ChaosStream<TcpStream>),
+}
+
+impl Read for ServeStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            ServeStream::Plain(s) => s.read(buf),
+            ServeStream::Chaos(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for ServeStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            ServeStream::Plain(s) => s.write(buf),
+            ServeStream::Chaos(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            ServeStream::Plain(s) => s.flush(),
+            ServeStream::Chaos(s) => s.flush(),
         }
     }
 }
@@ -56,45 +113,7 @@ pub struct Server {
     listener: TcpListener,
     addr: SocketAddr,
     service: Arc<PredictService>,
-    workers: usize,
-}
-
-struct ConnQueue {
-    queue: Mutex<(VecDeque<TcpStream>, bool)>,
-    cond: Condvar,
-}
-
-impl ConnQueue {
-    fn new() -> ConnQueue {
-        ConnQueue {
-            queue: Mutex::new((VecDeque::new(), false)),
-            cond: Condvar::new(),
-        }
-    }
-
-    fn push(&self, stream: TcpStream) {
-        self.queue.lock().unwrap().0.push_back(stream);
-        self.cond.notify_one();
-    }
-
-    fn close(&self) {
-        self.queue.lock().unwrap().1 = true;
-        self.cond.notify_all();
-    }
-
-    /// Next connection, or `None` when the queue is closed and drained.
-    fn pop(&self) -> Option<TcpStream> {
-        let mut guard = self.queue.lock().unwrap();
-        loop {
-            if let Some(stream) = guard.0.pop_front() {
-                return Some(stream);
-            }
-            if guard.1 {
-                return None;
-            }
-            guard = self.cond.wait(guard).unwrap();
-        }
-    }
+    opts: ServerOptions,
 }
 
 impl Server {
@@ -104,11 +123,13 @@ impl Server {
         let listener = TcpListener::bind(&opts.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let mut opts = opts.clone();
+        opts.workers = opts.workers.max(1);
         Ok(Server {
             listener,
             addr,
             service: Arc::new(service),
-            workers: opts.workers.max(1),
+            opts,
         })
     }
 
@@ -117,18 +138,31 @@ impl Server {
         self.addr
     }
 
+    /// Wraps an accepted socket in the chaos-net layer when configured.
+    fn wrap(&self, stream: TcpStream) -> ServeStream {
+        match &self.opts.chaos_net {
+            Some(spec) => ServeStream::Chaos(ChaosStream::new(
+                stream,
+                Arc::new(NetFaultPlan::new(spec.clone())),
+            )),
+            None => ServeStream::Plain(stream),
+        }
+    }
+
     /// Serves until `shutdown` reads true, then drains: stops accepting,
     /// lets workers finish in-flight requests, joins them and returns.
     pub fn run(&self, shutdown: &AtomicBool) -> std::io::Result<()> {
-        let queue = ConnQueue::new();
+        let queue: ConnQueue<ServeStream> = ConnQueue::new(self.opts.admission.clone());
         let reg = offchip_obs::registry();
         std::thread::scope(|s| {
-            for _ in 0..self.workers {
+            for _ in 0..self.opts.workers {
                 let queue = &queue;
                 let service = &self.service;
+                let budget = self.opts.header_deadline;
                 s.spawn(move || {
                     while let Some(stream) = queue.pop() {
-                        handle_connection(stream, service, shutdown);
+                        handle_connection(stream, service, shutdown, queue, budget);
+                        queue.done();
                     }
                 });
             }
@@ -146,8 +180,32 @@ impl Server {
                             .and_then(|_| stream.set_read_timeout(Some(SOCKET_TIMEOUT)))
                             .and_then(|_| stream.set_write_timeout(Some(SOCKET_TIMEOUT)))
                             .and_then(|_| stream.set_nodelay(true));
-                        if ok.is_ok() {
-                            queue.push(stream);
+                        if let Err(e) = ok {
+                            // A connection we cannot configure would hang
+                            // a worker without its timeouts; drop it, but
+                            // never silently — the old accept loop ate
+                            // these and the counter never moved.
+                            reg.add("serve.conn_setup_failed", 1);
+                            let n = reg.counter("serve.conn_setup_failed");
+                            if n == 1 || n.is_multiple_of(SETUP_WARN_EVERY) {
+                                offchip_obs::warn!(
+                                    "serve: connection setup failed ({n} so far): {e}"
+                                );
+                            }
+                            continue;
+                        }
+                        match queue.admit(self.wrap(stream)) {
+                            Ok(depth) => reg.observe("serve.queue_depth", depth as u64),
+                            Err((mut stream, reason)) => {
+                                reg.add("serve.shed", 1);
+                                // One small write on the accept thread;
+                                // the worker pool never sees the
+                                // connection.
+                                let _ = Response::error(503, "server overloaded — retry shortly")
+                                    .with_header("Retry-After", "1")
+                                    .with_header("X-Offchip-Shed", reason.as_str())
+                                    .write_to(&mut stream, true);
+                            }
                         }
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -160,15 +218,18 @@ impl Server {
                 }
                 if last_beat.elapsed() >= HEARTBEAT {
                     last_beat = Instant::now();
+                    let (queued, active) = queue.depth();
                     offchip_obs::info!(
                         "serve: heartbeat — {} connection(s), {} predict, {} sweep, \
-                         cache {} hit / {} miss, {} model(s) cached",
+                         cache {} hit / {} miss, {} model(s) cached, {} shed, \
+                         queue {queued} waiting / {active} active",
                         reg.counter("serve.connections"),
                         reg.counter("serve.requests.predict"),
                         reg.counter("serve.requests.sweep"),
                         reg.counter("serve.cache.hit"),
                         reg.counter("serve.cache.miss"),
                         self.service.cached_models(),
+                        reg.counter("serve.shed"),
                     );
                 }
             }
@@ -176,24 +237,51 @@ impl Server {
             queue.close();
         });
         offchip_obs::info!(
-            "serve: drained — served {} connection(s)",
-            reg.counter("serve.connections")
+            "serve: drained — served {} connection(s), shed {}",
+            reg.counter("serve.connections"),
+            reg.counter("serve.shed")
         );
         Ok(())
     }
 }
 
+/// `GET /readyz`: ready only while accepting and below high-water.
+/// Server-level (unlike `/healthz` in the service) because readiness is
+/// a property of the queue and the drain flag, which the service cannot
+/// see.
+fn readyz<T>(queue: &ConnQueue<T>, shutdown: &AtomicBool) -> Response {
+    offchip_obs::registry().add("serve.requests.readyz", 1);
+    let (queued, _active) = queue.depth();
+    if shutdown.load(Ordering::SeqCst) {
+        Response::error(503, "draining")
+    } else if queued >= queue.config().high_water() {
+        Response::error(503, "queue above high-water")
+    } else {
+        Response::text(200, "ready\n")
+    }
+}
+
 /// Serves one connection: keep-alive request loop until the client
-/// closes, errors, or shutdown is requested.
-fn handle_connection(stream: TcpStream, service: &PredictService, shutdown: &AtomicBool) {
+/// closes, errors, times out or shutdown is requested.
+fn handle_connection(
+    stream: ServeStream,
+    service: &PredictService,
+    shutdown: &AtomicBool,
+    queue: &ConnQueue<ServeStream>,
+    budget: Duration,
+) {
     let mut reader = BufReader::new(stream);
     loop {
-        match read_request(&mut reader) {
+        match read_request(&mut reader, budget) {
             Ok(Some(req)) => {
                 // Close after this response if the client asked to or
                 // the server is draining.
                 let close = req.close || shutdown.load(Ordering::SeqCst);
-                let resp = service.handle(&req);
+                let resp = if req.method == "GET" && req.path == "/readyz" {
+                    readyz(queue, shutdown)
+                } else {
+                    service.handle(&req)
+                };
                 if resp.write_to(reader.get_mut(), close).is_err() || close {
                     return;
                 }
@@ -207,7 +295,49 @@ fn handle_connection(stream: TcpStream, service: &PredictService, shutdown: &Ato
                 let _ = Response::error(413, what).write_to(reader.get_mut(), true);
                 return;
             }
+            Err(HttpError::Timeout(what)) => {
+                // The request *started* and then stalled (slow-loris or
+                // a chaos stall): a clean 408, distinct from the silent
+                // close an idle keep-alive connection gets.
+                offchip_obs::registry().add("serve.request_timeout", 1);
+                let _ = Response::error(408, what).write_to(reader.get_mut(), true);
+                return;
+            }
             Err(HttpError::Io(_)) => return,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readyz_reflects_drain_and_high_water() {
+        let cfg = AdmissionConfig {
+            max_queue: 4,
+            max_conns: 8,
+        };
+        let queue: ConnQueue<u8> = ConnQueue::new(cfg.clone());
+        let shutdown = AtomicBool::new(false);
+        assert_eq!(readyz(&queue, &shutdown).status, 200);
+
+        // Queue at the high-water mark: not ready, but still accepting.
+        for i in 0..cfg.high_water() {
+            queue.admit(i as u8).unwrap();
+        }
+        let resp = readyz(&queue, &shutdown);
+        assert_eq!(resp.status, 503);
+        assert!(
+            String::from_utf8_lossy(&resp.body).contains("high-water"),
+            "{:?}",
+            resp.body
+        );
+
+        // Draining wins over everything else.
+        shutdown.store(true, Ordering::SeqCst);
+        let resp = readyz(&queue, &shutdown);
+        assert_eq!(resp.status, 503);
+        assert!(String::from_utf8_lossy(&resp.body).contains("draining"));
     }
 }

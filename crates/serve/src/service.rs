@@ -12,7 +12,9 @@
 //! a server killed mid-fill resumes the campaign from the journal on the
 //! next request instead of re-simulating completed points.
 
-use crate::cache::{Disposition, SingleFlight};
+use crate::breaker::{Admission, Breaker, BreakerConfig, BreakerInfo};
+use crate::cache::{Disposition, Fetch, FillError, SingleFlight};
+use crate::degraded;
 use crate::http::{Request, Response};
 use offchip_bench::{
     build_workload, loss_summary, Campaign, CampaignOptions, ProgramSpec,
@@ -24,11 +26,19 @@ use offchip_model::{
 use offchip_topology::machines::{self, DEFAULT_EXPERIMENT_SCALE};
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Largest accepted core count for predictions and sweep bounds — a
 /// sanity cap well above any modelled machine, not a model limit.
 pub const MAX_N: usize = 4096;
+
+/// Smallest and largest honoured `X-Offchip-Deadline-Ms` values; the
+/// clamp keeps a typo from either busy-spinning (0) or pinning a worker
+/// for a week.
+pub const DEADLINE_CLAMP_MS: (u64, u64) = (1, 3_600_000);
+
+/// `Retry-After` seconds quoted on `202 Accepted` while a fill runs.
+const PENDING_RETRY_AFTER_S: u64 = 5;
 
 /// Cache key: canonical machine short-name and program name.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -49,6 +59,12 @@ pub struct ServiceConfig {
     pub seeds: Vec<u64>,
     /// Simulation worker budget for fill campaigns.
     pub jobs: usize,
+    /// Default per-request fill budget when the client sends no
+    /// `X-Offchip-Deadline-Ms`. A request whose budget expires first
+    /// gets `202 + Retry-After` while the fill keeps warming the cache.
+    pub request_deadline: Duration,
+    /// Circuit-breaker tuning for the fill path.
+    pub breaker: BreakerConfig,
 }
 
 impl Default for ServiceConfig {
@@ -57,12 +73,14 @@ impl Default for ServiceConfig {
             journal_dir: None,
             seeds: offchip_bench::seeds(),
             jobs: offchip_pool::default_jobs(),
+            request_deadline: Duration::from_secs(600),
+            breaker: BreakerConfig::default(),
         }
     }
 }
 
 /// Why a request failed; maps onto HTTP statuses.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum ServiceError {
     /// Malformed request (unknown machine/program, bad JSON, bad n).
     BadRequest(String),
@@ -92,6 +110,22 @@ impl ServiceError {
             | ServiceError::Fit(m)
             | ServiceError::Internal(m) => m,
         }
+    }
+
+    /// Stable kind label for breaker provenance and metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServiceError::BadRequest(_) => "bad-request",
+            ServiceError::CampaignLoss(_) => "campaign-loss",
+            ServiceError::Fit(_) => "fit",
+            ServiceError::Internal(_) => "internal",
+        }
+    }
+}
+
+impl FillError for ServiceError {
+    fn from_panic(msg: &str) -> ServiceError {
+        ServiceError::Internal(format!("fill panicked: {msg}"))
     }
 }
 
@@ -142,18 +176,33 @@ impl FittedEntry {
     }
 }
 
-/// The shared service state: config plus the single-flight model cache.
+/// How [`PredictService::model_for`] answered.
+pub enum ModelOutcome {
+    /// A simulation-backed fit, from cache or a completed fill.
+    Fitted(Arc<FittedEntry>, Disposition),
+    /// The key's breaker is open: an analytic prior with provenance.
+    Degraded(Arc<FittedEntry>, BreakerInfo),
+    /// The request's deadline expired while the fill was in flight; the
+    /// fill continues in the background.
+    Pending,
+}
+
+/// The shared service state: config, the single-flight model cache and
+/// the per-key fill breaker.
 pub struct PredictService {
     config: ServiceConfig,
-    cache: SingleFlight<ModelKey, FittedEntry>,
+    cache: SingleFlight<ModelKey, FittedEntry, ServiceError>,
+    breaker: Arc<Breaker<ModelKey>>,
 }
 
 impl PredictService {
-    /// A service with an empty cache.
+    /// A service with an empty cache and an all-closed breaker.
     pub fn new(config: ServiceConfig) -> PredictService {
+        let breaker = Arc::new(Breaker::new(config.breaker.clone()));
         PredictService {
             config,
             cache: SingleFlight::new(),
+            breaker,
         }
     }
 
@@ -184,6 +233,16 @@ impl PredictService {
         resp
     }
 
+    /// The request's fill deadline: the clamped `X-Offchip-Deadline-Ms`
+    /// header when present, the configured default otherwise.
+    fn deadline_for(&self, req: &Request) -> Instant {
+        let budget = match req.deadline_ms {
+            Some(ms) => Duration::from_millis(ms.clamp(DEADLINE_CLAMP_MS.0, DEADLINE_CLAMP_MS.1)),
+            None => self.config.request_deadline,
+        };
+        Instant::now() + budget
+    }
+
     /// Shared wrapper for the two model endpoints: parse the key, get or
     /// fill the cached model, run the endpoint body, stamp the cache
     /// disposition header and per-endpoint metrics.
@@ -195,15 +254,21 @@ impl PredictService {
     ) -> Response {
         let reg = offchip_obs::registry();
         reg.add(&format!("serve.requests.{name}"), 1);
+        let deadline = self.deadline_for(req);
         let outcome = (|| {
             let doc = parse_body(&req.body)?;
             let key = parse_key(&doc)?;
-            let (entry, disposition) = self.model_for(&key)?;
-            let json = body(self, &entry, &doc)?;
-            Ok::<_, ServiceError>((json, disposition))
+            let outcome = self.model_for(&key, Some(deadline))?;
+            let json = match &outcome {
+                ModelOutcome::Fitted(entry, _) | ModelOutcome::Degraded(entry, _) => {
+                    Some(body(self, entry, &doc)?)
+                }
+                ModelOutcome::Pending => None,
+            };
+            Ok::<_, ServiceError>((json, outcome))
         })();
         match outcome {
-            Ok((json, disposition)) => {
+            Ok((json, ModelOutcome::Fitted(_, disposition))) => {
                 match disposition {
                     Disposition::Miss => reg.add("serve.cache.miss", 1),
                     Disposition::Hit | Disposition::Coalesced => reg.add("serve.cache.hit", 1),
@@ -211,8 +276,38 @@ impl PredictService {
                 reg.gauge_set("serve.cache.entries", self.cache.len() as u64);
                 // The disposition travels only in this header: cold and
                 // warm response bodies must stay byte-identical.
-                Response::json(200, format!("{}\n", json.to_compact_string()))
+                Response::json(200, format!("{}\n", json.expect("fitted body").to_compact_string()))
                     .with_header("X-Offchip-Cache", disposition.as_str())
+            }
+            Ok((json, ModelOutcome::Degraded(_, info))) => {
+                reg.add("serve.degraded", 1);
+                let mut json = json.expect("degraded body");
+                // Degraded bodies carry their provenance in-band — a
+                // caller that drops headers still sees the tier.
+                merge(
+                    &mut json,
+                    offchip_json::json_obj! {
+                        "tier" => "degraded-analytic",
+                        "breaker" => offchip_json::json_obj! {
+                            "state" => info.state.as_str(),
+                            "consecutive_failures" => u64::from(info.consecutive_failures),
+                            "last_error_kind" => info.last_error_kind,
+                            "last_error" => info.last_error,
+                        },
+                    },
+                );
+                Response::json(200, format!("{}\n", json.to_compact_string()))
+                    .with_header("X-Offchip-Cache", "degraded")
+                    .with_header("X-Offchip-Tier", "degraded-analytic")
+            }
+            Ok((_, ModelOutcome::Pending)) => {
+                reg.add("serve.deadline_miss", 1);
+                let body = offchip_json::json_obj! {
+                    "error" => "model fill in progress; the deadline expired — retry shortly",
+                    "retry_after_s" => PENDING_RETRY_AFTER_S,
+                };
+                Response::json(202, format!("{}\n", body.to_compact_string()))
+                    .with_header("Retry-After", &PENDING_RETRY_AFTER_S.to_string())
             }
             Err(e) => {
                 offchip_obs::warn!("serve: {name} failed: {}", e.message());
@@ -221,13 +316,52 @@ impl PredictService {
         }
     }
 
-    /// Cached fitted model for `key`, filling (at most once across
-    /// concurrent callers) via a journaled campaign.
+    /// Cached fitted model for `key`. The first caller starts a
+    /// journaled background fill; concurrent callers coalesce onto it.
+    /// A caller whose `deadline` passes first gets [`ModelOutcome::Pending`]
+    /// while the fill keeps warming the cache; a key whose breaker is
+    /// open gets the degraded analytic tier.
     pub fn model_for(
         &self,
         key: &ModelKey,
-    ) -> Result<(Arc<FittedEntry>, Disposition), ServiceError> {
-        self.cache.get_or_fill(key, || self.fill(key))
+        deadline: Option<Instant>,
+    ) -> Result<ModelOutcome, ServiceError> {
+        if let Some(entry) = self.cache.peek(key) {
+            return Ok(ModelOutcome::Fitted(entry, Disposition::Hit));
+        }
+        match self.breaker.admit(key) {
+            Admission::Degrade { probe, info } => {
+                if probe {
+                    // Launch the half-open probe fill in the background.
+                    // The already-expired deadline means this request
+                    // never waits on it; it answers degraded like the
+                    // rest of the window.
+                    let _ = self
+                        .cache
+                        .get_or_start(key, Some(Instant::now()), self.fill_closure(key));
+                }
+                Ok(ModelOutcome::Degraded(self.degraded_entry(key)?, info))
+            }
+            Admission::Proceed => {
+                match self.cache.get_or_start(key, deadline, self.fill_closure(key)) {
+                    Fetch::Ready(entry, disposition) => {
+                        Ok(ModelOutcome::Fitted(entry, disposition))
+                    }
+                    Fetch::Pending { .. } => Ok(ModelOutcome::Pending),
+                    Fetch::Failed(e) => {
+                        // The failure we just observed may have tripped
+                        // the breaker; if so this caller already gets
+                        // the degraded tier instead of a 5xx.
+                        if self.breaker.is_open(key) {
+                            let info = self.breaker.info(key);
+                            Ok(ModelOutcome::Degraded(self.degraded_entry(key)?, info))
+                        } else {
+                            Err(e)
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Number of fitted models currently cached.
@@ -235,87 +369,33 @@ impl PredictService {
         self.cache.len()
     }
 
-    /// The fill path: journaled sweep → robust fit → validation.
-    fn fill(&self, key: &ModelKey) -> Result<FittedEntry, ServiceError> {
-        let spec = ProgramSpec::parse(&key.program).map_err(ServiceError::BadRequest)?;
+    /// The `'static` fill closure handed to the single-flight cache:
+    /// runs the campaign and records the outcome on the breaker.
+    fn fill_closure(
+        &self,
+        key: &ModelKey,
+    ) -> impl FnOnce() -> Result<FittedEntry, ServiceError> + Send + 'static {
+        let config = self.config.clone();
+        let breaker = Arc::clone(&self.breaker);
+        let key = key.clone();
+        move || {
+            let result = fill_model(&config, &key);
+            match &result {
+                Ok(_) => breaker.on_success(&key),
+                // A malformed key is the caller's bug, not fill-path
+                // health — it must not open the breaker.
+                Err(ServiceError::BadRequest(_)) => {}
+                Err(e) => breaker.on_failure(&key, e.kind(), e.message()),
+            }
+            result
+        }
+    }
+
+    /// The degraded analytic entry for `key`, rebuilt per request.
+    fn degraded_entry(&self, key: &ModelKey) -> Result<Arc<FittedEntry>, ServiceError> {
         let machine = machine_for(&key.machine)?;
-        let total = machine.total_cores();
         let proto = FitProtocol::for_machine(&machine.name);
-
-        // The paper's protocol points give the fit its inputs; the
-        // full-machine point anchors validation at the far end.
-        let mut ns = proto.input_cores.clone();
-        ns.push(1);
-        ns.push(total);
-        ns.sort_unstable();
-        ns.dedup();
-
-        let campaign_name = format!("serve-{}-{}", key.machine, key.program);
-        let opts = CampaignOptions {
-            resume: true,
-            journal_dir: self.config.journal_dir.clone(),
-            ..CampaignOptions::default()
-        };
-        let campaign = Campaign::start(&campaign_name, &opts)
-            .map_err(|e| ServiceError::Internal(format!("campaign journal: {e}")))?;
-        if let Some(fault) = campaign.journal_fault() {
-            offchip_obs::warn!("serve: fill campaign {campaign_name}: {fault}");
-        }
-
-        offchip_obs::info!(
-            "serve: cache miss — filling {}/{} via campaign {campaign_name} \
-             (ns {ns:?}, {} seeds, {} jobs)",
-            key.machine,
-            key.program,
-            self.config.seeds.len(),
-            self.config.jobs
-        );
-        let w = build_workload(spec, total);
-        let cs = campaign
-            .run_sweep(&machine, w.as_ref(), &ns, &self.config.seeds, self.config.jobs)
-            .map_err(|e| ServiceError::Internal(format!("sweep: {e}")))?;
-        if !cs.errors.is_empty() {
-            return Err(ServiceError::CampaignLoss(format!(
-                "fill campaign lost {} point(s) ({}); completed runs are journaled — retry resumes",
-                cs.errors.len(),
-                loss_summary(&cs.errors)
-            )));
-        }
-        offchip_obs::info!(
-            "serve: fill {campaign_name} done — {} run(s) simulated, {} resumed from journal",
-            cs.executed,
-            cs.resumed
-        );
-
-        let r = cs
-            .sweep
-            .mean_misses()
-            .map_err(|e| ServiceError::Fit(format!("miss counters unusable: {e}")))?;
-        let cycles = cs
-            .sweep
-            .cycles_sweep()
-            .map_err(|e| ServiceError::Fit(format!("cycle counters unusable: {e}")))?;
-        let robust = fit_robust_from_sweep(
-            &proto,
-            &cs.sweep.cycles_sweep_f64(),
-            r,
-            &RobustOptions::default(),
-        )
-        .map_err(|e| ServiceError::Fit(format!("fit failed under {}: {e}", proto.name)))?;
-        let v = validate(&robust.model, &cycles)
-            .map_err(|e| ServiceError::Fit(format!("validation failed: {e}")))?;
-
-        let params = robust.model.params();
-        Ok(FittedEntry {
-            machine_name: machine.name.clone(),
-            protocol: proto.name,
-            total_cores: total,
-            model: robust.model,
-            params,
-            quality: robust.quality,
-            mean_relative_error: v.mean_relative_error,
-            mean_absolute_error: v.mean_absolute_error,
-        })
+        Ok(Arc::new(degraded::analytic_entry(&machine, &proto)?))
     }
 
     /// `POST /predict` body: one core count.
@@ -350,6 +430,91 @@ impl PredictService {
         );
         Ok(out)
     }
+}
+
+/// The fill path: journaled sweep → robust fit → validation. A free
+/// function (config + key only) because it runs on the background
+/// single-flight fill thread, which cannot borrow the service.
+fn fill_model(config: &ServiceConfig, key: &ModelKey) -> Result<FittedEntry, ServiceError> {
+    let spec = ProgramSpec::parse(&key.program).map_err(ServiceError::BadRequest)?;
+    let machine = machine_for(&key.machine)?;
+    let total = machine.total_cores();
+    let proto = FitProtocol::for_machine(&machine.name);
+
+    // The paper's protocol points give the fit its inputs; the
+    // full-machine point anchors validation at the far end.
+    let mut ns = proto.input_cores.clone();
+    ns.push(1);
+    ns.push(total);
+    ns.sort_unstable();
+    ns.dedup();
+
+    let campaign_name = format!("serve-{}-{}", key.machine, key.program);
+    let opts = CampaignOptions {
+        resume: true,
+        journal_dir: config.journal_dir.clone(),
+        ..CampaignOptions::default()
+    };
+    let campaign = Campaign::start(&campaign_name, &opts)
+        .map_err(|e| ServiceError::Internal(format!("campaign journal: {e}")))?;
+    if let Some(fault) = campaign.journal_fault() {
+        offchip_obs::warn!("serve: fill campaign {campaign_name}: {fault}");
+    }
+
+    offchip_obs::info!(
+        "serve: cache miss — filling {}/{} via campaign {campaign_name} \
+         (ns {ns:?}, {} seeds, {} jobs)",
+        key.machine,
+        key.program,
+        config.seeds.len(),
+        config.jobs
+    );
+    let w = build_workload(spec, total);
+    let cs = campaign
+        .run_sweep(&machine, w.as_ref(), &ns, &config.seeds, config.jobs)
+        .map_err(|e| ServiceError::Internal(format!("sweep: {e}")))?;
+    if !cs.errors.is_empty() {
+        return Err(ServiceError::CampaignLoss(format!(
+            "fill campaign lost {} point(s) ({}); completed runs are journaled — retry resumes",
+            cs.errors.len(),
+            loss_summary(&cs.errors)
+        )));
+    }
+    offchip_obs::info!(
+        "serve: fill {campaign_name} done — {} run(s) simulated, {} resumed from journal",
+        cs.executed,
+        cs.resumed
+    );
+
+    let r = cs
+        .sweep
+        .mean_misses()
+        .map_err(|e| ServiceError::Fit(format!("miss counters unusable: {e}")))?;
+    let cycles = cs
+        .sweep
+        .cycles_sweep()
+        .map_err(|e| ServiceError::Fit(format!("cycle counters unusable: {e}")))?;
+    let robust = fit_robust_from_sweep(
+        &proto,
+        &cs.sweep.cycles_sweep_f64(),
+        r,
+        &RobustOptions::default(),
+    )
+    .map_err(|e| ServiceError::Fit(format!("fit failed under {}: {e}", proto.name)))?;
+    let v = validate(&robust.model, &cycles)
+        .map_err(|e| ServiceError::Fit(format!("validation failed: {e}")))?;
+
+    let params = robust.model.params();
+    Ok(FittedEntry {
+        machine_name: machine.name.clone(),
+        protocol: proto.name,
+        total_cores: total,
+        model: robust.model,
+        params,
+        quality: robust.quality,
+        mean_relative_error: v.mean_relative_error,
+        mean_absolute_error: v.mean_absolute_error,
+    })
 }
 
 /// Merges `add`'s fields into `base` (both must be objects).

@@ -1,0 +1,204 @@
+//! Socket-level keep-alive edge cases: pipelined requests in one
+//! segment, byte-by-byte clients that stay under the request budget,
+//! stalled clients that blow it (408), and oversized headers (413).
+//!
+//! These complement the in-crate `http.rs` unit tests by driving the
+//! full accept-queue-worker path over real TCP connections.
+
+use offchip_serve::{PredictService, Server, ServerOptions, ServiceConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("offchip-serve-keepalive-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn test_service(dir: &Path) -> PredictService {
+    PredictService::new(ServiceConfig {
+        journal_dir: Some(dir.to_path_buf()),
+        seeds: vec![1, 2],
+        jobs: 2,
+        ..ServiceConfig::default()
+    })
+}
+
+/// Status, headers and body of one parsed HTTP response.
+type HttpReply = (u16, Vec<(String, String)>, Vec<u8>);
+
+/// Reads one HTTP/1.1 response off the wire.
+fn read_response(r: &mut BufReader<TcpStream>) -> std::io::Result<HttpReply> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "closed before status line",
+        ));
+    }
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad status line: {line:?}"),
+            )
+        })?;
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut h = String::new();
+        if r.read_line(&mut h)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "closed mid-headers",
+            ));
+        }
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = h.split_once(':') {
+            let value = value.trim().to_string();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().unwrap_or(0);
+            }
+            headers.push((name.to_string(), value));
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body)?;
+    Ok((status, headers, body))
+}
+
+/// Runs `case` against a freshly bound server, then drains it.
+fn with_server(tag: &str, opts: ServerOptions, case: impl FnOnce(&str)) {
+    let dir = scratch(tag);
+    let server = Server::bind(&opts, test_service(&dir)).unwrap();
+    let addr = server.local_addr().to_string();
+    let shutdown = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let run = s.spawn(|| server.run(&shutdown));
+        case(&addr);
+        shutdown.store(true, Ordering::SeqCst);
+        run.join().unwrap().unwrap();
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn default_opts() -> ServerOptions {
+    ServerOptions {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        ..ServerOptions::default()
+    }
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_order_on_one_connection() {
+    with_server("pipeline", default_opts(), |addr| {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        // Both requests land in the worker's buffer before it writes
+        // the first response; it must answer them in order on the same
+        // connection, closing only after the second.
+        conn.write_all(
+            b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n\
+              GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        )
+        .unwrap();
+        let mut reader = BufReader::new(conn);
+        let (status, _, body) = read_response(&mut reader).unwrap();
+        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+        assert_eq!(body, b"ok\n");
+        let (status, headers, body) = read_response(&mut reader).unwrap();
+        assert_eq!(status, 200);
+        assert!(
+            String::from_utf8_lossy(&body).contains("serve.requests.healthz"),
+            "metrics CSV mentions the healthz counter"
+        );
+        assert!(headers
+            .iter()
+            .any(|(n, v)| n.eq_ignore_ascii_case("connection") && v == "close"));
+        // The server honours Connection: close.
+        let mut rest = Vec::new();
+        assert_eq!(reader.read_to_end(&mut rest).unwrap(), 0);
+    });
+}
+
+#[test]
+fn a_slow_but_progressing_request_is_served_within_the_budget() {
+    with_server("dribble", default_opts(), |addr| {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        // One byte every few milliseconds: never idle long enough for
+        // the socket timeout, always progressing, well under the 10 s
+        // request budget.
+        for b in b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n" {
+            conn.write_all(std::slice::from_ref(b)).unwrap();
+            conn.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let mut reader = BufReader::new(conn);
+        let (status, _, body) = read_response(&mut reader).unwrap();
+        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+        assert_eq!(body, b"ok\n");
+    });
+}
+
+#[test]
+fn a_stalled_request_gets_408_not_a_worker_hang() {
+    let opts = ServerOptions {
+        header_deadline: Duration::from_millis(300),
+        ..default_opts()
+    };
+    with_server("slowloris", opts, |addr| {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        // A request that starts and then stalls: distinct from an idle
+        // keep-alive connection, which closes silently.
+        conn.write_all(b"POST /predict HTTP/1.1\r\nHost: slo")
+            .unwrap();
+        let mut reader = BufReader::new(conn);
+        let (status, _, body) = read_response(&mut reader).unwrap();
+        assert_eq!(status, 408, "{}", String::from_utf8_lossy(&body));
+        let doc = offchip_json::Json::parse(
+            std::str::from_utf8(&body).unwrap().trim(),
+        )
+        .expect("408 body is JSON");
+        assert!(doc.get("error").and_then(|j| j.as_str()).is_some());
+        assert!(offchip_obs::registry().counter("serve.request_timeout") >= 1);
+    });
+}
+
+#[test]
+fn oversized_header_block_is_rejected_with_413() {
+    with_server("oversized", default_opts(), |addr| {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        // One header line past MAX_LINE (8 KiB). The server may respond
+        // and close before the client finishes writing, so write errors
+        // are expected, not failures.
+        let request = format!(
+            "GET /healthz HTTP/1.1\r\nHost: t\r\nX-Pad: {}\r\n\r\n",
+            "a".repeat(9 * 1024)
+        );
+        let _ = conn.write_all(request.as_bytes());
+        let _ = conn.flush();
+        let mut reader = BufReader::new(conn);
+        let (status, _, body) = read_response(&mut reader).unwrap();
+        assert_eq!(status, 413, "{}", String::from_utf8_lossy(&body));
+        let doc = offchip_json::Json::parse(
+            std::str::from_utf8(&body).unwrap().trim(),
+        )
+        .expect("413 body is JSON");
+        assert!(doc.get("error").and_then(|j| j.as_str()).is_some());
+    });
+}

@@ -32,6 +32,7 @@ fn predict_request(body: &str) -> Request {
         path: "/predict".into(),
         body: body.as_bytes().to_vec(),
         close: false,
+        deadline_ms: None,
     }
 }
 
@@ -60,6 +61,7 @@ fn test_service(dir: &Path) -> PredictService {
         journal_dir: Some(dir.to_path_buf()),
         seeds: SEEDS.to_vec(),
         jobs: 2,
+        ..ServiceConfig::default()
     })
 }
 
@@ -111,6 +113,7 @@ fn cold_fill_then_warm_hit_is_byte_identical_and_does_not_resimulate() {
         path: "/sweep".into(),
         body: br#"{"machine":"uma","program":"CG.S","n_from":1,"n_to":8}"#.to_vec(),
         close: false,
+        deadline_ms: None,
     });
     assert_eq!(sweep.status, 200);
     assert_eq!(cache_header(&sweep), "hit");
@@ -167,6 +170,7 @@ fn concurrent_cold_requests_coalesce_into_one_campaign() {
         &ServerOptions {
             addr: "127.0.0.1:0".into(),
             workers: CLIENTS,
+            ..ServerOptions::default()
         },
         test_service(&dir),
     )

@@ -5,7 +5,8 @@
 //! ```text
 //! serve_loadtest --addr HOST:PORT [--connections N] [--seconds S]
 //!                [--machine uma|numa|amd] [--program NAME] [--n N]
-//!                [--overload FACTOR] [--slowloris N] [--out PATH]
+//!                [--overload FACTOR] [--slowloris N] [--obs off|metrics]
+//!                [--out PATH]
 //! ```
 //!
 //! The harness first sends one warm-up request (which may run the fill
@@ -25,8 +26,17 @@
 //! torn. `--slowloris N` rides along: N clients that send a few request
 //! bytes and then stall, which a hardened server answers with `408` (or
 //! a clean close) instead of letting them pin workers. The overload
-//! results land in the same `BENCH_serve.json` under `"overload"`
-//! (schema 2).
+//! results land in the same `BENCH_serve.json` under `"overload"`.
+//!
+//! `--obs metrics` adds an *observability* phase at the baseline
+//! connection count where every request carries a deterministic
+//! `X-Offchip-Trace` header, so the server buffers a span tree per
+//! request. The harness checks that each response echoes the id it sent,
+//! byte-compares the traced bodies against the untraced warm-up
+//! reference (tracing must never perturb artefact bytes), and commits
+//! the traced p50/p99 next to the baseline under `"obs_overhead"`
+//! (schema 3). The gate: traced p99 at most 5% over baseline, floored by
+//! an absolute slack so scheduler jitter on a fast path cannot fail CI.
 
 use offchip_bench::EXIT_INTERRUPTED;
 use offchip_json::{json_obj, Json};
@@ -50,13 +60,19 @@ const OVERLOAD_P99_RATIO: u64 = 5;
 /// How long a slow-loris client waits for the server's verdict after it
 /// stops sending: must exceed the server's `--header-deadline`.
 const SLOWLORIS_GRACE: Duration = Duration::from_secs(15);
+/// Traced p99 may exceed the baseline p99 by at most this fraction
+/// (the ISSUE-10 obs-overhead gate)...
+const OBS_OVERHEAD_FRACTION: f64 = 0.05;
+/// ...floored by this absolute slack: on a sub-millisecond request path
+/// 5% is smaller than scheduler jitter, and a ratio alone would flake.
+const OBS_P99_SLACK_US: u64 = 500;
 
 fn usage_exit(msg: &str) -> ! {
     eprintln!("serve_loadtest: {msg}");
     eprintln!(
         "usage: serve_loadtest --addr HOST:PORT [--connections N] [--seconds S] \
          [--machine uma|numa|amd] [--program NAME] [--n N] [--overload FACTOR] \
-         [--slowloris N] [--out PATH]"
+         [--slowloris N] [--obs off|metrics] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -75,6 +91,7 @@ struct Options {
     n: u64,
     overload: f64,
     slowloris: usize,
+    obs: bool,
     out: String,
 }
 
@@ -88,6 +105,7 @@ fn parse_args() -> Options {
         n: 8,
         overload: 0.0,
         slowloris: 0,
+        obs: false,
         out: "BENCH_serve.json".into(),
     };
     let mut args = std::env::args().skip(1);
@@ -134,6 +152,13 @@ fn parse_args() -> Options {
                     .parse()
                     .unwrap_or_else(|e| usage_exit(&format!("--slowloris: {e}")));
             }
+            "--obs" => {
+                opts.obs = match value("--obs").as_str() {
+                    "off" => false,
+                    "metrics" => true,
+                    other => usage_exit(&format!("--obs: expected off or metrics, got {other:?}")),
+                };
+            }
             "--out" => opts.out = value("--out"),
             other => usage_exit(&format!("unknown argument: {other}")),
         }
@@ -163,11 +188,21 @@ impl Client {
         })
     }
 
-    /// Sends one POST and returns `(status, body)`.
-    fn post(&mut self, path: &str, body: &str) -> std::io::Result<(u16, Vec<u8>)> {
+    /// Sends one POST (optionally carrying an `X-Offchip-Trace` header)
+    /// and returns `(status, body, echoed trace id)`.
+    fn post(
+        &mut self,
+        path: &str,
+        body: &str,
+        trace: Option<u64>,
+    ) -> std::io::Result<(u16, Vec<u8>, Option<u64>)> {
+        let trace_header = match trace {
+            Some(id) => format!("X-Offchip-Trace: {id:016x}\r\n"),
+            None => String::new(),
+        };
         let req = format!(
             "POST {path} HTTP/1.1\r\nHost: loadtest\r\nContent-Type: application/json\r\n\
-             Content-Length: {}\r\n\r\n{body}",
+             {trace_header}Content-Length: {}\r\n\r\n{body}",
             body.len()
         );
         self.reader.get_mut().write_all(req.as_bytes())?;
@@ -179,6 +214,7 @@ impl Client {
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| std::io::Error::other(format!("bad status line {status_line:?}")))?;
         let mut content_length = 0usize;
+        let mut echoed = None;
         loop {
             let mut header = String::new();
             self.reader.read_line(&mut header)?;
@@ -192,12 +228,14 @@ impl Client {
                         .trim()
                         .parse()
                         .map_err(|e| std::io::Error::other(format!("Content-Length: {e}")))?;
+                } else if name.eq_ignore_ascii_case("x-offchip-trace") {
+                    echoed = u64::from_str_radix(v.trim(), 16).ok();
                 }
             }
         }
         let mut body = vec![0u8; content_length];
         self.reader.read_exact(&mut body)?;
-        Ok((status, body))
+        Ok((status, body, echoed))
     }
 }
 
@@ -210,6 +248,7 @@ struct Tally {
     other_status: u64,
     drift: u64,
     io_errors: u64,
+    trace_mismatch: u64,
 }
 
 impl Tally {
@@ -220,6 +259,7 @@ impl Tally {
         self.other_status += other.other_status;
         self.drift += other.drift;
         self.io_errors += other.io_errors;
+        self.trace_mismatch += other.trace_mismatch;
     }
 }
 
@@ -234,6 +274,7 @@ fn drive(
     deadline: Instant,
     timeout: Duration,
     shed_expected: bool,
+    trace_base: Option<u64>,
 ) -> Tally {
     let mut t = Tally::default();
     let mut client = match Client::connect(addr, timeout) {
@@ -243,19 +284,29 @@ fn drive(
             return t;
         }
     };
+    let mut seq = 0u64;
     while Instant::now() < deadline {
+        // Traced phase: every request carries its own deterministic id,
+        // and the response must echo it back verbatim.
+        let trace = trace_base.map(|base| base | (seq & 0xFF_FFFF));
+        seq += 1;
         let r0 = Instant::now();
-        match client.post("/predict", request_body) {
-            Ok((200, body)) if body == reference => {
-                t.ok += 1;
-                t.hist
-                    .record(r0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        match client.post("/predict", request_body, trace) {
+            Ok((200, body, echoed)) if body == reference => {
+                if trace.is_some() && echoed != trace {
+                    t.trace_mismatch += 1;
+                    eprintln!("trace echo mismatch: sent {trace:?}, got {echoed:?}");
+                } else {
+                    t.ok += 1;
+                    t.hist
+                        .record(r0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+                }
             }
-            Ok((200, body)) => {
+            Ok((200, body, _)) => {
                 t.drift += 1;
                 eprintln!("response drift under load: {}", String::from_utf8_lossy(&body));
             }
-            Ok((503, body)) if shed_expected => {
+            Ok((503, body, _)) if shed_expected => {
                 // A shed must still be a well-formed JSON error, not a
                 // torn write.
                 match std::str::from_utf8(&body).ok().and_then(|s| Json::parse(s.trim()).ok()) {
@@ -271,7 +322,7 @@ fn drive(
                     Err(_) => break,
                 }
             }
-            Ok((status, _)) => {
+            Ok((status, _, _)) => {
                 t.other_status += 1;
                 if !shed_expected {
                     eprintln!("status {status} under load");
@@ -303,6 +354,7 @@ fn load_phase(
     count: usize,
     seconds: f64,
     shed_expected: bool,
+    traced: bool,
 ) -> (Tally, f64) {
     // Under expected shedding a connection can sit parked in the
     // server's queue behind keep-alive peers for a whole phase; cap the
@@ -317,9 +369,20 @@ fn load_phase(
     let t0 = Instant::now();
     let tallies: Vec<Tally> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..count)
-            .map(|_| {
+            .map(|i| {
+                // Per-thread trace-id namespace: thread index in the high
+                // bits, request sequence in the low 24.
+                let trace_base = traced.then(|| ((i as u64) + 1) << 32);
                 s.spawn(move || {
-                    drive(addr, request_body, reference, deadline, timeout, shed_expected)
+                    drive(
+                        addr,
+                        request_body,
+                        reference,
+                        deadline,
+                        timeout,
+                        shed_expected,
+                        trace_base,
+                    )
                 })
             })
             .collect();
@@ -404,8 +467,8 @@ fn main() {
     let warm_t0 = Instant::now();
     let mut warm_client = Client::connect(&opts.addr, WARMUP_TIMEOUT)
         .unwrap_or_else(|e| runtime_exit(&format!("connect {}: {e}", opts.addr)));
-    let (status, reference) = warm_client
-        .post("/predict", &request_body)
+    let (status, reference, _) = warm_client
+        .post("/predict", &request_body, None)
         .unwrap_or_else(|e| runtime_exit(&format!("warm-up request: {e}")));
     if status != 200 {
         runtime_exit(&format!(
@@ -430,6 +493,7 @@ fn main() {
         opts.connections,
         opts.seconds,
         false,
+        false,
     );
     let baseline_errors = base.drift + base.io_errors + base.shed + base.other_status;
     if base.ok == 0 {
@@ -446,9 +510,87 @@ fn main() {
         base.hist.max()
     );
 
+    // Observability phase: same shape as the baseline, but every request
+    // carries an X-Offchip-Trace header, so the server buffers a span
+    // tree per request. The committed point is the cost of that: traced
+    // p50/p99 next to the untraced baseline, gated.
+    let mut gate_failed = false;
+    let obs_json = if opts.obs {
+        eprintln!(
+            "obs phase: {} traced connection(s) x {} s",
+            opts.connections, opts.seconds
+        );
+        let (obs, obs_elapsed) = load_phase(
+            &opts.addr,
+            &request_body,
+            &reference,
+            opts.connections,
+            opts.seconds,
+            false,
+            true,
+        );
+        let obs_errors = obs.drift + obs.io_errors + obs.shed + obs.other_status;
+        let p99_gate = (base.hist.p99() as f64 * (1.0 + OBS_OVERHEAD_FRACTION)) as u64;
+        let p99_gate = p99_gate.max(base.hist.p99().saturating_add(OBS_P99_SLACK_US));
+        println!(
+            "obs: {} traced requests in {obs_elapsed:.2} s, p50 {} us (base {} us), \
+             p99 {} us (gate {} us), {} trace mismatch(es), {} error(s)",
+            obs.ok,
+            obs.hist.p50(),
+            base.hist.p50(),
+            obs.hist.p99(),
+            p99_gate,
+            obs.trace_mismatch,
+            obs_errors
+        );
+        if obs.ok == 0 {
+            eprintln!("obs gate FAILED: no successful traced request");
+            gate_failed = true;
+        }
+        if obs.hist.p99() > p99_gate {
+            eprintln!(
+                "obs gate FAILED: traced p99 {} us exceeds {} us \
+                 ({}% over baseline p99 {} us, slack {} us)",
+                obs.hist.p99(),
+                p99_gate,
+                (OBS_OVERHEAD_FRACTION * 100.0) as u64,
+                base.hist.p99(),
+                OBS_P99_SLACK_US
+            );
+            gate_failed = true;
+        }
+        if obs.trace_mismatch > 0 {
+            eprintln!(
+                "obs gate FAILED: {} response(s) did not echo the trace id they were sent",
+                obs.trace_mismatch
+            );
+            gate_failed = true;
+        }
+        if obs.drift > 0 {
+            // The byte-identity contract: traced bodies must equal the
+            // untraced warm-up reference exactly.
+            eprintln!("obs gate FAILED: {} traced response(s) drifted from the reference", obs.drift);
+            gate_failed = true;
+        }
+        json_obj! {
+            "seconds" => obs_elapsed,
+            "requests" => obs.ok,
+            "errors" => obs_errors,
+            "trace_mismatch" => obs.trace_mismatch,
+            "p50_us" => obs.hist.p50(),
+            "p95_us" => obs.hist.p95(),
+            "p99_us" => obs.hist.p99(),
+            "max_us" => obs.hist.max(),
+            "base_p50_us" => base.hist.p50(),
+            "base_p99_us" => base.hist.p99(),
+            "p99_gate_us" => p99_gate,
+        }
+    } else {
+        Json::Null
+    };
+
     // Overload phase: FACTOR × the baseline connections, shedding
     // expected and measured rather than treated as failure.
-    let mut gate_failed = false;
     let overload_json = if opts.overload >= 1.0 {
         let conns = ((opts.connections as f64 * opts.overload).ceil() as usize).max(1);
         eprintln!(
@@ -467,6 +609,7 @@ fn main() {
                 conns,
                 opts.seconds,
                 true,
+                false,
             );
             let slow_outcomes: Vec<SlowOutcome> =
                 slow_handles.into_iter().map(|h| h.join().unwrap()).collect();
@@ -568,7 +711,7 @@ fn main() {
     };
 
     let doc = json_obj! {
-        "schema" => 2u64,
+        "schema" => 3u64,
         "bench" => "serve-predict-loadtest",
         "machine" => opts.machine,
         "program" => opts.program,
@@ -584,6 +727,7 @@ fn main() {
         "p95_us" => base.hist.p95(),
         "p99_us" => base.hist.p99(),
         "max_us" => base.hist.max(),
+        "obs_overhead" => obs_json,
         "overload" => overload_json,
     };
     if let Err(e) =

@@ -197,6 +197,17 @@ pub fn loss_summary(errors: &[PointError]) -> String {
     parts.join(" ")
 }
 
+/// [`loss_summary`] plus the owning request trace id, when the sweep ran
+/// on behalf of a traced request (a serve-side cache fill): the lost
+/// points' summary line then correlates with `/debug/trace/<id>`.
+pub fn loss_summary_traced(errors: &[PointError], trace: Option<offchip_obs::TraceRef>) -> String {
+    let base = loss_summary(errors);
+    match trace {
+        Some(t) if !base.is_empty() => format!("{base} trace={:016x}", t.trace),
+        _ => base,
+    }
+}
+
 /// Campaign knobs, normally parsed from a binary's command line
 /// (`--resume`, `--deadline SECS`, `--retries N`, `--max-events N`,
 /// `--journal-dir DIR`).
@@ -226,6 +237,12 @@ pub struct CampaignOptions {
     /// one campaign without racing other tests on the process-global
     /// Vfs; binaries leave it `None` and inherit the global.
     pub vfs: Option<Arc<dyn Vfs>>,
+    /// The request trace this campaign runs on behalf of (serve-side
+    /// cache fills). When set, heartbeat lines and journal records carry
+    /// the trace id and each simulated point reports a `sim.point` span
+    /// into the request's trace buffer. `None` (every experiment binary)
+    /// changes nothing — journal bytes stay identical to earlier schemas.
+    pub trace: Option<offchip_obs::TraceRef>,
 }
 
 /// Usage text for the campaign flags every experiment binary accepts.
@@ -395,8 +412,8 @@ impl JournalRecord {
         }
     }
 
-    fn to_line(self, config: u64, n: usize, seed: u64) -> String {
-        let body = json_obj! {
+    fn to_line(self, config: u64, n: usize, seed: u64, trace: Option<u64>) -> String {
+        let mut body = json_obj! {
             "schema" => JOURNAL_SCHEMA,
             "config" => format!("{config:016x}"),
             "n" => n,
@@ -412,8 +429,14 @@ impl JournalRecord {
             "makespan" => self.makespan,
             "sim_events" => self.sim_events,
             "wall_ns" => self.wall_ns,
+        };
+        // Post-mortem correlation: which request caused this simulation.
+        // Optional and ignored by parse_line, so a traced fill's journal
+        // replays exactly like an untraced one.
+        if let (Some(t), Json::Obj(map)) = (trace, &mut body) {
+            map.insert("trace".to_string(), Json::Str(format!("{t:016x}")));
         }
-        .to_compact_string();
+        let body = body.to_compact_string();
         // Schema 2: per-record CRC32 suffix. Without it, a record torn
         // exactly at a JSON boundary (or bit-rotted into another valid
         // number) would replay as truth; with it, any corruption inside
@@ -935,6 +958,13 @@ impl Campaign {
         // grid size (and always one at completion).
         let heartbeat_every = (total / 10).max(1);
         let outcomes = offchip_pool::scoped_map(jobs, &grid, |_, &(n, seed)| {
+            // Worker threads inherit the owning request's trace (if any):
+            // log records stamp it in JSON mode, and each simulated point
+            // lands as a sim.point span under the fill span.
+            let _scope = self
+                .opts
+                .trace
+                .map(|t| offchip_obs::TraceScope::enter(t.trace));
             let outcome = (|| {
                 if let Some(rec) = self.lookup(cfg_hash, n, seed) {
                     return Ok((rec.to_sample(), true));
@@ -944,12 +974,33 @@ impl Campaign {
                     if attempt > 0 {
                         std::thread::sleep(backoff(seed, attempt));
                     }
+                    let pt0 = Instant::now();
                     match self.guarded_sample(machine, workload, n, seed, tune) {
                         Ok(s) => {
+                            if let Some(t) = self.opts.trace {
+                                offchip_obs::span_event(
+                                    t.trace,
+                                    t.parent,
+                                    "sim.point",
+                                    format!("n={n} seed={seed:x} attempt={attempt}"),
+                                    pt0.elapsed().as_micros() as u64,
+                                );
+                            }
                             self.record(cfg_hash, n, seed, &s);
                             return Ok((s, false));
                         }
-                        Err(e) => last = Some(e),
+                        Err(e) => {
+                            if let Some(t) = self.opts.trace {
+                                offchip_obs::span_event(
+                                    t.trace,
+                                    t.parent,
+                                    "sim.point.lost",
+                                    format!("n={n} seed={seed:x} kind={}", e.kind()),
+                                    pt0.elapsed().as_micros() as u64,
+                                );
+                            }
+                            last = Some(e);
+                        }
                     }
                 }
                 Err(last.expect("at least one attempt ran"))
@@ -959,12 +1010,22 @@ impl Campaign {
                 let secs = t0.elapsed().as_secs_f64().max(1e-9);
                 let rate = d as f64 / secs;
                 let eta = (total - d) as f64 / rate;
-                offchip_obs::info!(
-                    "campaign={} sweep={}/{} done={d}/{total} rate={rate:.1}/s eta={eta:.0}s",
-                    self.name,
-                    machine.name,
-                    program
-                );
+                match self.opts.trace {
+                    Some(t) => offchip_obs::info!(
+                        "campaign={} sweep={}/{} done={d}/{total} rate={rate:.1}/s \
+                         eta={eta:.0}s trace={:016x}",
+                        self.name,
+                        machine.name,
+                        program,
+                        t.trace
+                    ),
+                    None => offchip_obs::info!(
+                        "campaign={} sweep={}/{} done={d}/{total} rate={rate:.1}/s eta={eta:.0}s",
+                        self.name,
+                        machine.name,
+                        program
+                    ),
+                }
             }
             outcome
         });
@@ -1042,7 +1103,7 @@ impl Campaign {
 
     fn record(&self, cfg: u64, n: usize, seed: u64, sample: &RunSample) {
         let rec = JournalRecord::from_sample(sample);
-        let line = rec.to_line(cfg, n, seed);
+        let line = rec.to_line(cfg, n, seed, self.opts.trace.map(|t| t.trace));
         let mut st = self.state.lock().expect("campaign state poisoned");
         st.executed += 1;
         st.done.insert((cfg, n, seed), rec);
@@ -1160,14 +1221,14 @@ mod tests {
         // 0x9E3779B97F4A7C15, landing near 2^63); a JSON f64 number
         // rounds those, so the line must carry the seed losslessly.
         for seed in [0u64, 3, 0x0FF_C41B, (1 << 53) + 1, u64::MAX - 7, u64::MAX] {
-            let line = rec.to_line(0xfeed_beef, 5, seed);
+            let line = rec.to_line(0xfeed_beef, 5, seed, None);
             let (key, parsed) = JournalRecord::parse_line(&line)
                 .unwrap_or_else(|| panic!("seed {seed:#x} failed to replay"));
             assert_eq!(key, (0xfeed_beef, 5, seed));
             assert_eq!(parsed, rec);
         }
         // Legacy numeric seeds still replay while exactly representable.
-        let legacy = rec.to_line(1, 2, 77).replace("\"000000000000004d\"", "77");
+        let legacy = rec.to_line(1, 2, 77, None).replace("\"000000000000004d\"", "77");
         let crc_split = legacy.rsplit_once('#').unwrap().0.to_string();
         let legacy = format!("{crc_split}#{:08x}", offchip_chaos::crc32(crc_split.as_bytes()));
         let (key, _) = JournalRecord::parse_line(&legacy).expect("legacy numeric seed");
@@ -1212,7 +1273,7 @@ mod tests {
             sim_events: 7_777_777,
             wall_ns: 1_234_567_890,
         };
-        let line = rec.to_line(0xDEAD_BEEF_CAFE_F00D, 24, 42);
+        let line = rec.to_line(0xDEAD_BEEF_CAFE_F00D, 24, 42, None);
         let ((cfg, n, seed), parsed) = JournalRecord::parse_line(&line).unwrap();
         assert_eq!(cfg, 0xDEAD_BEEF_CAFE_F00D);
         assert_eq!((n, seed), (24, 42));
@@ -1226,6 +1287,47 @@ mod tests {
     }
 
     #[test]
+    fn traced_records_carry_the_id_and_replay_identically() {
+        let rec = JournalRecord {
+            total_cycles: 10,
+            work_cycles: 6,
+            stall_cycles: 4,
+            llc_misses: 1,
+            makespan: 10,
+            sim_events: 99,
+            wall_ns: 1234,
+        };
+        let traced = rec.to_line(0x77, 2, 9, Some(0x0010_0001));
+        assert!(traced.contains("\"trace\":\"0000000000100001\""));
+        // The trace field is correlation metadata only: parse_line yields
+        // the exact same key and record as the untraced line.
+        let (key_t, rec_t) = JournalRecord::parse_line(&traced).unwrap();
+        let (key_u, rec_u) =
+            JournalRecord::parse_line(&rec.to_line(0x77, 2, 9, None)).unwrap();
+        assert_eq!(key_t, key_u);
+        assert_eq!(rec_t, rec_u);
+    }
+
+    #[test]
+    fn loss_summary_traced_appends_the_id() {
+        let errors = vec![PointError::Panicked {
+            payload: "x".into(),
+            n: 1,
+            seed: 2,
+        }];
+        let t = offchip_obs::TraceRef {
+            trace: 0x0010_0002,
+            parent: 1,
+        };
+        assert_eq!(
+            loss_summary_traced(&errors, Some(t)),
+            "panicked=1 trace=0000000000100002"
+        );
+        assert_eq!(loss_summary_traced(&errors, None), "panicked=1");
+        assert_eq!(loss_summary_traced(&[], Some(t)), "");
+    }
+
+    #[test]
     fn checksum_mismatch_rejects_the_record() {
         let rec = JournalRecord {
             total_cycles: 1,
@@ -1236,7 +1338,7 @@ mod tests {
             sim_events: 6,
             wall_ns: 7,
         };
-        let line = rec.to_line(0xABCD, 4, 9);
+        let line = rec.to_line(0xABCD, 4, 9, None);
         assert!(line.contains('#'), "schema 2 lines carry a CRC suffix");
         assert!(JournalRecord::parse_line(&line).is_some());
         // Flip one digit inside the body: the JSON still parses, the
@@ -1268,7 +1370,7 @@ mod tests {
         assert_eq!(rec.total_cycles, 10);
         // But a schema-2 body whose CRC suffix was torn off must NOT fall
         // back to the checksum-less path.
-        let v2 = rec.to_line(0x77, 2, 9);
+        let v2 = rec.to_line(0x77, 2, 9, None);
         let (body, _) = v2.rsplit_once('#').unwrap();
         assert!(JournalRecord::parse_line(body).is_none());
     }

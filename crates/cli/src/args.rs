@@ -59,7 +59,10 @@ options:
   --metrics PATH               write the metrics-registry snapshot as CSV
   --log-level error|warn|info|debug
                                stderr log threshold (default: OFFCHIP_LOG,
-                               else info)";
+                               else info)
+  --log-format kv|json         log record format: key-value text or structured
+                               JSON with trace-id stamping (default:
+                               OFFCHIP_LOG_FORMAT, else kv)";
 
 /// Which machine preset to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,6 +129,8 @@ pub struct RunOptions {
     pub metrics_out: Option<std::path::PathBuf>,
     /// stderr log threshold (`None`: `OFFCHIP_LOG`, else info).
     pub log_level: Option<offchip_obs::LogLevel>,
+    /// Log record format (`None`: `OFFCHIP_LOG_FORMAT`, else key-value).
+    pub log_format: Option<offchip_obs::LogFormat>,
 }
 
 impl Default for RunOptions {
@@ -154,6 +159,7 @@ impl Default for RunOptions {
             trace_out: None,
             metrics_out: None,
             log_level: None,
+            log_format: None,
         }
     }
 }
@@ -279,6 +285,12 @@ fn parse_options(mut opts: RunOptions, rest: &[String]) -> Result<RunOptions, St
                 let v = value()?;
                 opts.log_level = Some(offchip_obs::LogLevel::parse(&v).ok_or_else(|| {
                     format!("unknown log level {v:?} (error|warn|info|debug)")
+                })?);
+            }
+            "--log-format" => {
+                let v = value()?;
+                opts.log_format = Some(offchip_obs::LogFormat::parse(&v).ok_or_else(|| {
+                    format!("unknown log format {v:?} (kv|json)")
                 })?);
             }
             other => return Err(format!("unknown option {other:?}")),
@@ -424,7 +436,7 @@ mod tests {
     fn parses_obs_flags() {
         let cmd = parse(&sv(&[
             "sweep", "CG.A", "--obs", "metrics", "--trace", "/tmp/t.json", "--metrics",
-            "/tmp/m.csv", "--log-level", "debug",
+            "/tmp/m.csv", "--log-level", "debug", "--log-format", "json",
         ]))
         .unwrap();
         let Command::Sweep(o) = cmd else {
@@ -434,8 +446,10 @@ mod tests {
         assert_eq!(o.trace_out.as_deref(), Some(std::path::Path::new("/tmp/t.json")));
         assert_eq!(o.metrics_out.as_deref(), Some(std::path::Path::new("/tmp/m.csv")));
         assert_eq!(o.log_level, Some(offchip_obs::LogLevel::Debug));
+        assert_eq!(o.log_format, Some(offchip_obs::LogFormat::Json));
         assert!(parse(&sv(&["run", "CG.A", "--obs", "verbose"])).is_err());
         assert!(parse(&sv(&["run", "CG.A", "--log-level", "chatty"])).is_err());
+        assert!(parse(&sv(&["run", "CG.A", "--log-format", "yaml"])).is_err());
     }
 
     #[test]

@@ -93,6 +93,7 @@ fn campaign_sweep(
         watchdog: opts.watchdog,
         chaos: None, // `--chaos-io` is installed process-wide in execute()
         vfs: None,
+        trace: None, // CLI sweeps trace via `--obs trace`, not per-request ids
     };
     let tag = match opts.machine {
         MachineChoice::Uma => "uma",
@@ -150,6 +151,9 @@ fn faults_in_force(opts: &RunOptions) -> Result<Option<FaultSpec>, CliError> {
 fn init_obs(opts: &RunOptions) {
     if let Some(l) = opts.log_level {
         offchip_obs::set_log_level(l);
+    }
+    if let Some(f) = opts.log_format {
+        offchip_obs::set_log_format(f);
     }
     let implied = if opts.trace_out.is_some() {
         Some(offchip_obs::ObsLevel::Trace)

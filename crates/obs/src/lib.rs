@@ -16,7 +16,14 @@
 //! - [`trace`]: a bounded ring of [`Span`]s rendered as Chrome
 //!   `trace_event` JSON, loadable in `chrome://tracing` / Perfetto.
 //! - [`log`]: a leveled `key=value` logger on stderr (`--log-level`,
-//!   `OFFCHIP_LOG`) with [`error!`]/[`warn!`]/[`info!`]/[`debug!`] macros.
+//!   `OFFCHIP_LOG`) with [`error!`]/[`warn!`]/[`info!`]/[`debug!`] macros,
+//!   a structured JSON mode (`--log-format json`, `OFFCHIP_LOG_FORMAT`)
+//!   and a [`warn_rate_limited!`] variant for flood-prone paths.
+//! - [`reqtrace`]: request-scoped tracing — deterministic trace ids, a
+//!   bounded cross-thread span store, per-trace span-tree and Perfetto
+//!   exports backing the serving stack's `/debug/trace/<id>`.
+//! - [`prom`]: Prometheus text exposition of the metrics registry
+//!   (log2 histograms → cumulative `le` buckets).
 //!
 //! # The zero-cost contract
 //!
@@ -32,12 +39,23 @@
 pub mod level;
 pub mod log;
 pub mod metrics;
+pub mod prom;
+pub mod reqtrace;
 pub mod telemetry;
 pub mod trace;
 
 pub use level::{level, set_level, ObsLevel};
-pub use log::{log_emit, log_enabled, log_level, set_log_level, LogLevel};
+pub use log::{
+    json_escape, json_escape_bytes, log_emit, log_enabled, log_format, log_level, set_log_format,
+    set_log_level, LogFormat, LogLevel,
+};
 pub use metrics::{registry, Counter, Gauge, Histogram, MetricsSnapshot, Registry};
+pub use prom::{prom_name, render_prometheus};
+pub use reqtrace::{
+    current_trace, derive_trace_id, now_us, reset_reqtrace, set_current_trace, span_close,
+    span_event, span_open, trace_begin, trace_finish, trace_perfetto_json, trace_root_dur_us,
+    trace_spans, trace_tree_json, ReqSpan, TraceRef, TraceScope, MAX_SPANS, MAX_TRACES,
+};
 pub use telemetry::{McObs, McSeries, Telemetry, TelemetryWindow};
 pub use trace::{
     chrome_trace_json, next_trace_pid, push_spans, reset_trace, take_spans, trace_dropped, Span,

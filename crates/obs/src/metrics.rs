@@ -192,6 +192,26 @@ impl Histogram {
     pub fn p99(&self) -> u64 {
         self.quantile(0.99)
     }
+
+    /// The raw per-bucket counts (`BUCKETS` entries). Bucket 0 holds the
+    /// value 0; bucket `i ≥ 1` holds `[2^(i-1), 2^i)`. Exposed for the
+    /// Prometheus renderer, which needs the full CDF, not just quantiles.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// The inclusive upper bound of bucket `i` (the Prometheus `le`
+    /// value): 0 for bucket 0, `2^i - 1` for `1 ≤ i < 64`, `u64::MAX`
+    /// for the last bucket.
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
 }
 
 /// One histogram's rendered summary inside a [`MetricsSnapshot`].
@@ -363,6 +383,18 @@ impl Registry {
     /// A copy of the named histogram, if present.
     pub fn histogram(&self, name: &str) -> Option<Histogram> {
         self.histograms.lock().unwrap().get(name).cloned()
+    }
+
+    /// A name-sorted copy of every raw histogram. The Prometheus renderer
+    /// uses this (it needs bucket counts, which [`Registry::snapshot`]
+    /// deliberately summarises away).
+    pub fn histograms_raw(&self) -> Vec<(String, Histogram)> {
+        self.histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, h)| (k.clone(), h.clone()))
+            .collect()
     }
 
     /// Clears everything (test isolation).

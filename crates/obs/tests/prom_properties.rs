@@ -1,0 +1,79 @@
+//! Property tests of the log2 → Prometheus `le` bucket conversion: no
+//! observation may be lost or duplicated, and the rendered CDF must be
+//! monotone with `+Inf == _count`.
+
+use proptest::prelude::*;
+
+use offchip_obs::{render_prometheus, Histogram, Registry};
+
+/// Parses every `name_bucket{le="..."} v` line for `name`, in order.
+fn bucket_lines(text: &str, name: &str) -> Vec<(String, u64)> {
+    let prefix = format!("{name}_bucket{{le=\"");
+    text.lines()
+        .filter_map(|l| {
+            let rest = l.strip_prefix(&prefix)?;
+            let (le, v) = rest.split_once("\"} ")?;
+            Some((le.to_string(), v.parse().ok()?))
+        })
+        .collect()
+}
+
+fn scrape_value(text: &str, line_start: &str) -> Option<u64> {
+    text.lines()
+        .find(|l| l.starts_with(line_start))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn le_conversion_never_loses_observations(samples in prop::collection::vec(any::<u64>(), 0..200)) {
+        let reg = Registry::default();
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        reg.merge_histogram("p.lat", &h);
+        let text = render_prometheus(&reg);
+        if samples.is_empty() {
+            // merge of an empty histogram is a no-op: nothing rendered.
+            prop_assert!(!text.contains("p_lat"));
+            return Ok(());
+        }
+        let buckets = bucket_lines(&text, "p_lat");
+        prop_assert!(!buckets.is_empty());
+        // Cumulative counts are monotone non-decreasing.
+        let mut prev = 0u64;
+        for (le, v) in &buckets {
+            prop_assert!(*v >= prev, "non-monotone at le={le}: {v} < {prev}");
+            prev = *v;
+        }
+        // The last line is +Inf and equals the observation count: the
+        // conversion lost nothing.
+        let (last_le, last_v) = buckets.last().unwrap();
+        prop_assert_eq!(last_le.as_str(), "+Inf");
+        prop_assert_eq!(*last_v, samples.len() as u64);
+        prop_assert_eq!(scrape_value(&text, "p_lat_count "), Some(samples.len() as u64));
+        // Per-bucket deltas recover the raw log2 bucket counts, and every
+        // sample's value is <= its bucket's le (the bound is honest).
+        let finite: Vec<(u64, u64)> = buckets[..buckets.len() - 1]
+            .iter()
+            .map(|(le, v)| (le.parse::<u64>().unwrap(), *v))
+            .collect();
+        let mut cum = 0u64;
+        for (le, v) in &finite {
+            let delta = v - cum;
+            cum = *v;
+            let expected = samples.iter().filter(|&&s| {
+                Histogram::bucket_upper_bound(
+                    (64 - s.leading_zeros()) as usize
+                ) == *le
+            }).count() as u64;
+            prop_assert_eq!(delta, expected, "delta mismatch at le={}", le);
+        }
+        // _sum matches the histogram's saturating sum.
+        prop_assert_eq!(scrape_value(&text, "p_lat_sum "), Some(h.sum()));
+    }
+}

@@ -5,6 +5,8 @@
 //!               [--max-queue N] [--max-conns N] [--header-deadline MS]
 //!               [--request-deadline MS] [--breaker-threshold K]
 //!               [--breaker-probe-every N] [--chaos-net SPEC]
+//!               [--log-format kv|json] [--slo-availability F]
+//!               [--slo-p99-ms N] [--slo-gate-readyz]
 //! ```
 //!
 //! Binds (port 0 = ephemeral), prints `offchip-serve listening on
@@ -14,8 +16,9 @@
 //! Environment: `OFFCHIP_SEEDS`/`OFFCHIP_QUICK` set the fill-campaign
 //! seed count, `OFFCHIP_JOBS` the default simulation worker budget,
 //! `OFFCHIP_JOURNAL_DIR` the default journal directory, `OFFCHIP_LOG`
-//! the log level, `OFFCHIP_CHAOS_IO` a filesystem fault schedule for the
-//! fill campaigns, `OFFCHIP_CHAOS_NET` a socket fault schedule
+//! the log level, `OFFCHIP_LOG_FORMAT` the log format (overridden by
+//! `--log-format`), `OFFCHIP_CHAOS_IO` a filesystem fault schedule for
+//! the fill campaigns, `OFFCHIP_CHAOS_NET` a socket fault schedule
 //! (overridden by `--chaos-net`).
 
 use offchip_serve::{signal, PredictService, Server, ServerOptions, ServiceConfig};
@@ -29,6 +32,8 @@ usage: offchip-serve [--addr HOST:PORT] [--workers N] [--jobs N] [--journal-dir 
                      [--max-queue N] [--max-conns N] [--header-deadline MS]
                      [--request-deadline MS] [--breaker-threshold K]
                      [--breaker-probe-every N] [--chaos-net SPEC]
+                     [--log-format kv|json] [--slo-availability F]
+                     [--slo-p99-ms N] [--slo-gate-readyz]
   --addr HOST:PORT        bind address (default 127.0.0.1:7071; port 0 = ephemeral)
   --workers N             HTTP worker threads (default 8)
   --jobs N                simulation worker budget for fill campaigns (default OFFCHIP_JOBS)
@@ -41,7 +46,15 @@ usage: offchip-serve [--addr HOST:PORT] [--workers N] [--jobs N] [--journal-dir 
   --breaker-threshold K   consecutive fill failures that open a key's breaker (default 3)
   --breaker-probe-every N while open, probe once per N requests (seeded position; default 8)
   --chaos-net SPEC        socket fault schedule, e.g. stall@read:2:300,reset@write:3
-                          or seed:42 (default OFFCHIP_CHAOS_NET)";
+                          or seed:42 (default OFFCHIP_CHAOS_NET)
+  --log-format kv|json    log record format: key-value text or structured JSON with
+                          trace-id stamping (default OFFCHIP_LOG_FORMAT or kv)
+  --slo-availability F    availability objective in (0,1) for /statusz burn rates
+                          (default 0.999)
+  --slo-p99-ms N          latency objective: requests slower than this burn the
+                          error budget like failures (default 500)
+  --slo-gate-readyz       degrade /readyz to 503 while the fast-burn condition
+                          holds (default off: shedding under overload is correct)";
 
 struct Parsed {
     server: ServerOptions,
@@ -130,6 +143,29 @@ fn parse_args(args: &[String]) -> Result<Parsed, String> {
                     .map_err(|e| format!("--chaos-net: {e}"))?;
                 server.chaos_net = Some(spec);
             }
+            "--log-format" => {
+                let v = value()?;
+                let f = offchip_obs::LogFormat::parse(&v)
+                    .ok_or_else(|| format!("--log-format: expected kv or json, got {v:?}"))?;
+                offchip_obs::set_log_format(f);
+            }
+            "--slo-availability" => {
+                let f: f64 = value()?
+                    .parse()
+                    .map_err(|e| format!("--slo-availability: {e}"))?;
+                if !(f > 0.0 && f < 1.0) {
+                    return Err("--slo-availability must be in (0, 1)".into());
+                }
+                server.slo.availability = f;
+            }
+            "--slo-p99-ms" => {
+                let ms: u64 = value()?.parse().map_err(|e| format!("--slo-p99-ms: {e}"))?;
+                if ms == 0 {
+                    return Err("--slo-p99-ms must be at least 1 ms".into());
+                }
+                server.slo.p99_latency_us = ms.saturating_mul(1_000);
+            }
+            "--slo-gate-readyz" => server.slo.gate_readyz = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option {other:?}")),
         }

@@ -247,6 +247,18 @@ impl<K: Eq + Hash + Clone> Breaker<K> {
     pub fn is_open(&self, key: &K) -> bool {
         !matches!(self.info(key).state, BreakerState::Closed)
     }
+
+    /// A snapshot of every key that has ever recorded a failure, for the
+    /// `/statusz` page. Keys that never failed have no entry (they are
+    /// implicitly closed).
+    pub fn entries(&self) -> Vec<(K, BreakerInfo)> {
+        self.slots
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, e)| (k.clone(), e.info()))
+            .collect()
+    }
 }
 
 #[cfg(test)]

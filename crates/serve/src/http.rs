@@ -40,6 +40,10 @@ pub struct Request {
     /// Client-requested fill deadline in milliseconds
     /// (`X-Offchip-Deadline-Ms`), clamped by the service.
     pub deadline_ms: Option<u64>,
+    /// Inbound trace id (`X-Offchip-Trace`, up to 16 hex digits, nonzero).
+    /// When present the server honours it instead of deriving one, and
+    /// buffers the request's span tree for `/debug/trace/<id>`.
+    pub trace: Option<u64>,
 }
 
 /// Why a request could not be parsed. `BadRequest` maps to a 400 +
@@ -203,6 +207,7 @@ pub fn read_request(
     let mut content_length = 0usize;
     let mut close = http10;
     let mut deadline_ms = None;
+    let mut trace = None;
     let mut n_headers = 0usize;
     loop {
         let header = match read_line(r, &mut started, budget)? {
@@ -241,6 +246,15 @@ pub fn read_request(
                     .parse()
                     .map_err(|_| HttpError::BadRequest("bad X-Offchip-Deadline-Ms"))?,
             );
+        } else if name.eq_ignore_ascii_case("x-offchip-trace") {
+            // 0 means "no trace" internally, so reject it along with
+            // anything that is not a u64 hex id.
+            let id = (value.len() <= 16)
+                .then(|| u64::from_str_radix(value, 16).ok())
+                .flatten()
+                .filter(|&id| id != 0)
+                .ok_or(HttpError::BadRequest("bad X-Offchip-Trace"))?;
+            trace = Some(id);
         }
     }
 
@@ -252,6 +266,7 @@ pub fn read_request(
         body,
         close,
         deadline_ms,
+        trace,
     }))
 }
 
@@ -402,6 +417,23 @@ mod tests {
             Err(HttpError::BadRequest(_)) => {}
             other => panic!("expected BadRequest, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn trace_header_is_parsed_and_validated() {
+        let req = parse("POST / HTTP/1.1\r\nX-Offchip-Trace: 00000000cafe0001\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.trace, Some(0xcafe_0001));
+        let req = parse("POST / HTTP/1.1\r\nx-offchip-trace: aB3\r\n\r\n").unwrap().unwrap();
+        assert_eq!(req.trace, Some(0xab3));
+        for bad in ["zz", "0", "", "11112222333344445"] {
+            match parse(&format!("POST / HTTP/1.1\r\nX-Offchip-Trace: {bad}\r\n\r\n")) {
+                Err(HttpError::BadRequest(_)) => {}
+                other => panic!("expected BadRequest for {bad:?}, got {other:?}"),
+            }
+        }
+        assert_eq!(parse("GET / HTTP/1.1\r\n\r\n").unwrap().unwrap().trace, None);
     }
 
     #[test]

@@ -15,8 +15,16 @@
 //!
 //! * `POST /predict` — `C(n)`, `ω(n)` and speedup at one core count;
 //! * `POST /sweep` — the same over an inclusive `n` range;
-//! * `GET /metrics` — the process's metrics registry as CSV;
-//! * `GET /healthz` — liveness.
+//! * `GET /metrics` — the process's metrics registry as CSV, or
+//!   Prometheus text exposition with `?fmt=prom`;
+//! * `GET /healthz` — liveness;
+//! * `GET /readyz` — readiness (drain / admission high-water / opt-in
+//!   SLO fast-burn);
+//! * `GET /statusz` — one human-readable page: uptime, request and
+//!   cache counters, pressure, SLO burn rates, breaker states, slowest
+//!   recent traces;
+//! * `GET /debug/trace/<id>` — the span tree a traced request left
+//!   behind (`?fmt=perfetto` for Chrome/Perfetto `trace_event` JSON).
 //!
 //! Responses are byte-identical between cold (campaign just ran) and warm
 //! (model served from cache) calls; cache disposition travels only in the
@@ -32,6 +40,17 @@
 //! repeated 5xx. The chaos-net layer (`OFFCHIP_CHAOS_NET`) injects
 //! socket-level stalls, resets and short reads to prove all of the
 //! above under network misbehaviour.
+//!
+//! Observability plane (DESIGN.md §15): every request gets a
+//! deterministic trace id — honoured from an inbound `X-Offchip-Trace`
+//! header or derived from (connection, sequence) — and echoes it back in
+//! the response. Traced requests buffer a span tree (HTTP parse, queue
+//! wait, fill, per-point simulation, response write) that survives the
+//! request and is served by `/debug/trace/<id>`; span timing never
+//! feeds the model, so response bytes stay identical with tracing on or
+//! off. A rolling-window [`SloTracker`] turns the same per-request
+//! records into availability/latency burn rates for `/statusz` and the
+//! optional `/readyz` fast-burn gate.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,6 +63,7 @@ pub mod http;
 pub mod server;
 pub mod service;
 pub mod signal;
+pub mod slo;
 
 pub use admission::{AdmissionConfig, ShedReason};
 pub use breaker::{Breaker, BreakerConfig, BreakerInfo, BreakerState};
@@ -51,3 +71,4 @@ pub use cache::{Disposition, Fetch, FillError, SingleFlight};
 pub use http::{Request, Response};
 pub use server::{Server, ServerOptions};
 pub use service::{ModelKey, ModelOutcome, PredictService, ServiceConfig, ServiceError};
+pub use slo::{BurnReport, SloConfig, SloTracker, SlowTrace};

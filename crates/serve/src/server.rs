@@ -19,12 +19,14 @@
 //! still closed silently.
 
 use crate::admission::{AdmissionConfig, ConnQueue};
-use crate::http::{read_request, HttpError, Response};
+use crate::http::{read_request, HttpError, Request, Response};
 use crate::service::PredictService;
+use crate::slo::{SloConfig, SloTracker};
 use offchip_chaos::{ChaosStream, NetFaultPlan, NetSpec};
+use offchip_obs::ObsLevel;
 use std::io::{BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -62,6 +64,10 @@ pub struct ServerOptions {
     /// Chaos-net fault schedule applied to every accepted connection
     /// (`--chaos-net` / `OFFCHIP_CHAOS_NET`).
     pub chaos_net: Option<NetSpec>,
+    /// SLO objectives driving `/statusz` and (when
+    /// [`SloConfig::gate_readyz`] is set) the fast-burn `/readyz`
+    /// degradation.
+    pub slo: SloConfig,
 }
 
 impl Default for ServerOptions {
@@ -72,6 +78,7 @@ impl Default for ServerOptions {
             admission: AdmissionConfig::default(),
             header_deadline: Duration::from_secs(10),
             chaos_net: None,
+            slo: SloConfig::default(),
         }
     }
 }
@@ -108,11 +115,24 @@ impl Write for ServeStream {
     }
 }
 
+/// An admitted connection as the workers see it: the (possibly
+/// chaos-wrapped) socket, the accept-order connection counter that seeds
+/// deterministic trace ids, and the admission instant that prices the
+/// `queue.wait` span.
+pub(crate) struct Conn {
+    stream: ServeStream,
+    /// 1-based accept counter.
+    id: u64,
+    /// When the accept loop queued the connection.
+    admitted: Instant,
+}
+
 /// A bound listener plus the shared service.
 pub struct Server {
     listener: TcpListener,
     addr: SocketAddr,
     service: Arc<PredictService>,
+    slo: Arc<SloTracker>,
     opts: ServerOptions,
 }
 
@@ -125,10 +145,12 @@ impl Server {
         let addr = listener.local_addr()?;
         let mut opts = opts.clone();
         opts.workers = opts.workers.max(1);
+        let slo = Arc::new(SloTracker::new(opts.slo.clone()));
         Ok(Server {
             listener,
             addr,
             service: Arc::new(service),
+            slo,
             opts,
         })
     }
@@ -152,16 +174,20 @@ impl Server {
     /// Serves until `shutdown` reads true, then drains: stops accepting,
     /// lets workers finish in-flight requests, joins them and returns.
     pub fn run(&self, shutdown: &AtomicBool) -> std::io::Result<()> {
-        let queue: ConnQueue<ServeStream> = ConnQueue::new(self.opts.admission.clone());
+        let queue: ConnQueue<Conn> = ConnQueue::new(self.opts.admission.clone());
         let reg = offchip_obs::registry();
+        // 1-based accept counter: the high bits of every derived trace id
+        // (DESIGN.md §15) — deterministic for a replayed accept order.
+        let conn_counter = AtomicU64::new(0);
         std::thread::scope(|s| {
             for _ in 0..self.opts.workers {
                 let queue = &queue;
                 let service = &self.service;
+                let slo = &self.slo;
                 let budget = self.opts.header_deadline;
                 s.spawn(move || {
-                    while let Some(stream) = queue.pop() {
-                        handle_connection(stream, service, shutdown, queue, budget);
+                    while let Some(conn) = queue.pop() {
+                        handle_connection(conn, service, shutdown, queue, budget, slo);
                         queue.done();
                     }
                 });
@@ -187,24 +213,31 @@ impl Server {
                             // these and the counter never moved.
                             reg.add("serve.conn_setup_failed", 1);
                             let n = reg.counter("serve.conn_setup_failed");
-                            if n == 1 || n.is_multiple_of(SETUP_WARN_EVERY) {
-                                offchip_obs::warn!(
-                                    "serve: connection setup failed ({n} so far): {e}"
-                                );
-                            }
+                            offchip_obs::warn_rate_limited!(
+                                SETUP_WARN_EVERY,
+                                "serve: connection setup failed ({n} so far): {e}"
+                            );
                             continue;
                         }
-                        match queue.admit(self.wrap(stream)) {
+                        let conn = Conn {
+                            stream: self.wrap(stream),
+                            id: conn_counter.fetch_add(1, Ordering::Relaxed) + 1,
+                            admitted: Instant::now(),
+                        };
+                        match queue.admit(conn) {
                             Ok(depth) => reg.observe("serve.queue_depth", depth as u64),
-                            Err((mut stream, reason)) => {
+                            Err((mut conn, reason)) => {
                                 reg.add("serve.shed", 1);
+                                // A shed burns availability budget like
+                                // any 5xx.
+                                self.slo.record(503, 0, 0);
                                 // One small write on the accept thread;
                                 // the worker pool never sees the
                                 // connection.
                                 let _ = Response::error(503, "server overloaded — retry shortly")
                                     .with_header("Retry-After", "1")
                                     .with_header("X-Offchip-Shed", reason.as_str())
-                                    .write_to(&mut stream, true);
+                                    .write_to(&mut conn.stream, true);
                             }
                         }
                     }
@@ -245,53 +278,249 @@ impl Server {
     }
 }
 
-/// `GET /readyz`: ready only while accepting and below high-water.
-/// Server-level (unlike `/healthz` in the service) because readiness is
-/// a property of the queue and the drain flag, which the service cannot
-/// see.
-fn readyz<T>(queue: &ConnQueue<T>, shutdown: &AtomicBool) -> Response {
+/// `GET /readyz`: ready only while accepting, below high-water and (when
+/// SLO-gated) not fast-burning. Server-level (unlike `/healthz` in the
+/// service) because readiness is a property of the queue, the drain flag
+/// and the SLO tracker, which the service cannot see.
+fn readyz<T>(queue: &ConnQueue<T>, shutdown: &AtomicBool, slo: &SloTracker) -> Response {
     offchip_obs::registry().add("serve.requests.readyz", 1);
     let (queued, _active) = queue.depth();
     if shutdown.load(Ordering::SeqCst) {
         Response::error(503, "draining")
     } else if queued >= queue.config().high_water() {
         Response::error(503, "queue above high-water")
+    } else if slo.degrade_readyz() {
+        Response::error(503, "slo fast-burn")
     } else {
         Response::text(200, "ready\n")
     }
 }
 
-/// Serves one connection: keep-alive request loop until the client
-/// closes, errors, times out or shutdown is requested.
-fn handle_connection(
-    stream: ServeStream,
+/// `GET /statusz`: the human-readable flight-recorder page — uptime,
+/// traffic and cache counters, burn rates, breaker states and the
+/// slowest recent traces with their ids.
+fn statusz<T>(service: &PredictService, queue: &ConnQueue<T>, slo: &SloTracker) -> Response {
+    use std::fmt::Write as _;
+    let reg = offchip_obs::registry();
+    reg.add("serve.requests.statusz", 1);
+    let (queued, active) = queue.depth();
+    let burn = slo.burn();
+    let hits = reg.counter("serve.cache.hit");
+    let misses = reg.counter("serve.cache.miss");
+    let ratio = if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    };
+    let cfg = slo.config();
+    let mut out = String::with_capacity(1024);
+    let _ = writeln!(out, "offchip-serve statusz");
+    let _ = writeln!(out, "uptime_s: {}", slo.uptime().as_secs());
+    let _ = writeln!(
+        out,
+        "connections: {} (queue {queued} waiting / {active} active)",
+        reg.counter("serve.connections")
+    );
+    let _ = writeln!(
+        out,
+        "requests: predict={} sweep={} metrics={} readyz={}",
+        reg.counter("serve.requests.predict"),
+        reg.counter("serve.requests.sweep"),
+        reg.counter("serve.requests.metrics"),
+        reg.counter("serve.requests.readyz"),
+    );
+    let _ = writeln!(
+        out,
+        "cache: hit={hits} miss={misses} hit_ratio={ratio:.3} entries={}",
+        service.cached_models()
+    );
+    let _ = writeln!(
+        out,
+        "pressure: shed={} request_timeout={} deadline_miss={} degraded={}",
+        reg.counter("serve.shed"),
+        reg.counter("serve.request_timeout"),
+        reg.counter("serve.deadline_miss"),
+        reg.counter("serve.degraded"),
+    );
+    let _ = writeln!(
+        out,
+        "slo: availability={} p99_objective_us={} fast_burn_threshold={} gate_readyz={}",
+        cfg.availability, cfg.p99_latency_us, cfg.fast_burn, cfg.gate_readyz
+    );
+    let _ = writeln!(
+        out,
+        "burn: short={:.3} long={:.3} fast_burn={} \
+         (short {}/{} bad, long {}/{} bad)",
+        burn.short_burn,
+        burn.long_burn,
+        burn.fast_burn,
+        burn.short_counts.1,
+        burn.short_counts.0,
+        burn.long_counts.1,
+        burn.long_counts.0,
+    );
+    let breakers = service.breaker_entries();
+    if breakers.is_empty() {
+        let _ = writeln!(out, "breakers: all closed");
+    } else {
+        for (key, info) in breakers {
+            let _ = writeln!(
+                out,
+                "breaker: {}/{} state={} consecutive_failures={} last_error_kind={}",
+                key.machine,
+                key.program,
+                info.state.as_str(),
+                info.consecutive_failures,
+                info.last_error_kind.unwrap_or("none"),
+            );
+        }
+    }
+    let slowest = slo.slowest();
+    if slowest.is_empty() {
+        let _ = writeln!(out, "slowest: none recorded");
+    } else {
+        let _ = writeln!(out, "slowest ({} recent):", slowest.len());
+        for s in slowest {
+            let _ = writeln!(
+                out,
+                "  trace={:016x} latency_us={} status={}",
+                s.trace, s.latency_us, s.status
+            );
+        }
+    }
+    Response::text(200, out)
+}
+
+/// `GET /debug/trace/<id>`: the buffered span tree of a recent traced
+/// request — JSON by default, Chrome `trace_event` with `?fmt=perfetto`.
+fn debug_trace(id_hex: &str, query: &str) -> Response {
+    offchip_obs::registry().add("serve.requests.debug_trace", 1);
+    let Ok(id) = u64::from_str_radix(id_hex, 16) else {
+        return Response::error(400, "trace id must be hex");
+    };
+    let body = if query.split('&').any(|kv| kv == "fmt=perfetto") {
+        offchip_obs::trace_perfetto_json(id)
+    } else {
+        offchip_obs::trace_tree_json(id)
+    };
+    match body {
+        Some(json) => Response::json(200, format!("{json}\n")),
+        None => Response::error(404, "no such trace (expired or never traced)"),
+    }
+}
+
+/// Routes one request: server-level endpoints (which need the queue, the
+/// drain flag or the SLO tracker) here, everything else to the service.
+fn route(
+    req: &Request,
     service: &PredictService,
     shutdown: &AtomicBool,
-    queue: &ConnQueue<ServeStream>,
+    queue: &ConnQueue<Conn>,
+    slo: &SloTracker,
+    trace: offchip_obs::TraceRef,
+) -> Response {
+    let (path, query) = req.path.split_once('?').unwrap_or((req.path.as_str(), ""));
+    if req.method == "GET" {
+        match path {
+            "/readyz" => return readyz(queue, shutdown, slo),
+            "/statusz" => return statusz(service, queue, slo),
+            _ => {
+                if let Some(id_hex) = path.strip_prefix("/debug/trace/") {
+                    return debug_trace(id_hex, query);
+                }
+            }
+        }
+    }
+    service.handle_traced(req, trace)
+}
+
+/// Serves one connection: keep-alive request loop until the client
+/// closes, errors, times out or shutdown is requested.
+///
+/// Per-request trace lifecycle (DESIGN.md §15): the id is the inbound
+/// `X-Offchip-Trace` when present, else derived from
+/// `(connection counter, request sequence)`; spans are buffered only when
+/// the client asked for tracing or the process runs at `--obs trace`, but
+/// the id is *echoed* on every response either way — correlation is free,
+/// buffering is opt-in.
+fn handle_connection(
+    conn: Conn,
+    service: &PredictService,
+    shutdown: &AtomicBool,
+    queue: &ConnQueue<Conn>,
     budget: Duration,
+    slo: &SloTracker,
 ) {
-    let mut reader = BufReader::new(stream);
+    let conn_id = conn.id;
+    let queue_wait_us = conn.admitted.elapsed().as_micros() as u64;
+    let mut reader = BufReader::new(conn.stream);
+    let mut seq: u64 = 0;
     loop {
+        let t_parse = Instant::now();
         match read_request(&mut reader, budget) {
             Ok(Some(req)) => {
+                let parse_us = t_parse.elapsed().as_micros() as u64;
+                let t0 = Instant::now();
+                let id = req
+                    .trace
+                    .unwrap_or_else(|| offchip_obs::derive_trace_id(conn_id, seq));
+                let buffered =
+                    req.trace.is_some() || offchip_obs::level().at_least(ObsLevel::Trace);
+                let tid = if buffered { id } else { 0 };
+                let root = if tid != 0 {
+                    let root = offchip_obs::trace_begin(
+                        tid,
+                        "request",
+                        format!("{} {} conn={conn_id} seq={seq}", req.method, req.path),
+                    );
+                    offchip_obs::span_event(tid, root, "http.parse", String::new(), parse_us);
+                    if seq == 0 {
+                        // Admission wait is a connection-level cost; bill
+                        // it to the first request, which actually paid it.
+                        offchip_obs::span_event(
+                            tid,
+                            root,
+                            "queue.wait",
+                            String::new(),
+                            queue_wait_us,
+                        );
+                    }
+                    root
+                } else {
+                    0
+                };
+                seq += 1;
+                // Stamp every log record emitted on behalf of this
+                // request (JSON mode) with the trace id.
+                let _scope = (tid != 0).then(|| offchip_obs::TraceScope::enter(tid));
                 // Close after this response if the client asked to or
                 // the server is draining.
                 let close = req.close || shutdown.load(Ordering::SeqCst);
-                let resp = if req.method == "GET" && req.path == "/readyz" {
-                    readyz(queue, shutdown)
-                } else {
-                    service.handle(&req)
+                let tref = offchip_obs::TraceRef {
+                    trace: tid,
+                    parent: root,
                 };
-                if resp.write_to(reader.get_mut(), close).is_err() || close {
+                let resp = route(&req, service, shutdown, queue, slo, tref)
+                    .with_header("X-Offchip-Trace", &format!("{id:016x}"));
+                let wspan = offchip_obs::span_open(tid, root, "response.write", String::new());
+                let wrote = resp.write_to(reader.get_mut(), close);
+                offchip_obs::span_close(tid, wspan);
+                offchip_obs::span_close(tid, root);
+                offchip_obs::trace_finish(tid);
+                let total_us = parse_us + t0.elapsed().as_micros() as u64;
+                slo.record(resp.status, total_us, tid);
+                if wrote.is_err() || close {
                     return;
                 }
             }
             Ok(None) => return,
             Err(HttpError::BadRequest(what)) => {
+                slo.record(400, 0, 0);
                 let _ = Response::error(400, what).write_to(reader.get_mut(), true);
                 return;
             }
             Err(HttpError::TooLarge(what)) => {
+                slo.record(413, 0, 0);
                 let _ = Response::error(413, what).write_to(reader.get_mut(), true);
                 return;
             }
@@ -300,6 +529,7 @@ fn handle_connection(
                 // a chaos stall): a clean 408, distinct from the silent
                 // close an idle keep-alive connection gets.
                 offchip_obs::registry().add("serve.request_timeout", 1);
+                slo.record(408, 0, 0);
                 let _ = Response::error(408, what).write_to(reader.get_mut(), true);
                 return;
             }
@@ -320,13 +550,14 @@ mod tests {
         };
         let queue: ConnQueue<u8> = ConnQueue::new(cfg.clone());
         let shutdown = AtomicBool::new(false);
-        assert_eq!(readyz(&queue, &shutdown).status, 200);
+        let slo = SloTracker::new(SloConfig::default());
+        assert_eq!(readyz(&queue, &shutdown, &slo).status, 200);
 
         // Queue at the high-water mark: not ready, but still accepting.
         for i in 0..cfg.high_water() {
             queue.admit(i as u8).unwrap();
         }
-        let resp = readyz(&queue, &shutdown);
+        let resp = readyz(&queue, &shutdown, &slo);
         assert_eq!(resp.status, 503);
         assert!(
             String::from_utf8_lossy(&resp.body).contains("high-water"),
@@ -336,8 +567,40 @@ mod tests {
 
         // Draining wins over everything else.
         shutdown.store(true, Ordering::SeqCst);
-        let resp = readyz(&queue, &shutdown);
+        let resp = readyz(&queue, &shutdown, &slo);
         assert_eq!(resp.status, 503);
         assert!(String::from_utf8_lossy(&resp.body).contains("draining"));
+    }
+
+    #[test]
+    fn readyz_degrades_on_fast_burn_only_when_gated() {
+        let queue: ConnQueue<u8> = ConnQueue::new(AdmissionConfig {
+            max_queue: 4,
+            max_conns: 8,
+        });
+        let shutdown = AtomicBool::new(false);
+        let gated = SloTracker::new(SloConfig {
+            availability: 0.9,
+            fast_burn: 2.0,
+            gate_readyz: true,
+            ..SloConfig::default()
+        });
+        for _ in 0..50 {
+            gated.record(500, 10, 0);
+        }
+        let resp = readyz(&queue, &shutdown, &gated);
+        assert_eq!(resp.status, 503);
+        assert!(String::from_utf8_lossy(&resp.body).contains("fast-burn"));
+
+        // Same traffic, gating off (the default): stays ready.
+        let ungated = SloTracker::new(SloConfig {
+            availability: 0.9,
+            fast_burn: 2.0,
+            ..SloConfig::default()
+        });
+        for _ in 0..50 {
+            ungated.record(500, 10, 0);
+        }
+        assert_eq!(readyz(&queue, &shutdown, &ungated).status, 200);
     }
 }

@@ -17,8 +17,9 @@ use crate::cache::{Disposition, Fetch, FillError, SingleFlight};
 use crate::degraded;
 use crate::http::{Request, Response};
 use offchip_bench::{
-    build_workload, loss_summary, Campaign, CampaignOptions, ProgramSpec,
+    build_workload, loss_summary_traced, Campaign, CampaignOptions, ProgramSpec,
 };
+use offchip_obs::TraceRef;
 use offchip_json::Json;
 use offchip_model::{
     fit_robust_from_sweep, validate, FitProtocol, FitQuality, ModelParams, RobustOptions,
@@ -209,14 +210,29 @@ impl PredictService {
     /// Routes one parsed request to a handler. Infallible: errors become
     /// JSON error responses with the right status.
     pub fn handle(&self, req: &Request) -> Response {
+        self.handle_traced(req, TraceRef::NONE)
+    }
+
+    /// [`PredictService::handle`] with a trace handle: model-path work
+    /// (cache decisions, fill waits, campaign points) records spans under
+    /// `trace.parent`. Pass [`TraceRef::NONE`] for an untraced request —
+    /// every span call degrades to a no-op.
+    pub fn handle_traced(&self, req: &Request, trace: TraceRef) -> Response {
         let t0 = Instant::now();
         let reg = offchip_obs::registry();
-        let resp = match (req.method.as_str(), req.path.as_str()) {
-            ("POST", "/predict") => self.endpoint(req, "predict", Self::predict),
-            ("POST", "/sweep") => self.endpoint(req, "sweep", Self::sweep),
+        let (path, query) = req.path.split_once('?').unwrap_or((req.path.as_str(), ""));
+        let resp = match (req.method.as_str(), path) {
+            ("POST", "/predict") => self.endpoint(req, "predict", Self::predict, trace),
+            ("POST", "/sweep") => self.endpoint(req, "sweep", Self::sweep, trace),
             ("GET", "/metrics") => {
                 reg.add("serve.requests.metrics", 1);
-                Response::text(200, reg.snapshot().to_csv())
+                if query.split('&').any(|kv| kv == "fmt=prom") {
+                    let mut resp = Response::text(200, offchip_obs::render_prometheus(reg));
+                    resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+                    resp
+                } else {
+                    Response::text(200, reg.snapshot().to_csv())
+                }
             }
             ("GET", "/healthz") => {
                 reg.add("serve.requests.healthz", 1);
@@ -251,6 +267,7 @@ impl PredictService {
         req: &Request,
         name: &'static str,
         body: fn(&Self, &FittedEntry, &Json) -> Result<Json, ServiceError>,
+        trace: TraceRef,
     ) -> Response {
         let reg = offchip_obs::registry();
         reg.add(&format!("serve.requests.{name}"), 1);
@@ -258,7 +275,7 @@ impl PredictService {
         let outcome = (|| {
             let doc = parse_body(&req.body)?;
             let key = parse_key(&doc)?;
-            let outcome = self.model_for(&key, Some(deadline))?;
+            let outcome = self.model_for_traced(&key, Some(deadline), trace)?;
             let json = match &outcome {
                 ModelOutcome::Fitted(entry, _) | ModelOutcome::Degraded(entry, _) => {
                     Some(body(self, entry, &doc)?)
@@ -326,11 +343,33 @@ impl PredictService {
         key: &ModelKey,
         deadline: Option<Instant>,
     ) -> Result<ModelOutcome, ServiceError> {
+        self.model_for_traced(key, deadline, TraceRef::NONE)
+    }
+
+    /// [`PredictService::model_for`] with a trace handle: the cache
+    /// decision, breaker decision and fill wait each record a span, and a
+    /// fill this request *leads* runs under its trace (spans from the
+    /// fill thread — campaign sim points included — parent under it).
+    pub fn model_for_traced(
+        &self,
+        key: &ModelKey,
+        deadline: Option<Instant>,
+        trace: TraceRef,
+    ) -> Result<ModelOutcome, ServiceError> {
+        let detail = || format!("key={}/{}", key.machine, key.program);
         if let Some(entry) = self.cache.peek(key) {
+            offchip_obs::span_event(trace.trace, trace.parent, "cache.hit", detail(), 0);
             return Ok(ModelOutcome::Fitted(entry, Disposition::Hit));
         }
         match self.breaker.admit(key) {
             Admission::Degrade { probe, info } => {
+                offchip_obs::span_event(
+                    trace.trace,
+                    trace.parent,
+                    "breaker.degraded",
+                    format!("{} state={} probe={probe}", detail(), info.state.as_str()),
+                    0,
+                );
                 if probe {
                     // Launch the half-open probe fill in the background.
                     // The already-expired deadline means this request
@@ -338,16 +377,49 @@ impl PredictService {
                     // rest of the window.
                     let _ = self
                         .cache
-                        .get_or_start(key, Some(Instant::now()), self.fill_closure(key));
+                        .get_or_start(key, Some(Instant::now()), self.fill_closure(key, trace));
                 }
                 Ok(ModelOutcome::Degraded(self.degraded_entry(key)?, info))
             }
             Admission::Proceed => {
-                match self.cache.get_or_start(key, deadline, self.fill_closure(key)) {
+                let t0 = Instant::now();
+                match self.cache.get_or_start(key, deadline, self.fill_closure(key, trace)) {
                     Fetch::Ready(entry, disposition) => {
+                        match disposition {
+                            Disposition::Hit => {
+                                offchip_obs::span_event(
+                                    trace.trace,
+                                    trace.parent,
+                                    "cache.hit",
+                                    detail(),
+                                    0,
+                                );
+                            }
+                            // Leader and coalesced waiter both spent this
+                            // long blocked on the fill; the fill's own
+                            // span (leader's trace only) shows the work.
+                            Disposition::Miss | Disposition::Coalesced => {
+                                offchip_obs::span_event(
+                                    trace.trace,
+                                    trace.parent,
+                                    "fill.wait",
+                                    format!("{} disposition={}", detail(), disposition.as_str()),
+                                    t0.elapsed().as_micros() as u64,
+                                );
+                            }
+                        }
                         Ok(ModelOutcome::Fitted(entry, disposition))
                     }
-                    Fetch::Pending { .. } => Ok(ModelOutcome::Pending),
+                    Fetch::Pending { .. } => {
+                        offchip_obs::span_event(
+                            trace.trace,
+                            trace.parent,
+                            "fill.pending",
+                            detail(),
+                            t0.elapsed().as_micros() as u64,
+                        );
+                        Ok(ModelOutcome::Pending)
+                    }
                     Fetch::Failed(e) => {
                         // The failure we just observed may have tripped
                         // the breaker; if so this caller already gets
@@ -369,17 +441,44 @@ impl PredictService {
         self.cache.len()
     }
 
+    /// Breaker snapshot for `/statusz`: every key that ever recorded a
+    /// fill failure, with its current state.
+    pub fn breaker_entries(&self) -> Vec<(ModelKey, BreakerInfo)> {
+        self.breaker.entries()
+    }
+
     /// The `'static` fill closure handed to the single-flight cache:
-    /// runs the campaign and records the outcome on the breaker.
+    /// runs the campaign and records the outcome on the breaker. The
+    /// leading request's trace rides along — the fill thread re-enters it
+    /// so its log lines stay stamped and the campaign's per-point spans
+    /// parent under a `fill` span.
     fn fill_closure(
         &self,
         key: &ModelKey,
+        trace: TraceRef,
     ) -> impl FnOnce() -> Result<FittedEntry, ServiceError> + Send + 'static {
         let config = self.config.clone();
         let breaker = Arc::clone(&self.breaker);
         let key = key.clone();
         move || {
-            let result = fill_model(&config, &key);
+            let _scope = trace
+                .is_active()
+                .then(|| offchip_obs::TraceScope::enter(trace.trace));
+            let span = offchip_obs::span_open(
+                trace.trace,
+                trace.parent,
+                "fill",
+                format!("key={}/{}", key.machine, key.program),
+            );
+            let result = fill_model(
+                &config,
+                &key,
+                TraceRef {
+                    trace: trace.trace,
+                    parent: span,
+                },
+            );
+            offchip_obs::span_close(trace.trace, span);
             match &result {
                 Ok(_) => breaker.on_success(&key),
                 // A malformed key is the caller's bug, not fill-path
@@ -435,7 +534,11 @@ impl PredictService {
 /// The fill path: journaled sweep → robust fit → validation. A free
 /// function (config + key only) because it runs on the background
 /// single-flight fill thread, which cannot borrow the service.
-fn fill_model(config: &ServiceConfig, key: &ModelKey) -> Result<FittedEntry, ServiceError> {
+fn fill_model(
+    config: &ServiceConfig,
+    key: &ModelKey,
+    trace: TraceRef,
+) -> Result<FittedEntry, ServiceError> {
     let spec = ProgramSpec::parse(&key.program).map_err(ServiceError::BadRequest)?;
     let machine = machine_for(&key.machine)?;
     let total = machine.total_cores();
@@ -453,6 +556,7 @@ fn fill_model(config: &ServiceConfig, key: &ModelKey) -> Result<FittedEntry, Ser
     let opts = CampaignOptions {
         resume: true,
         journal_dir: config.journal_dir.clone(),
+        trace: trace.is_active().then_some(trace),
         ..CampaignOptions::default()
     };
     let campaign = Campaign::start(&campaign_name, &opts)
@@ -477,7 +581,7 @@ fn fill_model(config: &ServiceConfig, key: &ModelKey) -> Result<FittedEntry, Ser
         return Err(ServiceError::CampaignLoss(format!(
             "fill campaign lost {} point(s) ({}); completed runs are journaled — retry resumes",
             cs.errors.len(),
-            loss_summary(&cs.errors)
+            loss_summary_traced(&cs.errors, trace.is_active().then_some(trace))
         )));
     }
     offchip_obs::info!(

@@ -1,0 +1,331 @@
+//! Rolling-window SLO tracking: availability and p99 latency against
+//! configurable objectives, with multi-window burn rates.
+//!
+//! # The math
+//!
+//! A request is *bad* when it fails (status ≥ 500) or finishes slower
+//! than the latency objective. The error budget is `1 − availability`
+//! (e.g. 0.1 % at a 99.9 % objective), and a window's **burn rate** is
+//!
+//! ```text
+//! burn = bad_fraction(window) / (1 − availability_objective)
+//! ```
+//!
+//! — burn 1.0 consumes the budget exactly at the sustainable pace; burn
+//! 14 exhausts a 30-day budget in ~2 days. Following the classic
+//! multi-window alerting rule, the *fast-burn* condition requires **both**
+//! the short and the long window above the threshold: the long window
+//! proves the problem is real (not one bad second), the short window
+//! proves it is still happening (so readiness recovers promptly).
+//!
+//! Degrading `/readyz` on fast burn is opt-in ([`SloConfig::gate_readyz`])
+//! because shedding under overload is *correct* behaviour for this
+//! service — an orchestrator that stops routing on burn would amplify a
+//! load spike into an outage. `/statusz` always reports the burn state.
+//!
+//! Time is bucketed per second into a fixed ring, so the tracker is O(1)
+//! per request and O(window) per read, with no allocation on the record
+//! path (the slowest-trace table is a fixed 8-slot array).
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Slots in the slowest-recent-traces table surfaced on `/statusz`.
+pub const SLOWEST_TRACKED: usize = 8;
+
+/// SLO objectives and alerting windows.
+#[derive(Debug, Clone)]
+pub struct SloConfig {
+    /// Availability objective in `(0, 1)`, e.g. `0.999`.
+    pub availability: f64,
+    /// Latency objective in microseconds: a request slower than this
+    /// counts against the budget like a failure.
+    pub p99_latency_us: u64,
+    /// Burn-rate threshold for the fast-burn condition.
+    pub fast_burn: f64,
+    /// Short alerting window.
+    pub short_window: Duration,
+    /// Long alerting window; also the ring size, so it bounds memory.
+    pub long_window: Duration,
+    /// Degrade `/readyz` while fast-burn is active. Off by default: see
+    /// the module docs for why burn-gated readiness is opt-in here.
+    pub gate_readyz: bool,
+}
+
+impl Default for SloConfig {
+    fn default() -> SloConfig {
+        SloConfig {
+            availability: 0.999,
+            p99_latency_us: 500_000,
+            fast_burn: 14.0,
+            short_window: Duration::from_secs(60),
+            long_window: Duration::from_secs(600),
+            gate_readyz: false,
+        }
+    }
+}
+
+/// One second of traffic.
+#[derive(Debug, Clone, Copy, Default)]
+struct Bucket {
+    /// Epoch second this slot currently holds (slots are reused).
+    sec: u64,
+    total: u64,
+    bad: u64,
+}
+
+/// One slow request remembered for `/statusz`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlowTrace {
+    /// Trace id (0 when the request ran untraced).
+    pub trace: u64,
+    /// Total latency in microseconds.
+    pub latency_us: u64,
+    /// Response status.
+    pub status: u16,
+}
+
+#[derive(Debug, Default)]
+struct SloState {
+    ring: Vec<Bucket>,
+    slowest: Vec<SlowTrace>,
+}
+
+/// Burn rates over both alerting windows, plus the raw window tallies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurnReport {
+    /// Burn over the short window.
+    pub short_burn: f64,
+    /// Burn over the long window.
+    pub long_burn: f64,
+    /// `(total, bad)` over the short window.
+    pub short_counts: (u64, u64),
+    /// `(total, bad)` over the long window.
+    pub long_counts: (u64, u64),
+    /// True when both windows exceed the fast-burn threshold.
+    pub fast_burn: bool,
+}
+
+/// The tracker: O(1) record, cheap windowed reads.
+#[derive(Debug)]
+pub struct SloTracker {
+    cfg: SloConfig,
+    started: Instant,
+    state: Mutex<SloState>,
+}
+
+impl SloTracker {
+    /// A tracker with the given objectives, starting its clock now.
+    pub fn new(cfg: SloConfig) -> SloTracker {
+        let secs = cfg.long_window.as_secs().max(1) as usize;
+        SloTracker {
+            cfg,
+            started: Instant::now(),
+            state: Mutex::new(SloState {
+                ring: vec![Bucket::default(); secs],
+                slowest: Vec::with_capacity(SLOWEST_TRACKED),
+            }),
+        }
+    }
+
+    /// The configured objectives.
+    pub fn config(&self) -> &SloConfig {
+        &self.cfg
+    }
+
+    /// Seconds since the tracker (≈ the server) started.
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    fn now_sec(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
+    /// Records one finished request.
+    pub fn record(&self, status: u16, latency_us: u64, trace: u64) {
+        let sec = self.now_sec();
+        let bad = status >= 500 || latency_us > self.cfg.p99_latency_us;
+        let mut st = self.state.lock().unwrap();
+        let len = st.ring.len() as u64;
+        let slot = &mut st.ring[(sec % len) as usize];
+        if slot.sec != sec {
+            // The slot last held a second at least `len` ago: recycle.
+            *slot = Bucket {
+                sec,
+                total: 0,
+                bad: 0,
+            };
+        }
+        slot.total += 1;
+        if bad {
+            slot.bad += 1;
+        }
+        // Keep the N slowest recent requests, slowest first. "Recent" is
+        // enforced by displacement: new slow requests push old ones out.
+        let entry = SlowTrace {
+            trace,
+            latency_us,
+            status,
+        };
+        let pos = st.slowest.partition_point(|s| s.latency_us >= latency_us);
+        if pos < SLOWEST_TRACKED {
+            st.slowest.insert(pos, entry);
+            st.slowest.truncate(SLOWEST_TRACKED);
+        }
+    }
+
+    fn window_counts(&self, st: &SloState, now: u64, window: Duration) -> (u64, u64) {
+        let w = window.as_secs().max(1).min(st.ring.len() as u64);
+        let oldest = now.saturating_sub(w - 1);
+        let (mut total, mut bad) = (0u64, 0u64);
+        for slot in &st.ring {
+            if slot.sec >= oldest && slot.sec <= now && slot.total > 0 {
+                total += slot.total;
+                bad += slot.bad;
+            }
+        }
+        (total, bad)
+    }
+
+    /// Burn rates over both windows as of now.
+    pub fn burn(&self) -> BurnReport {
+        let now = self.now_sec();
+        let st = self.state.lock().unwrap();
+        let budget = (1.0 - self.cfg.availability).max(1e-9);
+        let rate = |(total, bad): (u64, u64)| {
+            if total == 0 {
+                0.0
+            } else {
+                (bad as f64 / total as f64) / budget
+            }
+        };
+        let short_counts = self.window_counts(&st, now, self.cfg.short_window);
+        let long_counts = self.window_counts(&st, now, self.cfg.long_window);
+        let short_burn = rate(short_counts);
+        let long_burn = rate(long_counts);
+        BurnReport {
+            short_burn,
+            long_burn,
+            short_counts,
+            long_counts,
+            fast_burn: short_burn > self.cfg.fast_burn && long_burn > self.cfg.fast_burn,
+        }
+    }
+
+    /// True when `/readyz` should report not-ready on SLO grounds.
+    pub fn degrade_readyz(&self) -> bool {
+        self.cfg.gate_readyz && self.burn().fast_burn
+    }
+
+    /// The slowest recent requests, slowest first.
+    pub fn slowest(&self) -> Vec<SlowTrace> {
+        self.state.lock().unwrap().slowest.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SloConfig {
+        SloConfig {
+            availability: 0.9,
+            p99_latency_us: 1_000,
+            fast_burn: 2.0,
+            short_window: Duration::from_secs(5),
+            long_window: Duration::from_secs(20),
+            gate_readyz: true,
+        }
+    }
+
+    #[test]
+    fn healthy_traffic_never_burns() {
+        let t = SloTracker::new(cfg());
+        for _ in 0..100 {
+            t.record(200, 10, 0);
+        }
+        let b = t.burn();
+        assert_eq!(b.long_counts, (100, 0));
+        assert_eq!(b.short_burn, 0.0);
+        assert!(!b.fast_burn);
+        assert!(!t.degrade_readyz());
+    }
+
+    #[test]
+    fn empty_tracker_reports_zero_burn() {
+        let t = SloTracker::new(cfg());
+        let b = t.burn();
+        assert_eq!(b.short_burn, 0.0);
+        assert_eq!(b.long_counts, (0, 0));
+        assert!(!b.fast_burn);
+    }
+
+    #[test]
+    fn errors_and_slow_requests_burn_the_budget() {
+        let t = SloTracker::new(cfg());
+        // Half the traffic fails: bad fraction 0.5 against a 0.1 budget
+        // → burn 5.0 in both windows → fast burn at threshold 2.0.
+        for _ in 0..50 {
+            t.record(200, 10, 0);
+            t.record(503, 10, 0);
+        }
+        let b = t.burn();
+        assert!((b.short_burn - 5.0).abs() < 1e-9, "short={}", b.short_burn);
+        assert!(b.fast_burn);
+        assert!(t.degrade_readyz());
+
+        // Latency violations count like failures.
+        let t = SloTracker::new(cfg());
+        for _ in 0..10 {
+            t.record(200, 50_000, 0);
+        }
+        assert_eq!(t.burn().long_counts, (10, 10));
+    }
+
+    #[test]
+    fn gate_readyz_off_never_degrades() {
+        let mut c = cfg();
+        c.gate_readyz = false;
+        let t = SloTracker::new(c);
+        for _ in 0..100 {
+            t.record(500, 10, 0);
+        }
+        assert!(t.burn().fast_burn, "burn is still reported");
+        assert!(!t.degrade_readyz(), "but readiness is not gated");
+    }
+
+    #[test]
+    fn slowest_table_is_sorted_bounded_and_keeps_traces() {
+        let t = SloTracker::new(cfg());
+        for i in 0..50u64 {
+            t.record(200, i * 100, 0x1000 + i);
+        }
+        let slowest = t.slowest();
+        assert_eq!(slowest.len(), SLOWEST_TRACKED);
+        assert!(slowest.windows(2).all(|w| w[0].latency_us >= w[1].latency_us));
+        assert_eq!(slowest[0].latency_us, 4_900);
+        assert_eq!(slowest[0].trace, 0x1000 + 49);
+    }
+
+    #[test]
+    fn ring_slots_recycle_old_seconds() {
+        // Drive the ring via a long window of 2 s and verify that slots
+        // belonging to expired seconds stop counting: record, then wait
+        // past the window and confirm the counts age out.
+        let c = SloConfig {
+            short_window: Duration::from_secs(1),
+            long_window: Duration::from_secs(2),
+            ..cfg()
+        };
+        let t = SloTracker::new(c);
+        for _ in 0..10 {
+            t.record(500, 10, 0);
+        }
+        assert_eq!(t.burn().long_counts.0, 10);
+        std::thread::sleep(Duration::from_millis(3_100));
+        let b = t.burn();
+        assert_eq!(b.long_counts, (0, 0), "old seconds aged out: {b:?}");
+        assert!(!b.fast_burn);
+    }
+}

@@ -261,6 +261,7 @@ fn chaos_net_never_hangs_or_tears_responses() {
             body: br#"{"machine":"uma","program":"CG.S","n":8}"#.to_vec(),
             close: false,
             deadline_ms: None,
+            trace: None,
         });
         assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
         resp.body

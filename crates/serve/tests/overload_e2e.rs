@@ -47,6 +47,7 @@ fn predict_request(deadline_ms: Option<u64>) -> Request {
         body: br#"{"machine":"uma","program":"CG.S","n":8}"#.to_vec(),
         close: false,
         deadline_ms,
+        trace: None,
     }
 }
 

@@ -33,6 +33,7 @@ fn predict_request(body: &str) -> Request {
         body: body.as_bytes().to_vec(),
         close: false,
         deadline_ms: None,
+        trace: None,
     }
 }
 
@@ -114,6 +115,7 @@ fn cold_fill_then_warm_hit_is_byte_identical_and_does_not_resimulate() {
         body: br#"{"machine":"uma","program":"CG.S","n_from":1,"n_to":8}"#.to_vec(),
         close: false,
         deadline_ms: None,
+        trace: None,
     });
     assert_eq!(sweep.status, 200);
     assert_eq!(cache_header(&sweep), "hit");

@@ -1,0 +1,257 @@
+//! End-to-end request tracing (DESIGN.md §15): one traced cold
+//! `/predict` over a real socket, then the trace surfaces.
+//!
+//! The acceptance path in one test: the response echoes the
+//! `X-Offchip-Trace` id, `/debug/trace/<id>` returns a span tree whose
+//! spans (`http.parse`, `queue.wait`, `fill`, `sim.point`,
+//! `response.write`) have consistent parentage, the Perfetto export is
+//! well-formed `trace_event` JSON, and — the determinism contract — the
+//! traced cold body is byte-identical to an untraced cold run of the
+//! same key.
+
+use offchip_serve::http::Request;
+use offchip_serve::{PredictService, Server, ServerOptions, ServiceConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+const SEEDS: [u64; 2] = [1, 2];
+const TRACE_ID: &str = "00000000cafe0001";
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("offchip-serve-trace-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn test_service(dir: &Path) -> PredictService {
+    PredictService::new(ServiceConfig {
+        journal_dir: Some(dir.to_path_buf()),
+        seeds: SEEDS.to_vec(),
+        jobs: 2,
+        ..ServiceConfig::default()
+    })
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case(name))
+        .map(|(_, v)| v.as_str())
+}
+
+type HttpReply = (u16, Vec<(String, String)>, Vec<u8>);
+
+fn read_response(r: &mut BufReader<TcpStream>) -> std::io::Result<HttpReply> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "closed before status line",
+        ));
+    }
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut h = String::new();
+        r.read_line(&mut h)?;
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = h.split_once(':') {
+            let value = value.trim().to_string();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().unwrap_or(0);
+            }
+            headers.push((name.to_string(), value));
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body)?;
+    Ok((status, headers, body))
+}
+
+fn get(conn: &mut TcpStream, reader: &mut BufReader<TcpStream>, path: &str) -> HttpReply {
+    conn.write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+        .unwrap();
+    read_response(reader).unwrap()
+}
+
+#[test]
+fn traced_cold_predict_yields_a_span_tree_and_identical_bytes() {
+    let dir = scratch("e2e");
+    let opts = ServerOptions {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        ..ServerOptions::default()
+    };
+    let server = Server::bind(&opts, test_service(&dir)).unwrap();
+    let addr = server.local_addr().to_string();
+    let shutdown = AtomicBool::new(false);
+    let traced_body = std::thread::scope(|s| {
+        let run = s.spawn(|| server.run(&shutdown));
+
+        let mut conn = TcpStream::connect(&addr).unwrap();
+        // Generous read timeout: the cold fill runs a real (quick-seed)
+        // campaign on this first request.
+        conn.set_read_timeout(Some(Duration::from_secs(600))).unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+
+        // Cold predict, tracing requested via the inbound header.
+        let body = br#"{"machine":"uma","program":"CG.S","n":8}"#;
+        conn.write_all(
+            format!(
+                "POST /predict HTTP/1.1\r\nHost: t\r\nX-Offchip-Trace: {TRACE_ID}\r\n\
+                 Content-Length: {}\r\n\r\n",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+        conn.write_all(body).unwrap();
+        let (status, headers, traced_body) = read_response(&mut reader).unwrap();
+        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&traced_body));
+        assert_eq!(
+            header(&headers, "X-Offchip-Trace"),
+            Some(TRACE_ID),
+            "the response echoes the inbound trace id"
+        );
+        assert_eq!(header(&headers, "X-Offchip-Cache"), Some("miss"));
+
+        // The span tree, over the same keep-alive connection.
+        let (status, _, tree) = get(&mut conn, &mut reader, &format!("/debug/trace/{TRACE_ID}"));
+        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&tree));
+        let doc = offchip_json::Json::parse(std::str::from_utf8(&tree).unwrap().trim()).unwrap();
+        assert_eq!(
+            doc.get("trace_id").and_then(|j| j.as_str()),
+            Some(TRACE_ID)
+        );
+        let spans: Vec<(u64, u64, String)> = match doc.get("spans") {
+            Some(offchip_json::Json::Arr(items)) => items
+                .iter()
+                .map(|s| {
+                    (
+                        s.get("id").and_then(|j| j.as_u64()).unwrap(),
+                        s.get("parent").and_then(|j| j.as_u64()).unwrap(),
+                        s.get("name").and_then(|j| j.as_str()).unwrap().to_string(),
+                    )
+                })
+                .collect(),
+            other => panic!("no spans array: {other:?}"),
+        };
+        let find = |name: &str| spans.iter().find(|(_, _, n)| n == name);
+        let by_name: Vec<&str> = spans.iter().map(|(_, _, n)| n.as_str()).collect();
+        let (root_id, root_parent, _) = find("request").expect("root span");
+        assert_eq!(*root_parent, 0, "the root has no parent");
+        for name in ["http.parse", "queue.wait", "response.write"] {
+            let (_, parent, _) =
+                find(name).unwrap_or_else(|| panic!("missing {name} span in {by_name:?}"));
+            assert_eq!(parent, root_id, "{name} parents under the request root");
+        }
+        let (fill_id, fill_parent, _) =
+            find("fill").unwrap_or_else(|| panic!("missing fill span in {by_name:?}"));
+        assert_eq!(fill_parent, root_id, "the fill parents under the root");
+        let sim_points: Vec<_> = spans.iter().filter(|(_, _, n)| n == "sim.point").collect();
+        assert!(!sim_points.is_empty(), "at least one sim.point span: {by_name:?}");
+        for (_, parent, _) in &sim_points {
+            assert_eq!(parent, fill_id, "sim points parent under the fill span");
+        }
+        // Every non-root span's parent exists in the tree.
+        for (id, parent, name) in &spans {
+            assert!(
+                *parent == 0 || spans.iter().any(|(p, _, _)| p == parent),
+                "span {id} ({name}) has dangling parent {parent}"
+            );
+        }
+
+        // The Perfetto export is well-formed Chrome trace_event JSON.
+        let (status, _, pft) = get(
+            &mut conn,
+            &mut reader,
+            &format!("/debug/trace/{TRACE_ID}?fmt=perfetto"),
+        );
+        assert_eq!(status, 200);
+        let doc = offchip_json::Json::parse(std::str::from_utf8(&pft).unwrap().trim()).unwrap();
+        let events = match doc.get("traceEvents") {
+            Some(offchip_json::Json::Arr(items)) => items,
+            other => panic!("no traceEvents: {other:?}"),
+        };
+        assert_eq!(events.len(), spans.len());
+        for ev in events {
+            assert_eq!(ev.get("ph").and_then(|j| j.as_str()), Some("X"));
+            assert!(ev.get("ts").and_then(|j| j.as_u64()).is_some());
+            assert!(ev.get("dur").and_then(|j| j.as_u64()).is_some());
+            assert!(ev.get("name").and_then(|j| j.as_str()).is_some());
+        }
+        assert_eq!(
+            doc.get("otherData")
+                .and_then(|o| o.get("trace_id"))
+                .and_then(|j| j.as_str()),
+            Some(TRACE_ID)
+        );
+
+        // An unknown id is a 404, not an empty tree.
+        let (status, _, _) = get(&mut conn, &mut reader, "/debug/trace/00000000deadbeef");
+        assert_eq!(status, 404);
+
+        // /statusz sees the traffic; /metrics?fmt=prom scrapes.
+        let (status, _, statusz) = get(&mut conn, &mut reader, "/statusz");
+        assert_eq!(status, 200);
+        let text = String::from_utf8_lossy(&statusz);
+        assert!(text.contains("uptime_s:"), "{text}");
+        assert!(text.contains("burn:"), "{text}");
+        assert!(text.contains("cache: hit=0 miss=1"), "{text}");
+        let (status, headers, prom) = get(&mut conn, &mut reader, "/metrics?fmt=prom");
+        assert_eq!(status, 200);
+        assert_eq!(
+            header(&headers, "Content-Type"),
+            Some("text/plain; version=0.0.4; charset=utf-8")
+        );
+        let prom = String::from_utf8_lossy(&prom);
+        assert!(prom.contains("serve_requests_predict_total 1"), "{prom}");
+        assert!(prom.contains("le=\"+Inf\""), "{prom}");
+
+        // An untraced request still gets a (derived) correlation id.
+        let (_, headers, _) = get(&mut conn, &mut reader, "/healthz");
+        let echoed = header(&headers, "X-Offchip-Trace").expect("derived id echoed");
+        assert_ne!(echoed, TRACE_ID);
+        assert_ne!(u64::from_str_radix(echoed, 16).unwrap(), 0);
+
+        shutdown.store(true, Ordering::SeqCst);
+        drop(reader);
+        drop(conn);
+        run.join().unwrap().unwrap();
+        traced_body
+    });
+
+    // Determinism contract: an untraced cold fill of the same key, in a
+    // fresh journal directory, produces byte-identical response bytes.
+    let dir2 = scratch("plain");
+    let svc = test_service(&dir2);
+    let plain = svc.handle(&Request {
+        method: "POST".into(),
+        path: "/predict".into(),
+        body: br#"{"machine":"uma","program":"CG.S","n":8}"#.to_vec(),
+        close: false,
+        deadline_ms: None,
+        trace: None,
+    });
+    assert_eq!(plain.status, 200, "{}", String::from_utf8_lossy(&plain.body));
+    assert_eq!(
+        plain.body, traced_body,
+        "tracing must not perturb response bytes"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&dir2);
+}
